@@ -1,0 +1,37 @@
+package ppdc_test
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+
+	"repro/internal/field"
+	"repro/internal/kstest"
+	"repro/internal/mvpoly"
+	"repro/internal/ompe"
+)
+
+func ksAverage(a, b [][]float64) (float64, error) {
+	return kstest.AverageOverDimensions(a, b)
+}
+
+// planeForDim deterministically builds a random unit hyperplane.
+func planeForDim(dim int, seed uint64) ([]float64, float64) {
+	rng := rand.New(rand.NewPCG(seed, uint64(dim)))
+	w := make([]float64, dim)
+	norm := 0.0
+	for i := range w {
+		w[i] = rng.NormFloat64()
+		norm += w[i] * w[i]
+	}
+	for i := range w {
+		w[i] /= math.Sqrt(norm)
+	}
+	return w, 0.1 * (rng.Float64()*2 - 1)
+}
+
+func fieldDefault() *field.Field { return field.Default() }
+
+func linearEvalForBench(f *field.Field, w field.Vec) (ompe.Evaluator, error) {
+	return mvpoly.NewLinear(f, w, big.NewInt(1))
+}

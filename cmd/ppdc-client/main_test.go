@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseSample(t *testing.T) {
+	got, err := parseSample("0.5, -1, 0.25", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0.5 || got[1] != -1 || got[2] != 0.25 {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseSample("1,2", 3); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	if _, err := parseSample("1,x,3", 3); err == nil {
+		t.Fatal("non-numeric should fail")
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing mode should fail")
+	}
+}

@@ -1,0 +1,152 @@
+// Command ppdc-trainer trains an SVM on a dataset and serves
+// privacy-preserving classification (and linear similarity evaluation)
+// over TCP. The model never leaves the process; clients learn only
+// predicted labels / the similarity metric.
+//
+// Usage:
+//
+//	ppdc-trainer [-addr :7707] [-dataset diabetes] [-kernel linear|poly] \
+//	             [-data file.libsvm] [-group 2048] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+	"repro/internal/svm"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppdc-trainer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppdc-trainer", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":7707", "listen address")
+		dsName     = fs.String("dataset", "diabetes", "synthetic dataset to train on (see catalog)")
+		dataFile   = fs.String("data", "", "train on a LIBSVM-format file instead of synthetic data")
+		kernelName = fs.String("kernel", "linear", "kernel: linear or poly")
+		groupName  = fs.String("group", "2048", "OT group: 512 (toy), 1024, 1536, 2048")
+		seed       = fs.Uint64("seed", 1, "synthetic data seed")
+		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
+		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
+		loadModel  = fs.String("load-model", "", "serve a previously saved model instead of training")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	group, err := ot.GroupByName(*groupName)
+	if err != nil {
+		return err
+	}
+
+	var model *svm.Model
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			return err
+		}
+		model, err = svm.ReadModel(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		log.Printf("loaded %s model from %s (%d support vectors, %d dims)",
+			model.Kernel.Kind, *loadModel, model.NumSupportVectors(), model.Dim)
+	} else {
+		train, spec, err := loadTraining(*dsName, *dataFile, *seed)
+		if err != nil {
+			return err
+		}
+		kernel := svm.Linear()
+		penalty := spec.LinC
+		if *kernelName == "poly" {
+			kernel = svm.PaperPolynomial(train.Dim())
+			penalty = spec.PolyC
+		} else if *kernelName != "linear" {
+			return fmt.Errorf("unknown kernel %q", *kernelName)
+		}
+		if *c != 0 {
+			penalty = *c
+		}
+		log.Printf("training %s SVM on %s (%d samples, %d dims)", kernel.Kind, train.Name, train.Len(), train.Dim())
+		model, err = svm.Train(train.X, train.Y, svm.Config{Kernel: kernel, C: penalty})
+		if err != nil {
+			return err
+		}
+		log.Printf("trained: %d support vectors", model.NumSupportVectors())
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			return err
+		}
+		if err := svm.WriteModel(f, model); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("saved model to %s", *saveModel)
+	}
+
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: group})
+	if err != nil {
+		return err
+	}
+	srv := transport.NewServer(trainer)
+	if model.Kernel.Kind == svm.KernelLinear {
+		w, err := model.LinearWeights()
+		if err != nil {
+			return err
+		}
+		srv.EnableSimilarity(w, model.Bias, similarity.Params{Group: group})
+		log.Printf("similarity service enabled")
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving privacy-preserving classification on %s (OT group %s)", ln.Addr(), group.Name())
+	return srv.Serve(ln)
+}
+
+func loadTraining(dsName, dataFile string, seed uint64) (*dataset.Dataset, dataset.Spec, error) {
+	if dataFile != "" {
+		f, err := os.Open(dataFile)
+		if err != nil {
+			return nil, dataset.Spec{}, err
+		}
+		defer f.Close()
+		d, err := dataset.ParseLIBSVM(f, dataFile, 0)
+		if err != nil {
+			return nil, dataset.Spec{}, err
+		}
+		return d, dataset.Spec{LinC: 1, PolyC: 100}, nil
+	}
+	spec, err := dataset.SpecByName(dsName)
+	if err != nil {
+		return nil, dataset.Spec{}, err
+	}
+	train, _, err := dataset.Generate(spec, dataset.Options{Seed: seed})
+	if err != nil {
+		return nil, dataset.Spec{}, err
+	}
+	return train, spec, nil
+}

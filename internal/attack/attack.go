@@ -1,0 +1,263 @@
+// Package attack implements the model-extraction attacks of the paper's
+// privacy analysis (§VI-A): a colluding client pool tries to estimate the
+// trainer's linear decision function from classification results.
+//
+//   - With the protocol's fresh per-query amplifier r_a, every returned
+//     value carries an independent unknown positive scale; regression over
+//     collected (sample, value) pairs yields estimates that "keep
+//     rambling" (Fig. 5).
+//   - Without the amplifier (the InsecureUnitAmplifier knob), n+1 exact
+//     decision values determine the model by solving one linear system —
+//     the algebraic form of the paper's tangent-circle construction
+//     (Fig. 6).
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/classify"
+)
+
+// ErrSingular reports a linear system without a unique solution.
+var ErrSingular = errors.New("attack: singular system")
+
+// EstimateLinear fits ŵ, b̂ by least squares on (sample, value) pairs:
+// the attack a colluding client pool mounts using the values it received.
+func EstimateLinear(samples [][]float64, values []float64) (w []float64, b float64, err error) {
+	if len(samples) == 0 || len(samples) != len(values) {
+		return nil, 0, fmt.Errorf("attack: %d samples, %d values", len(samples), len(values))
+	}
+	n := len(samples[0])
+	cols := n + 1
+	// Normal equations AᵀA·θ = Aᵀv with A = [samples | 1].
+	ata := make([][]float64, cols)
+	for i := range ata {
+		ata[i] = make([]float64, cols)
+	}
+	atv := make([]float64, cols)
+	row := make([]float64, cols)
+	for k, s := range samples {
+		if len(s) != n {
+			return nil, 0, fmt.Errorf("attack: ragged sample %d", k)
+		}
+		copy(row, s)
+		row[n] = 1
+		for i := 0; i < cols; i++ {
+			atv[i] += row[i] * values[k]
+			for j := 0; j < cols; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	// Ridge regularization keeps underdetermined collusion sets (k <= n)
+	// solvable, mirroring an attacker's best effort.
+	for i := 0; i < cols; i++ {
+		ata[i][i] += 1e-9
+	}
+	theta, err := solve(ata, atv)
+	if err != nil {
+		return nil, 0, err
+	}
+	return theta[:n], theta[n], nil
+}
+
+// RecoverExact solves the square system d(t_i) = w·t_i + b from exactly
+// n+1 independent (sample, value) pairs — the attack that succeeds when
+// values are not amplified.
+func RecoverExact(samples [][]float64, values []float64) (w []float64, b float64, err error) {
+	if len(samples) == 0 {
+		return nil, 0, errors.New("attack: no samples")
+	}
+	n := len(samples[0])
+	if len(samples) != n+1 || len(values) != n+1 {
+		return nil, 0, fmt.Errorf("attack: need exactly %d pairs, got %d", n+1, len(samples))
+	}
+	a := make([][]float64, n+1)
+	rhs := make([]float64, n+1)
+	for i, s := range samples {
+		a[i] = make([]float64, n+1)
+		copy(a[i], s)
+		a[i][n] = 1
+		rhs[i] = values[i]
+	}
+	theta, err := solve(a, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return theta[:n], theta[n], nil
+}
+
+// solve runs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := m[i][n]
+		for j := i + 1; j < n; j++ {
+			acc -= m[i][j] * x[j]
+		}
+		x[i] = acc / m[i][i]
+	}
+	return x, nil
+}
+
+// AngleError returns the angle in radians between the true and estimated
+// normal directions, folded to [0, π/2] (a hyperplane is direction-
+// agnostic up to sign).
+func AngleError(wTrue, wEst []float64) (float64, error) {
+	if len(wTrue) != len(wEst) {
+		return 0, fmt.Errorf("attack: dim %d vs %d", len(wTrue), len(wEst))
+	}
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range wTrue {
+		dot += wTrue[i] * wEst[i]
+		na += wTrue[i] * wTrue[i]
+		nb += wEst[i] * wEst[i]
+	}
+	if na == 0 || nb == 0 {
+		return math.Pi / 2, nil
+	}
+	c := math.Abs(dot) / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	}
+	return math.Acos(c), nil
+}
+
+// OffsetError returns |b̂/‖ŵ‖ − b/‖w‖|, the difference of the hyperplanes'
+// signed distances from the origin under matched orientation.
+func OffsetError(wTrue []float64, bTrue float64, wEst []float64, bEst float64) (float64, error) {
+	if len(wTrue) != len(wEst) {
+		return 0, fmt.Errorf("attack: dim %d vs %d", len(wTrue), len(wEst))
+	}
+	nt, ne, dot := 0.0, 0.0, 0.0
+	for i := range wTrue {
+		nt += wTrue[i] * wTrue[i]
+		ne += wEst[i] * wEst[i]
+		dot += wTrue[i] * wEst[i]
+	}
+	if nt == 0 || ne == 0 {
+		return math.Inf(1), nil
+	}
+	sign := 1.0
+	if dot < 0 {
+		sign = -1
+	}
+	return math.Abs(sign*bEst/math.Sqrt(ne) - bTrue/math.Sqrt(nt)), nil
+}
+
+// CollusionResult reports one model-estimation attempt.
+type CollusionResult struct {
+	// NumSamples is the collusion-pool size.
+	NumSamples int
+	// AngleErrorDeg is the direction estimation error in degrees.
+	AngleErrorDeg float64
+	// OffsetError is the hyperplane-offset estimation error.
+	OffsetError float64
+}
+
+// RunCollusion mounts the Fig. 5 attack: classify numSamples random
+// points through the trainer, collect the (amplified) values, regress, and
+// report how far the estimate lands from the true model (wTrue, bTrue).
+func RunCollusion(trainer *classify.Trainer, wTrue []float64, bTrue float64, numSamples int, protoRNG io.Reader, sampleRNG *rand.Rand) (*CollusionResult, error) {
+	if numSamples < 2 {
+		return nil, fmt.Errorf("attack: need >= 2 samples, got %d", numSamples)
+	}
+	client, err := classify.NewClient(trainer.Spec())
+	if err != nil {
+		return nil, err
+	}
+	dim := len(wTrue)
+	samples := make([][]float64, numSamples)
+	values := make([]float64, numSamples)
+	for i := 0; i < numSamples; i++ {
+		s := make([]float64, dim)
+		for j := range s {
+			s[j] = sampleRNG.Float64()*2 - 1
+		}
+		v, err := classifyValue(trainer, client, s, protoRNG)
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = s
+		values[i] = v
+	}
+	wEst, bEst, err := EstimateLinear(samples, values)
+	if err != nil {
+		return nil, err
+	}
+	angle, err := AngleError(wTrue, wEst)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := OffsetError(wTrue, bTrue, wEst, bEst)
+	if err != nil {
+		return nil, err
+	}
+	return &CollusionResult{
+		NumSamples:    numSamples,
+		AngleErrorDeg: angle * 180 / math.Pi,
+		OffsetError:   offset,
+	}, nil
+}
+
+// classifyValue runs one protocol session and returns the client's decoded
+// view (the amplified decision value).
+func classifyValue(trainer *classify.Trainer, client *classify.Client, sample []float64, rng io.Reader) (float64, error) {
+	sender, err := trainer.NewSession()
+	if err != nil {
+		return 0, err
+	}
+	receiver, req, err := client.NewSession(sample, rng)
+	if err != nil {
+		return 0, err
+	}
+	setup, err := sender.HandleRequest(req, rng)
+	if err != nil {
+		return 0, err
+	}
+	choice, err := receiver.HandleSetup(setup, rng)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := sender.HandleChoice(choice, rng)
+	if err != nil {
+		return 0, err
+	}
+	result, err := receiver.Finish(tr)
+	if err != nil {
+		return 0, err
+	}
+	return client.Value(result)
+}
+
+// ClassifyValue exposes the client's decoded view for experiments.
+func ClassifyValue(trainer *classify.Trainer, client *classify.Client, sample []float64, rng io.Reader) (float64, error) {
+	return classifyValue(trainer, client, sample, rng)
+}

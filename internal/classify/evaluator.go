@@ -1,0 +1,347 @@
+package classify
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/field"
+	"repro/internal/fixedpoint"
+	"repro/internal/kernel"
+	"repro/internal/mvpoly"
+	"repro/internal/svm"
+)
+
+// evaluator is the trainer's secret decision function encoded into the
+// protocol field with scale-normalized coefficients: every monomial of the
+// polynomial decodes at the common scale 2^(scaleExp·fracBits), so field
+// addition is scale-consistent (DESIGN.md §3).
+type evaluator struct {
+	numVars  int
+	degree   int  // total degree in protocol inputs
+	scaleExp uint // result scale exponent, in fracBits units
+	evalFn   func(z field.Vec) (*big.Int, error)
+}
+
+func (e *evaluator) NumVars() int { return e.numVars }
+
+func (e *evaluator) Eval(z field.Vec) (*big.Int, error) { return e.evalFn(z) }
+
+// scaleAt returns 2^(exp·fracBits).
+func scaleAt(codec *fixedpoint.Codec, exp uint) *big.Int {
+	return codec.ScalePow(exp)
+}
+
+// buildLinearEvaluator encodes d(t) = w·t + b. Inputs arrive at scale S,
+// weights are encoded at S, the bias at S²; the result decodes at S².
+func buildLinearEvaluator(codec *fixedpoint.Codec, w []float64, b float64) (*evaluator, error) {
+	f := codec.Field()
+	encW, err := codec.EncodeVec(w)
+	if err != nil {
+		return nil, fmt.Errorf("classify: encode weights: %w", err)
+	}
+	encB, err := codec.EncodeAtScale(b, scaleAt(codec, 2))
+	if err != nil {
+		return nil, fmt.Errorf("classify: encode bias: %w", err)
+	}
+	n := len(w)
+	return &evaluator{
+		numVars:  n,
+		degree:   1,
+		scaleExp: 2,
+		evalFn: func(z field.Vec) (*big.Int, error) {
+			if len(z) != n {
+				return nil, fmt.Errorf("classify: arity %d, want %d", len(z), n)
+			}
+			dot, err := f.Dot(encW, z)
+			if err != nil {
+				return nil, err
+			}
+			return f.Add(dot, encB), nil
+		},
+	}, nil
+}
+
+// buildPolyDirectEvaluator encodes the kernel-form polynomial decision
+// function d(t) = Σ_s αy_s·(a0·x_s·t + b0)^p + b for direct evaluation on
+// arbitrary field vectors (the paper's nonlinear construction). The result
+// decodes at scale exponent 2p+1.
+func buildPolyDirectEvaluator(codec *fixedpoint.Codec, m *svm.Model) (*evaluator, error) {
+	f := codec.Field()
+	p := m.Kernel.Degree
+	scaleExp := uint(2*p + 1)
+
+	encA0X := make([]field.Vec, len(m.SupportVectors))
+	for s, sv := range m.SupportVectors {
+		scaled := make([]float64, len(sv))
+		for j, v := range sv {
+			scaled[j] = m.Kernel.A0 * v
+		}
+		enc, err := codec.EncodeVec(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode support vector %d: %w", s, err)
+		}
+		encA0X[s] = enc
+	}
+	encB0, err := codec.EncodeAtScale(m.Kernel.B0, scaleAt(codec, 2))
+	if err != nil {
+		return nil, err
+	}
+	encAlphaY := make([]*big.Int, len(m.AlphaY))
+	for s, a := range m.AlphaY {
+		enc, err := codec.EncodeAtScale(a, codec.Scale())
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode multiplier %d: %w", s, err)
+		}
+		encAlphaY[s] = enc
+	}
+	encBias, err := codec.EncodeAtScale(m.Bias, scaleAt(codec, scaleExp))
+	if err != nil {
+		return nil, err
+	}
+
+	n := m.Dim
+	return &evaluator{
+		numVars:  n,
+		degree:   p,
+		scaleExp: scaleExp,
+		evalFn: func(z field.Vec) (*big.Int, error) {
+			if len(z) != n {
+				return nil, fmt.Errorf("classify: arity %d, want %d", len(z), n)
+			}
+			acc := new(big.Int).Set(encBias)
+			for s := range encA0X {
+				inner, err := f.Dot(encA0X[s], z) // scale exp 2
+				if err != nil {
+					return nil, err
+				}
+				inner = f.Add(inner, encB0)
+				pow := f.One()
+				for i := 0; i < p; i++ {
+					pow = f.Mul(pow, inner)
+				} // scale exp 2p
+				acc = f.Add(acc, f.Mul(encAlphaY[s], pow))
+			}
+			return acc, nil
+		},
+	}, nil
+}
+
+// buildExpandedEvaluator linearizes a polynomial-kernel model over its τ
+// monomial variates and encodes the resulting linear form. The client must
+// send τ̃ covers (see ExpandSample).
+func buildExpandedEvaluator(codec *fixedpoint.Codec, m *svm.Model) (*evaluator, *mvpoly.FloatExpansion, error) {
+	exp, err := mvpoly.ExpandPolyKernel(m.SupportVectors, m.AlphaY, m.Kernel.A0, m.Kernel.B0, m.Kernel.Degree, m.Bias)
+	if err != nil {
+		return nil, nil, fmt.Errorf("classify: expand kernel: %w", err)
+	}
+	ev, err := buildLinearEvaluator(codec, exp.Coeffs, exp.Bias)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, exp, nil
+}
+
+// buildRBFEvaluator encodes the Taylor-truncated RBF decision function
+// d(t) ≈ Σ_s αy_s Σ_{i=0}^{T} c_i·dist_s(t)ⁱ + b with c_i = (−γ)ⁱ/i! and
+// dist_s(t) = |x_s|² + |t|² − 2·x_s·t. The result decodes at scale
+// exponent 2T+2; protocol degree is 2T.
+func buildRBFEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*evaluator, error) {
+	f := codec.Field()
+	coeffs, err := kernel.ExpSeries(-m.Kernel.Gamma, terms)
+	if err != nil {
+		return nil, err
+	}
+	scaleExp := uint(2*terms + 2)
+
+	encX := make([]field.Vec, len(m.SupportVectors))
+	encNorm := make([]*big.Int, len(m.SupportVectors))
+	// encCoeff[s][i] carries αy_s·c_i at scale exponent scaleExp − 2i, so
+	// each term αy·c_i·distⁱ lands at scaleExp.
+	encCoeff := make([][]*big.Int, len(m.SupportVectors))
+	for s, sv := range m.SupportVectors {
+		enc, err := codec.EncodeVec(sv)
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode support vector %d: %w", s, err)
+		}
+		encX[s] = enc
+		norm := 0.0
+		for _, v := range sv {
+			norm += v * v
+		}
+		encNorm[s], err = codec.EncodeAtScale(norm, scaleAt(codec, 2))
+		if err != nil {
+			return nil, err
+		}
+		encCoeff[s] = make([]*big.Int, terms+1)
+		for i := 0; i <= terms; i++ {
+			encCoeff[s][i], err = codec.EncodeAtScale(m.AlphaY[s]*coeffs[i], scaleAt(codec, scaleExp-uint(2*i)))
+			if err != nil {
+				return nil, fmt.Errorf("classify: encode rbf coefficient (%d,%d): %w", s, i, err)
+			}
+		}
+	}
+	encBias, err := codec.EncodeAtScale(m.Bias, scaleAt(codec, scaleExp))
+	if err != nil {
+		return nil, err
+	}
+	two := big.NewInt(2)
+
+	n := m.Dim
+	return &evaluator{
+		numVars:  n,
+		degree:   2 * terms,
+		scaleExp: scaleExp,
+		evalFn: func(z field.Vec) (*big.Int, error) {
+			if len(z) != n {
+				return nil, fmt.Errorf("classify: arity %d, want %d", len(z), n)
+			}
+			zNorm, err := f.Dot(z, z) // scale exp 2
+			if err != nil {
+				return nil, err
+			}
+			acc := new(big.Int).Set(encBias)
+			for s := range encX {
+				cross, err := f.Dot(encX[s], z)
+				if err != nil {
+					return nil, err
+				}
+				dist := f.Sub(f.Add(encNorm[s], zNorm), f.Mul(two, cross)) // scale exp 2
+				pow := f.One()
+				for i := 0; i <= len(encCoeff[s])-1; i++ {
+					acc = f.Add(acc, f.Mul(encCoeff[s][i], pow))
+					pow = f.Mul(pow, dist)
+				}
+			}
+			return acc, nil
+		},
+	}, nil
+}
+
+// buildSigmoidEvaluator encodes the Taylor-truncated sigmoid decision
+// function d(t) ≈ Σ_s αy_s Σ_{i=1}^{T} tc_i·u_s(t)^{2i−1} + b with
+// u_s(t) = a0·x_s·t + c0. The result decodes at scale exponent 4T;
+// protocol degree is 2T−1.
+func buildSigmoidEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*evaluator, error) {
+	f := codec.Field()
+	tcoeffs, err := kernel.TanhSeries(terms)
+	if err != nil {
+		return nil, err
+	}
+	scaleExp := uint(4 * terms)
+
+	encA0X := make([]field.Vec, len(m.SupportVectors))
+	encCoeff := make([][]*big.Int, len(m.SupportVectors))
+	for s, sv := range m.SupportVectors {
+		scaled := make([]float64, len(sv))
+		for j, v := range sv {
+			scaled[j] = m.Kernel.A0 * v
+		}
+		enc, err := codec.EncodeVec(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("classify: encode support vector %d: %w", s, err)
+		}
+		encA0X[s] = enc
+		encCoeff[s] = make([]*big.Int, terms)
+		for i := 1; i <= terms; i++ {
+			// u^{2i-1} has scale exponent 2(2i-1); the coefficient tops it
+			// up to scaleExp.
+			encCoeff[s][i-1], err = codec.EncodeAtScale(m.AlphaY[s]*tcoeffs[i-1], scaleAt(codec, scaleExp-uint(2*(2*i-1))))
+			if err != nil {
+				return nil, fmt.Errorf("classify: encode sigmoid coefficient (%d,%d): %w", s, i, err)
+			}
+		}
+	}
+	encC0, err := codec.EncodeAtScale(m.Kernel.C0, scaleAt(codec, 2))
+	if err != nil {
+		return nil, err
+	}
+	encBias, err := codec.EncodeAtScale(m.Bias, scaleAt(codec, scaleExp))
+	if err != nil {
+		return nil, err
+	}
+
+	n := m.Dim
+	return &evaluator{
+		numVars:  n,
+		degree:   2*terms - 1,
+		scaleExp: scaleExp,
+		evalFn: func(z field.Vec) (*big.Int, error) {
+			if len(z) != n {
+				return nil, fmt.Errorf("classify: arity %d, want %d", len(z), n)
+			}
+			acc := new(big.Int).Set(encBias)
+			for s := range encA0X {
+				u, err := f.Dot(encA0X[s], z)
+				if err != nil {
+					return nil, err
+				}
+				u = f.Add(u, encC0) // scale exp 2
+				u2 := f.Mul(u, u)
+				pow := new(big.Int).Set(u) // u^{2i-1}, starting at i=1
+				for i := 0; i < len(encCoeff[s]); i++ {
+					acc = f.Add(acc, f.Mul(encCoeff[s][i], pow))
+					pow = f.Mul(pow, u2)
+				}
+			}
+			return acc, nil
+		},
+	}, nil
+}
+
+// buildEvaluator dispatches on the model's kernel and the protocol mode.
+// It returns the evaluator and, for ModeExpanded, the float expansion the
+// client needs to compute τ̃ (nil otherwise).
+func buildEvaluator(codec *fixedpoint.Codec, m *svm.Model, params Params) (*evaluator, *mvpoly.FloatExpansion, error) {
+	switch m.Kernel.Kind {
+	case svm.KernelLinear:
+		w, err := m.LinearWeights()
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, err := buildLinearEvaluator(codec, w, m.Bias)
+		return ev, nil, err
+	case svm.KernelPolynomial:
+		if params.Mode == ModeExpanded {
+			return buildExpandedEvaluator(codec, m)
+		}
+		ev, err := buildPolyDirectEvaluator(codec, m)
+		return ev, nil, err
+	case svm.KernelRBF:
+		ev, err := buildRBFEvaluator(codec, m, params.TaylorTerms)
+		return ev, nil, err
+	case svm.KernelSigmoid:
+		ev, err := buildSigmoidEvaluator(codec, m, params.TaylorTerms)
+		return ev, nil, err
+	default:
+		return nil, nil, fmt.Errorf("classify: unsupported kernel %v", m.Kernel.Kind)
+	}
+}
+
+// protocolShape reports the evaluator shape (degree, scale exponent) a
+// model/params combination will use, without building the evaluator. Both
+// parties derive it independently from public knowledge.
+func protocolShape(kind svm.Kernel, dim int, params Params) (degree int, scaleExp uint, numVars int, err error) {
+	switch kind.Kind {
+	case svm.KernelLinear:
+		return 1, 2, dim, nil
+	case svm.KernelPolynomial:
+		if params.Mode == ModeExpanded {
+			n := mvpoly.NumMonomials(dim, kind.Degree)
+			if !n.IsInt64() || n.Int64() > 1<<20 {
+				return 0, 0, 0, fmt.Errorf("classify: expansion too large (%v variates)", n)
+			}
+			vars := int(n.Int64())
+			if kind.B0 != 0 {
+				vars = len(mvpoly.CompositionsUpTo(dim, kind.Degree))
+			}
+			return 1, 2, vars, nil
+		}
+		return kind.Degree, uint(2*kind.Degree + 1), dim, nil
+	case svm.KernelRBF:
+		return 2 * params.TaylorTerms, uint(2*params.TaylorTerms + 2), dim, nil
+	case svm.KernelSigmoid:
+		return 2*params.TaylorTerms - 1, uint(4 * params.TaylorTerms), dim, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("classify: unsupported kernel %v", kind.Kind)
+	}
+}

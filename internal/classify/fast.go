@@ -1,0 +1,137 @@
+package classify
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ompe"
+	"repro/internal/ot"
+)
+
+// Fast sessions: one IKNP base phase per (trainer, client) session makes
+// every subsequent classification query free of public-key operations —
+// two messages of field arithmetic and symmetric crypto. This is the
+// batch-serving mode; privacy guarantees are identical to the one-shot
+// path (fresh masks, amplifiers, covers, and hidden genuine indices per
+// query).
+
+// FastTrainer is a trainer-side fast session.
+type FastTrainer struct {
+	session *ompe.SessionSender
+}
+
+// FastClient is a client-side fast session.
+type FastClient struct {
+	client  *Client
+	session *ompe.SessionReceiver
+}
+
+// FastQuery is one in-flight query on a fast client.
+type FastQuery struct {
+	client *Client
+	q      *ompe.SessionQuery
+}
+
+// NewFastClient opens a client session from a trainer's public spec,
+// returning the base-phase setup message.
+func NewFastClient(spec Spec, rng io.Reader) (*FastClient, *ot.IKNPBaseSetup, error) {
+	client, err := NewClient(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	params, err := spec.OMPEParams()
+	if err != nil {
+		return nil, nil, err
+	}
+	session, setup, err := ompe.NewSessionReceiverBase(params, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FastClient{client: client, session: session}, setup, nil
+}
+
+// NewFastSession opens the trainer side of a fast session from a client's
+// base setup, returning the base choice message.
+func (t *Trainer) NewFastSession(setup *ot.IKNPBaseSetup, rng io.Reader) (*FastTrainer, *ot.IKNPBaseChoice, error) {
+	params, err := t.spec.OMPEParams()
+	if err != nil {
+		return nil, nil, err
+	}
+	session, choice, err := ompe.NewSessionSenderBase(params, t.eval, setup, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FastTrainer{session: session}, choice, nil
+}
+
+// FinishBase completes the client's base phase.
+func (fc *FastClient) FinishBase(choice *ot.IKNPBaseChoice, rng io.Reader) (*ot.IKNPBaseTransfer, error) {
+	return fc.session.FinishBaseReceiver(choice, rng)
+}
+
+// FinishBase completes the trainer's base phase.
+func (ft *FastTrainer) FinishBase(tr *ot.IKNPBaseTransfer) error {
+	return ft.session.FinishBaseSender(tr)
+}
+
+// NewQuery opens one classification query, returning the single request
+// message. Queries are sequential per session.
+func (fc *FastClient) NewQuery(sample []float64, rng io.Reader) (*FastQuery, *ompe.FastRequest, error) {
+	input, err := fc.client.EncodeSample(sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, req, err := fc.session.NewQuery(input, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FastQuery{client: fc.client, q: q}, req, nil
+}
+
+// HandleQuery answers one query on the trainer side.
+func (ft *FastTrainer) HandleQuery(req *ompe.FastRequest, rng io.Reader) (*ompe.FastResponse, error) {
+	return ft.session.HandleQuery(req, rng)
+}
+
+// Finish completes a query, returning the ±1 label.
+func (fq *FastQuery) Finish(resp *ompe.FastResponse) (int, error) {
+	value, err := fq.q.Finish(resp)
+	if err != nil {
+		return 0, err
+	}
+	return fq.client.Interpret(value)
+}
+
+// NewFastPair runs the base phase in memory and returns a paired session
+// (single-process use and benchmarks).
+func NewFastPair(t *Trainer, rng io.Reader) (*FastTrainer, *FastClient, error) {
+	fc, setup, err := NewFastClient(t.Spec(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft, choice, err := t.NewFastSession(setup, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := fc.FinishBase(choice, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ft.FinishBase(tr); err != nil {
+		return nil, nil, err
+	}
+	return ft, fc, nil
+}
+
+// ClassifyFast runs one complete fast-path classification in memory.
+func ClassifyFast(ft *FastTrainer, fc *FastClient, sample []float64, rng io.Reader) (int, error) {
+	query, req, err := fc.NewQuery(sample, rng)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := ft.HandleQuery(req, rng)
+	if err != nil {
+		return 0, fmt.Errorf("classify: fast query: %w", err)
+	}
+	return query.Finish(resp)
+}

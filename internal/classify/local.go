@@ -1,0 +1,72 @@
+package classify
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/svm"
+)
+
+// kernelPolynomial re-exports the polynomial kernel kind for local use.
+const kernelPolynomial = svm.KernelPolynomial
+
+// Classify runs one complete privacy-preserving classification in memory:
+// the client side is built from the trainer's public spec, the four
+// protocol messages are exchanged directly, and the predicted ±1 label is
+// returned. Distributed deployments run the same state machines over a
+// transport (internal/transport) instead.
+func Classify(t *Trainer, sample []float64, rng io.Reader) (int, error) {
+	client, err := NewClient(t.Spec())
+	if err != nil {
+		return 0, err
+	}
+	return ClassifyWith(t, client, sample, rng)
+}
+
+// ClassifyWith reuses an existing client (amortizing spec/codec setup over
+// many samples, as a real client would).
+func ClassifyWith(t *Trainer, client *Client, sample []float64, rng io.Reader) (int, error) {
+	sender, err := t.NewSession()
+	if err != nil {
+		return 0, err
+	}
+	receiver, req, err := client.NewSession(sample, rng)
+	if err != nil {
+		return 0, err
+	}
+	setup, err := sender.HandleRequest(req, rng)
+	if err != nil {
+		return 0, err
+	}
+	choice, err := receiver.HandleSetup(setup, rng)
+	if err != nil {
+		return 0, err
+	}
+	tr, err := sender.HandleChoice(choice, rng)
+	if err != nil {
+		return 0, err
+	}
+	result, err := receiver.Finish(tr)
+	if err != nil {
+		return 0, err
+	}
+	return client.Interpret(result)
+}
+
+// ClassifyBatch classifies a set of samples, returning the predicted
+// labels. Each sample runs its own session (fresh masks and amplifier).
+func ClassifyBatch(t *Trainer, samples [][]float64, rng io.Reader) ([]int, error) {
+	client, err := NewClient(t.Spec())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		label, err := ClassifyWith(t, client, s, rng)
+		if err != nil {
+			return nil, fmt.Errorf("classify: sample %d: %w", i, err)
+		}
+		out[i] = label
+	}
+	return out, nil
+}

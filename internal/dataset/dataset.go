@@ -1,0 +1,139 @@
+// Package dataset supplies the evaluation data substrate of §VI-B. The
+// paper uses 17 LIBSVM datasets; real data cannot ship with an offline
+// module, so this package provides (a) deterministic synthetic generators
+// whose dimensionality, size, and linear-vs-nonlinear separability match
+// each paper dataset's character, and (b) a LIBSVM-format parser so the
+// genuine files can be dropped in when available. DESIGN.md §5 documents
+// the substitution.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Dataset is a labeled binary-classification sample set with labels ±1.
+type Dataset struct {
+	// Name identifies the dataset (for reports).
+	Name string
+	// X is the sample matrix.
+	X [][]float64
+	// Y holds one ±1 label per sample.
+	Y []int
+}
+
+// ErrEmpty reports an operation on an empty dataset.
+var ErrEmpty = errors.New("dataset: empty dataset")
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature dimension (0 when empty).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return ErrEmpty
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset %q: %d samples but %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	dim := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("dataset %q: row %d has dim %d, want %d", d.Name, i, len(row), dim)
+		}
+	}
+	for i, y := range d.Y {
+		if y != 1 && y != -1 {
+			return fmt.Errorf("dataset %q: label %d at row %d; want ±1", d.Name, y, i)
+		}
+	}
+	return nil
+}
+
+// Slice returns the half-open row range [lo, hi) as a view-copy.
+func (d *Dataset) Slice(lo, hi int) (*Dataset, error) {
+	if lo < 0 || hi > d.Len() || lo >= hi {
+		return nil, fmt.Errorf("dataset %q: invalid slice [%d, %d) of %d", d.Name, lo, hi, d.Len())
+	}
+	out := &Dataset{
+		Name: fmt.Sprintf("%s[%d:%d]", d.Name, lo, hi),
+		X:    make([][]float64, hi-lo),
+		Y:    make([]int, hi-lo),
+	}
+	for i := lo; i < hi; i++ {
+		row := make([]float64, len(d.X[i]))
+		copy(row, d.X[i])
+		out.X[i-lo] = row
+		out.Y[i-lo] = d.Y[i]
+	}
+	return out, nil
+}
+
+// Shuffle permutes samples in place with the given source.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split partitions the dataset into a training prefix of trainSize rows
+// and a test remainder.
+func (d *Dataset) Split(trainSize int) (train, test *Dataset, err error) {
+	if trainSize <= 0 || trainSize >= d.Len() {
+		return nil, nil, fmt.Errorf("dataset %q: train size %d of %d", d.Name, trainSize, d.Len())
+	}
+	train, err = d.Slice(0, trainSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = d.Slice(trainSize, d.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	train.Name = d.Name + "/train"
+	test.Name = d.Name + "/test"
+	return train, test, nil
+}
+
+// Subsets divides the dataset into k equal contiguous subsets (the Table
+// II construction: "we split 4 subsets from the dataset diabetes ... each
+// subset has 192 items").
+func (d *Dataset) Subsets(k int) ([]*Dataset, error) {
+	if k < 2 || d.Len() < k {
+		return nil, fmt.Errorf("dataset %q: cannot form %d subsets of %d rows", d.Name, k, d.Len())
+	}
+	size := d.Len() / k
+	out := make([]*Dataset, k)
+	for i := 0; i < k; i++ {
+		s, err := d.Slice(i*size, (i+1)*size)
+		if err != nil {
+			return nil, err
+		}
+		s.Name = fmt.Sprintf("%s/S%d", d.Name, i+1)
+		out[i] = s
+	}
+	return out, nil
+}
+
+// FeatureColumn extracts feature j as a vector (used by the K-S baseline,
+// which tests one dimension at a time).
+func (d *Dataset) FeatureColumn(j int) ([]float64, error) {
+	if j < 0 || j >= d.Dim() {
+		return nil, fmt.Errorf("dataset %q: feature %d of %d", d.Name, j, d.Dim())
+	}
+	col := make([]float64, d.Len())
+	for i, row := range d.X {
+		col[i] = row[j]
+	}
+	return col, nil
+}

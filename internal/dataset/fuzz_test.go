@@ -1,0 +1,30 @@
+package dataset_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzParseLIBSVM: arbitrary text must either parse into a valid dataset
+// or error — never panic, never produce an invalid dataset.
+func FuzzParseLIBSVM(f *testing.F) {
+	f.Add("+1 1:0.5 2:-0.25\n-1 3:1\n")
+	f.Add("0 1:1\n2 2:2\n")
+	f.Add("# comment\n\n+1 1:1e-3\n")
+	f.Add("+1 1:nan\n")
+	f.Add("+1 0:1\n")
+	f.Add("garbage")
+	f.Add("+1 1:")
+	f.Add("1 999999:1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := dataset.ParseLIBSVM(strings.NewReader(input), "fuzz", 0)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parser returned invalid dataset: %v", err)
+		}
+	})
+}

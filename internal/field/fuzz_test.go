@@ -1,0 +1,38 @@
+package field_test
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// FuzzFromBytes: arbitrary byte strings must either parse to a canonical
+// element that re-serializes identically, or error — never panic.
+func FuzzFromBytes(f *testing.F) {
+	fl := field.Default()
+	f.Add(make([]byte, 32))
+	f.Add([]byte{0xff})
+	big := make([]byte, 32)
+	for i := range big {
+		big[i] = 0xff
+	}
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		x, err := fl.FromBytes(input)
+		if err != nil {
+			return
+		}
+		out, err := fl.Bytes(x)
+		if err != nil {
+			t.Fatalf("parsed element failed to serialize: %v", err)
+		}
+		if len(out) != len(input) {
+			t.Fatalf("length changed: %d vs %d", len(out), len(input))
+		}
+		for i := range out {
+			if out[i] != input[i] {
+				t.Fatal("round trip not identical")
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package fixedpoint provides exact fixed-point encoding of real values
+// into prime-field elements, the numeric bridge between the SVM layer
+// (float64 models and samples) and the protocol layer (field arithmetic).
+//
+// A real x is encoded as round(x * 2^fracBits) mod p. Sums of encodings at
+// one scale decode exactly; a product of two encodings carries the product
+// of their scales. Because OMPE evaluates polynomials whose monomials have
+// different degrees, the Codec supports "scale-normalized" coefficient
+// encoding: the coefficient of a degree-k monomial is encoded at scale
+// 2^(target - k*input), so every monomial — and hence the whole polynomial
+// value — decodes at the single target scale. See DESIGN.md §3.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/field"
+)
+
+// DefaultFracBits is the default number of fractional bits for data values.
+const DefaultFracBits = 40
+
+var (
+	// ErrNotFinite reports an attempt to encode NaN or ±Inf.
+	ErrNotFinite = errors.New("fixedpoint: value is not finite")
+	// ErrOverflow reports a value whose encoding would leave the centered
+	// range of the field and therefore lose its sign.
+	ErrOverflow = errors.New("fixedpoint: encoded value overflows field")
+)
+
+// Codec encodes and decodes reals at a fixed fractional precision over a
+// given field. It is immutable and safe for concurrent use.
+type Codec struct {
+	f        *field.Field
+	fracBits uint
+	scale    *big.Int // 2^fracBits
+	// maxAbs bounds |x*scale| so encodings stay strictly inside (-p/2, p/2).
+	maxAbs *big.Int
+}
+
+// NewCodec returns a codec with the given fractional precision.
+func NewCodec(f *field.Field, fracBits uint) (*Codec, error) {
+	if f == nil {
+		return nil, errors.New("fixedpoint: nil field")
+	}
+	if fracBits == 0 || int(fracBits) >= f.Bits()-2 {
+		return nil, fmt.Errorf("fixedpoint: fracBits %d out of range for %d-bit field", fracBits, f.Bits())
+	}
+	half := new(big.Int).Rsh(f.Modulus(), 1)
+	return &Codec{
+		f:        f,
+		fracBits: fracBits,
+		scale:    new(big.Int).Lsh(big.NewInt(1), fracBits),
+		maxAbs:   half,
+	}, nil
+}
+
+// Default returns a codec over the default field with DefaultFracBits.
+func Default() *Codec {
+	c, err := NewCodec(field.Default(), DefaultFracBits)
+	if err != nil {
+		panic(err) // compile-time-fixed parameters
+	}
+	return c
+}
+
+// Field returns the underlying field.
+func (c *Codec) Field() *field.Field { return c.f }
+
+// FracBits returns the fractional precision in bits.
+func (c *Codec) FracBits() uint { return c.fracBits }
+
+// Scale returns a copy of 2^fracBits.
+func (c *Codec) Scale() *big.Int { return new(big.Int).Set(c.scale) }
+
+// ScalePow returns a copy of 2^(k*fracBits), the scale of a degree-k
+// product of data encodings.
+func (c *Codec) ScalePow(k uint) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), c.fracBits*k)
+}
+
+// Encode maps a real to a field element at the codec's base scale.
+func (c *Codec) Encode(x float64) (*big.Int, error) {
+	return c.EncodeAtScale(x, c.scale)
+}
+
+// EncodeAtScale maps a real to round(x*scale) mod p for an arbitrary
+// integer scale. Scale-normalized polynomial coefficients use this with
+// scale = 2^(target - degree*input).
+func (c *Codec) EncodeAtScale(x float64, scale *big.Int) (*big.Int, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil, ErrNotFinite
+	}
+	r := new(big.Rat).SetFloat64(x)
+	r.Mul(r, new(big.Rat).SetInt(scale))
+	v := ratRound(r)
+	if new(big.Int).Abs(v).Cmp(c.maxAbs) >= 0 {
+		return nil, ErrOverflow
+	}
+	return c.f.FromBig(v), nil
+}
+
+// EncodeVec encodes a float vector at the base scale.
+func (c *Codec) EncodeVec(xs []float64) (field.Vec, error) {
+	out := make(field.Vec, len(xs))
+	for i, x := range xs {
+		e, err := c.Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %w", i, err)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Decode recovers the real value of an element encoded at the base scale.
+func (c *Codec) Decode(e *big.Int) (float64, error) {
+	return c.DecodeAtScale(e, c.scale)
+}
+
+// DecodeAtScale recovers the real value of an element at the given scale,
+// interpreting the element in centered representation.
+func (c *Codec) DecodeAtScale(e *big.Int, scale *big.Int) (float64, error) {
+	if !c.f.Contains(e) {
+		return 0, field.ErrNotInField
+	}
+	if scale == nil || scale.Sign() <= 0 {
+		return 0, errors.New("fixedpoint: scale must be positive")
+	}
+	centered := c.f.Centered(e)
+	r := new(big.Rat).SetFrac(centered, scale)
+	out, _ := r.Float64()
+	if math.IsInf(out, 0) {
+		return 0, ErrOverflow
+	}
+	return out, nil
+}
+
+// Sign returns the sign (-1, 0, +1) of an encoded value in centered
+// representation, regardless of its scale. Classification only needs this.
+func (c *Codec) Sign(e *big.Int) (int, error) {
+	if !c.f.Contains(e) {
+		return 0, field.ErrNotInField
+	}
+	return c.f.Centered(e).Sign(), nil
+}
+
+// ratRound rounds a rational to the nearest integer, half away from zero.
+func ratRound(r *big.Rat) *big.Int {
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom() // always positive
+	neg := num.Sign() < 0
+	if neg {
+		num.Neg(num)
+	}
+	q, rem := new(big.Int).QuoRem(num, den, new(big.Int))
+	rem.Lsh(rem, 1)
+	if rem.Cmp(den) >= 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	if neg {
+		q.Neg(q)
+	}
+	return q
+}

@@ -1,0 +1,239 @@
+package fixedpoint_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/fixedpoint"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := fixedpoint.Default()
+	check := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true // out of scope for the protocol's data range
+		}
+		e, err := c.Encode(x)
+		if err != nil {
+			return false
+		}
+		y, err := c.Decode(e)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-y) <= 1.0/float64(int64(1)<<c.FracBits())+math.Abs(x)*1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeExactValues(t *testing.T) {
+	c := fixedpoint.Default()
+	for _, x := range []float64{0, 1, -1, 0.5, -0.25, 1024, -123.0625} {
+		e, err := c.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := c.Decode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y != x {
+			t.Fatalf("Encode/Decode(%v) = %v (dyadic rationals must round-trip exactly)", x, y)
+		}
+	}
+}
+
+// TestAdditionHomomorphism checks Enc(a)+Enc(b) decodes to a+b.
+func TestAdditionHomomorphism(t *testing.T) {
+	c := fixedpoint.Default()
+	f := c.Field()
+	check := func(a, b float64) bool {
+		if !inRange(a) || !inRange(b) {
+			return true
+		}
+		ea, err := c.Encode(a)
+		if err != nil {
+			return false
+		}
+		eb, err := c.Encode(b)
+		if err != nil {
+			return false
+		}
+		sum, err := c.Decode(f.Add(ea, eb))
+		if err != nil {
+			return false
+		}
+		return math.Abs(sum-(a+b)) <= 2.0/float64(int64(1)<<c.FracBits())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProductScale checks Enc_S(a)·Enc_S(b) decodes at scale S².
+func TestProductScale(t *testing.T) {
+	c := fixedpoint.Default()
+	f := c.Field()
+	check := func(a, b float64) bool {
+		if !inRange(a) || !inRange(b) {
+			return true
+		}
+		ea, err := c.Encode(a)
+		if err != nil {
+			return false
+		}
+		eb, err := c.Encode(b)
+		if err != nil {
+			return false
+		}
+		prod, err := c.DecodeAtScale(f.Mul(ea, eb), c.ScalePow(2))
+		if err != nil {
+			return false
+		}
+		tol := (math.Abs(a) + math.Abs(b) + 1) / float64(int64(1)<<c.FracBits())
+		return math.Abs(prod-a*b) <= tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaleNormalizedCoefficient checks the DESIGN.md §3 invariant: a
+// coefficient encoded at S_target/S_in^k times a degree-k product of
+// base-scale inputs decodes at S_target.
+func TestScaleNormalizedCoefficient(t *testing.T) {
+	c := fixedpoint.Default()
+	f := c.Field()
+	coeff, in1, in2 := 0.75, -1.5, 2.25
+	target := c.ScalePow(3)
+
+	// coeff at S^(3-2) = S, inputs at S: coeff·in1·in2 decodes at S³.
+	ec, err := c.EncodeAtScale(coeff, c.ScalePow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := c.Encode(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Encode(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeAtScale(f.Mul(ec, f.Mul(e1, e2)), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coeff * in1 * in2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("normalized product = %v, want %v", got, want)
+	}
+}
+
+func TestSign(t *testing.T) {
+	c := fixedpoint.Default()
+	cases := []struct {
+		x    float64
+		want int
+	}{{3.5, 1}, {-2.25, -1}, {0, 0}}
+	for _, tc := range cases {
+		e, err := c.Encode(tc.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := c.Sign(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != tc.want {
+			t.Fatalf("Sign(%v) = %d, want %d", tc.x, s, tc.want)
+		}
+	}
+}
+
+// TestSignSurvivesAmplification is the protocol-critical invariant of
+// §IV-A.3: multiplying by a positive bounded amplifier preserves sign.
+func TestSignSurvivesAmplification(t *testing.T) {
+	c := fixedpoint.Default()
+	f := c.Field()
+	amps := []*big.Int{big.NewInt(1), big.NewInt(12345), new(big.Int).Lsh(big.NewInt(1), 64)}
+	for _, x := range []float64{0.001, -0.001, 7.5, -123.25} {
+		e, err := c.Encode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, amp := range amps {
+			s, err := c.Sign(f.Mul(amp, e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 1
+			if x < 0 {
+				want = -1
+			}
+			if s != want {
+				t.Fatalf("sign of %v × %v = %d, want %d", amp, x, s, want)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	c := fixedpoint.Default()
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := c.Encode(x); err == nil {
+			t.Fatalf("Encode(%v) should fail", x)
+		}
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	c := fixedpoint.Default()
+	if _, err := c.Encode(1e75); err == nil {
+		t.Fatal("huge value should overflow a 255-bit field at 2^40 scale")
+	}
+}
+
+func TestNewCodecValidation(t *testing.T) {
+	f := field.Default()
+	if _, err := fixedpoint.NewCodec(nil, 40); err == nil {
+		t.Fatal("nil field should fail")
+	}
+	if _, err := fixedpoint.NewCodec(f, 0); err == nil {
+		t.Fatal("zero fracBits should fail")
+	}
+	if _, err := fixedpoint.NewCodec(f, 300); err == nil {
+		t.Fatal("fracBits >= field bits should fail")
+	}
+}
+
+func TestEncodeVecReportsComponent(t *testing.T) {
+	c := fixedpoint.Default()
+	_, err := c.EncodeVec([]float64{1, math.NaN(), 3})
+	if err == nil {
+		t.Fatal("NaN component should fail")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := fixedpoint.Default()
+	if _, err := c.Decode(big.NewInt(-5)); err == nil {
+		t.Fatal("non-canonical element should fail")
+	}
+	e, err := c.Encode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeAtScale(e, big.NewInt(0)); err == nil {
+		t.Fatal("zero scale should fail")
+	}
+}
+
+func inRange(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9
+}

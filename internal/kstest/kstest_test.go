@@ -1,0 +1,172 @@
+package kstest_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kstest"
+)
+
+func TestStatisticHandComputed(t *testing.T) {
+	// F1 jumps at {1,2,3}, F2 at {2,3,4}: sup|F1−F2| = 1/3 (at x in [1,2)).
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4}
+	d, err := kstest.Statistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1.0/3) > 1e-12 {
+		t.Fatalf("D = %v, want 1/3", d)
+	}
+}
+
+func TestStatisticIdenticalSamples(t *testing.T) {
+	a := []float64{0.3, -0.2, 0.9, 0.1}
+	d, err := kstest.Statistic(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("identical samples: D = %v", d)
+	}
+}
+
+func TestStatisticDisjointSupports(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := kstest.Statistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("disjoint supports: D = %v, want 1", d)
+	}
+}
+
+func TestStatisticSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		a := randSample(rng, 30)
+		b := randSample(rng, 40)
+		ab, err := kstest.Statistic(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := kstest.Statistic(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("not symmetric: %v vs %v", ab, ba)
+		}
+	}
+}
+
+// TestStatisticDetectsShift: the statistic must grow with distribution
+// shift.
+func TestStatisticDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	base := randSample(rng, 400)
+	prev := 0.0
+	for _, shift := range []float64{0, 0.2, 0.5, 1.0} {
+		shifted := make([]float64, len(base))
+		for i, v := range base {
+			shifted[i] = v + shift
+		}
+		other := randSample(rng, 400)
+		for i := range other {
+			other[i] += shift
+		}
+		d, err := kstest.Statistic(base, other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shift > 0 && d <= prev {
+			t.Fatalf("shift %v: D=%v did not grow (prev %v)", shift, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestScaledStatistic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12, 13}
+	d, err := kstest.ScaledStatistic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 * math.Sqrt(3.0*4.0/7.0)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("scaled = %v, want %v", d, want)
+	}
+}
+
+func TestAverageOverDimensions(t *testing.T) {
+	a := [][]float64{{1, 10}, {2, 11}, {3, 12}}
+	b := [][]float64{{1, 20}, {2, 21}, {3, 22}}
+	// Dim 0 identical (D=0); dim 1 disjoint (D=1, scaled √1.5).
+	avg, err := kstest.AverageOverDimensions(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1.5) / 2
+	if math.Abs(avg-want) > 1e-12 {
+		t.Fatalf("average = %v, want %v", avg, want)
+	}
+}
+
+func TestAverageValidation(t *testing.T) {
+	if _, err := kstest.AverageOverDimensions(nil, nil); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+	a := [][]float64{{1, 2}}
+	b := [][]float64{{1}}
+	if _, err := kstest.AverageOverDimensions(a, b); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+	c := [][]float64{{1, 2}, {3}}
+	if _, err := kstest.AverageOverDimensions(c, a); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+}
+
+func TestStatisticEmpty(t *testing.T) {
+	if _, err := kstest.Statistic(nil, []float64{1}); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+}
+
+func TestPValue(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	same1, same2 := randSample(rng, 200), randSample(rng, 200)
+	pSame, err := kstest.PValue(same1, same2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSame < 0.01 {
+		t.Fatalf("same-distribution p-value %v suspiciously small", pSame)
+	}
+	shifted := make([]float64, 200)
+	for i := range shifted {
+		shifted[i] = rng.Float64() + 1.5
+	}
+	pDiff, err := kstest.PValue(same1, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDiff > 1e-6 {
+		t.Fatalf("disjoint-distribution p-value %v too large", pDiff)
+	}
+	if pDiff < 0 || pSame > 1 {
+		t.Fatal("p-values out of [0,1]")
+	}
+}
+
+func randSample(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}

@@ -1,0 +1,522 @@
+// Package ompe implements Oblivious Multivariate Polynomial Evaluation
+// (paper §III-C, Tassa et al.), the primitive both of the paper's protocols
+// are built on.
+//
+// The sender holds a secret r-variate polynomial P over a prime field and
+// an amplifier; the receiver holds a secret input vector α. At the end the
+// receiver learns amp·P(α)+shift and nothing else about P; the sender
+// learns nothing about α.
+//
+// Construction, following §IV-A with the paper's variable names:
+//
+//  1. The receiver hides each input component α_i inside a random
+//     degree-q cover polynomial g_i with g_i(0)=α_i, samples M = m·k
+//     distinct evaluation points v_1..v_M, evaluates the cover tuple
+//     z_i = G(v_i) at m secret genuine positions, and sends random decoy
+//     vectors at the rest.
+//  2. The sender draws a fresh masking polynomial h of degree D = p·q with
+//     h(0)=0 and a fresh amplifier, computes y_i = h(v_i) + amp·P(z_i) +
+//     shift for every pair, and the parties run an m-out-of-M oblivious
+//     transfer of the y values.
+//  3. The receiver interpolates the m genuine (v_i, y_i) points — they lie
+//     on the degree-D univariate polynomial B(v) = h(v) + amp·P(G(v)) +
+//     shift — and recovers B(0) = amp·P(α) + shift.
+//
+// Both roles are one-shot state machines that exchange plain message
+// structs, so they run identically over in-memory pipes and real network
+// transports.
+package ompe
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/field"
+	"repro/internal/ot"
+	"repro/internal/poly"
+)
+
+var (
+	// ErrState reports a protocol method called out of order.
+	ErrState = errors.New("ompe: protocol state violation")
+	// ErrBadRequest reports a malformed evaluation request.
+	ErrBadRequest = errors.New("ompe: malformed evaluation request")
+	// ErrParams reports invalid protocol parameters.
+	ErrParams = errors.New("ompe: invalid parameters")
+)
+
+// Evaluator is the sender's secret function: a multivariate polynomial over
+// the protocol field. Implementations include mvpoly.Poly, the kernel-form
+// SVM decision functions in internal/classify, and the triangle-metric
+// polynomial in internal/similarity.
+type Evaluator interface {
+	// NumVars returns the input arity.
+	NumVars() int
+	// Eval evaluates the polynomial at a field point.
+	Eval(x field.Vec) (*big.Int, error)
+}
+
+// Params fixes one OMPE execution's public parameters. Both parties must
+// agree on them.
+type Params struct {
+	// Field is the protocol field.
+	Field *field.Field
+	// PolyDegree is p, the total degree of the sender's polynomial.
+	PolyDegree int
+	// MaskDegree is q, the security parameter: the degree of the
+	// receiver's cover polynomials.
+	MaskDegree int
+	// CoverFactor is k >= 2: the receiver hides its m genuine points among
+	// M = m·k pairs.
+	CoverFactor int
+	// AmplifierBits bounds a freshly sampled amplifier to [1, 2^bits].
+	// Zero selects DefaultAmplifierBits.
+	AmplifierBits int
+	// Group is the oblivious-transfer group.
+	Group *ot.Group
+}
+
+// DefaultAmplifierBits bounds fresh amplifiers to 64 bits, large enough to
+// hide the decision value's magnitude and small enough to keep amplified
+// fixed-point values inside the field's centered range.
+const DefaultAmplifierBits = 64
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.Field == nil:
+		return fmt.Errorf("%w: nil field", ErrParams)
+	case p.PolyDegree < 1:
+		return fmt.Errorf("%w: poly degree %d", ErrParams, p.PolyDegree)
+	case p.MaskDegree < 1:
+		return fmt.Errorf("%w: mask degree %d", ErrParams, p.MaskDegree)
+	case p.CoverFactor < 2:
+		return fmt.Errorf("%w: cover factor %d (need >= 2)", ErrParams, p.CoverFactor)
+	case p.AmplifierBits < 0 || p.AmplifierBits > p.Field.Bits()-2:
+		return fmt.Errorf("%w: amplifier bits %d", ErrParams, p.AmplifierBits)
+	case p.Group == nil:
+		return fmt.Errorf("%w: nil OT group", ErrParams)
+	}
+	return nil
+}
+
+// ComposedDegree returns D = p·q, the degree of B(v).
+func (p Params) ComposedDegree() int { return p.PolyDegree * p.MaskDegree }
+
+// GenuineCount returns m = D+1, the number of genuine evaluation points
+// (the paper's m = q+1 for linear and m = pq+1 for nonlinear).
+func (p Params) GenuineCount() int { return p.ComposedDegree() + 1 }
+
+// TotalPairs returns M = m·k.
+func (p Params) TotalPairs() int { return p.GenuineCount() * p.CoverFactor }
+
+func (p Params) amplifierBitsOrDefault() int {
+	if p.AmplifierBits == 0 {
+		return DefaultAmplifierBits
+	}
+	return p.AmplifierBits
+}
+
+// sampleAmplifier draws a log-uniform positive amplifier: a uniform
+// exponent e in [0, bits), then a uniform value in [2^e, 2^(e+1)). A
+// log-uniform r_a makes the amplified value's magnitude scale-free, so a
+// colluding client pool cannot even regress on expected magnitudes — the
+// estimates of Fig. 5 "keep rambling" at every pool size.
+func sampleAmplifier(rng io.Reader, bits int) (*big.Int, error) {
+	eBig, err := rand.Int(rng, big.NewInt(int64(bits)))
+	if err != nil {
+		return nil, err
+	}
+	e := uint(eBig.Int64())
+	lo := new(big.Int).Lsh(big.NewInt(1), e)
+	span := new(big.Int).Set(lo) // [2^e, 2^(e+1)) has width 2^e
+	off, err := rand.Int(rng, span)
+	if err != nil {
+		return nil, err
+	}
+	return lo.Add(lo, off), nil
+}
+
+// Pair is one (v_i, z_i) evaluation pair of the request.
+type Pair struct {
+	V *big.Int
+	Z field.Vec
+}
+
+// EvalRequest is the receiver's first message: M pairs, of which only the
+// receiver's secret m positions carry genuine cover evaluations.
+type EvalRequest struct {
+	Pairs []Pair
+}
+
+type senderState int
+
+const (
+	senderAwaitingRequest senderState = iota + 1
+	senderAwaitingChoice
+	senderDone
+)
+
+// Sender is the polynomial owner's one-shot protocol role.
+type Sender struct {
+	params Params
+	eval   Evaluator
+
+	fixedAmplifier *big.Int // nil => sample fresh per execution
+	shift          *big.Int
+
+	state     senderState
+	amplifier *big.Int
+	batch     *ot.BatchSender
+}
+
+// SenderOption configures a Sender.
+type SenderOption func(*Sender)
+
+// WithAmplifier pins the amplifier instead of sampling a fresh one. The
+// similarity protocol uses this: Alice must know r_am and r_aw exactly to
+// cancel them in the final round via modular inverses.
+func WithAmplifier(amp *big.Int) SenderOption {
+	return func(s *Sender) { s.fixedAmplifier = new(big.Int).Set(amp) }
+}
+
+// WithShift adds a constant after amplification (the paper's r_b in §V-B,
+// which prevents the receiver from detecting amp·P(α) = 0).
+func WithShift(shift *big.Int) SenderOption {
+	return func(s *Sender) { s.shift = new(big.Int).Set(shift) }
+}
+
+// NewSender builds the sender role around a secret evaluator.
+func NewSender(params Params, eval Evaluator, opts ...SenderOption) (*Sender, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("%w: nil evaluator", ErrParams)
+	}
+	s := &Sender{
+		params: params,
+		eval:   eval,
+		shift:  new(big.Int),
+		state:  senderAwaitingRequest,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Amplifier returns the amplifier used in this execution. It is valid
+// after HandleRequest.
+func (s *Sender) Amplifier() *big.Int {
+	if s.amplifier == nil {
+		return nil
+	}
+	return new(big.Int).Set(s.amplifier)
+}
+
+// HandleRequest consumes the receiver's evaluation request, computes the
+// masked evaluations y_i = h(v_i) + amp·P(z_i) + shift, and opens the
+// m-out-of-M oblivious transfer.
+func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup, error) {
+	if s.state != senderAwaitingRequest {
+		return nil, ErrState
+	}
+	if err := s.validateRequest(req); err != nil {
+		return nil, err
+	}
+	f := s.params.Field
+
+	if s.fixedAmplifier != nil {
+		s.amplifier = new(big.Int).Set(s.fixedAmplifier)
+	} else {
+		amp, err := sampleAmplifier(rng, s.params.amplifierBitsOrDefault())
+		if err != nil {
+			return nil, err
+		}
+		s.amplifier = amp
+	}
+
+	// Fresh masking polynomial h with h(0)=0 and degree D, so it cancels
+	// at the interpolation point and drowns P's coefficients everywhere
+	// else (§IV-A.1).
+	h, err := poly.Random(f, rng, s.params.ComposedDegree(), f.Zero())
+	if err != nil {
+		return nil, err
+	}
+
+	msgs, err := maskedEvaluations(f, s.eval, h, s.amplifier, s.shift, req)
+	if err != nil {
+		return nil, err
+	}
+
+	batch, setup, err := ot.NewBatchSender(s.params.Group, msgs, s.params.GenuineCount(), rng)
+	if err != nil {
+		return nil, err
+	}
+	s.batch = batch
+	s.state = senderAwaitingChoice
+	return setup, nil
+}
+
+// HandleChoice consumes the receiver's OT choice and returns the final
+// transfer.
+func (s *Sender) HandleChoice(choice *ot.BatchChoice, rng io.Reader) (*ot.BatchTransfer, error) {
+	if s.state != senderAwaitingChoice {
+		return nil, ErrState
+	}
+	tr, err := s.batch.Respond(choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.state = senderDone
+	return tr, nil
+}
+
+func (s *Sender) validateRequest(req *EvalRequest) error {
+	return validateEvalRequest(s.params, s.eval.NumVars(), req)
+}
+
+// validateEvalRequest checks a receiver's evaluation request against the
+// protocol parameters (shared by the one-shot and session senders).
+func validateEvalRequest(params Params, numVars int, req *EvalRequest) error {
+	if req == nil {
+		return fmt.Errorf("%w: nil request", ErrBadRequest)
+	}
+	if len(req.Pairs) != params.TotalPairs() {
+		return fmt.Errorf("%w: got %d pairs, want %d", ErrBadRequest, len(req.Pairs), params.TotalPairs())
+	}
+	f := params.Field
+	seen := make(map[string]bool, len(req.Pairs))
+	for i, pair := range req.Pairs {
+		if pair.V == nil || !f.Contains(pair.V) || pair.V.Sign() == 0 {
+			return fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
+		}
+		key := pair.V.String()
+		if seen[key] {
+			return fmt.Errorf("%w: pair %d repeats evaluation point", ErrBadRequest, i)
+		}
+		seen[key] = true
+		if len(pair.Z) != numVars {
+			return fmt.Errorf("%w: pair %d has arity %d, want %d", ErrBadRequest, i, len(pair.Z), numVars)
+		}
+		for j, z := range pair.Z {
+			if z == nil || !f.Contains(z) {
+				return fmt.Errorf("%w: pair %d component %d not in field", ErrBadRequest, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+type receiverState int
+
+const (
+	receiverAwaitingSetup receiverState = iota + 1
+	receiverAwaitingTransfer
+	receiverDone
+)
+
+// Receiver is the input owner's one-shot protocol role.
+type Receiver struct {
+	params Params
+
+	state   receiverState
+	points  []*big.Int // all M evaluation points v_i
+	genuine []int      // indices of the m genuine positions
+	batch   *ot.BatchReceiver
+}
+
+// NewReceiver builds the receiver role for a secret input vector and
+// returns the evaluation request. numVars is the sender polynomial's arity
+// and must equal len(input).
+func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *EvalRequest, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(input) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty input", ErrParams)
+	}
+	f := params.Field
+	for i, x := range input {
+		if x == nil || !f.Contains(x) {
+			return nil, nil, fmt.Errorf("%w: input component %d not in field", ErrParams, i)
+		}
+	}
+
+	// Cover polynomials: g_i(0) = α_i, random elsewhere (§IV-A.2).
+	covers := make([]*poly.Poly, len(input))
+	for i := range input {
+		g, err := poly.Random(f, rng, params.MaskDegree, input[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		covers[i] = g
+	}
+
+	total := params.TotalPairs()
+	points, err := distinctNonZero(f, total, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	genuine, err := randomSubset(total, params.GenuineCount(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	isGenuine := make(map[int]bool, len(genuine))
+	for _, idx := range genuine {
+		isGenuine[idx] = true
+	}
+
+	pairs := make([]Pair, total)
+	for i := 0; i < total; i++ {
+		z := make(field.Vec, len(input))
+		if isGenuine[i] {
+			for j, g := range covers {
+				z[j] = g.Eval(points[i])
+			}
+		} else {
+			// Decoy: uniform garbage indistinguishable from cover values.
+			for j := range z {
+				x, err := f.Rand(rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				z[j] = x
+			}
+		}
+		pairs[i] = Pair{V: points[i], Z: z}
+	}
+
+	r := &Receiver{
+		params:  params,
+		state:   receiverAwaitingSetup,
+		points:  points,
+		genuine: genuine,
+	}
+	return r, &EvalRequest{Pairs: pairs}, nil
+}
+
+// HandleSetup consumes the sender's OT setup and produces the receiver's
+// choice of its genuine indices.
+func (r *Receiver) HandleSetup(setup *ot.BatchSetup, rng io.Reader) (*ot.BatchChoice, error) {
+	if r.state != receiverAwaitingSetup {
+		return nil, ErrState
+	}
+	batch, choice, err := ot.NewBatchReceiver(r.params.Group, r.params.TotalPairs(), r.genuine, setup, rng)
+	if err != nil {
+		return nil, err
+	}
+	r.batch = batch
+	r.state = receiverAwaitingTransfer
+	return choice, nil
+}
+
+// Finish decrypts the transferred evaluations and interpolates B at zero,
+// returning amp·P(α) + shift.
+func (r *Receiver) Finish(tr *ot.BatchTransfer) (*big.Int, error) {
+	if r.state != receiverAwaitingTransfer {
+		return nil, ErrState
+	}
+	raw, err := r.batch.Recover(tr)
+	if err != nil {
+		return nil, err
+	}
+	f := r.params.Field
+	pts := make([]poly.Point, len(raw))
+	for i, b := range raw {
+		y, err := f.FromBytes(b)
+		if err != nil {
+			return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
+		}
+		pts[i] = poly.Point{X: r.points[r.genuine[i]], Y: y}
+	}
+	result, err := poly.InterpolateAtZero(f, pts)
+	if err != nil {
+		return nil, err
+	}
+	r.state = receiverDone
+	return result, nil
+}
+
+// distinctNonZero samples n distinct non-zero field elements.
+func distinctNonZero(f *field.Field, n int, rng io.Reader) ([]*big.Int, error) {
+	out := make([]*big.Int, 0, n)
+	seen := make(map[string]bool, n)
+	for len(out) < n {
+		x, err := f.RandNonZero(rng)
+		if err != nil {
+			return nil, err
+		}
+		key := x.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// randomSubset samples a uniform m-subset of [0, n) in increasing order
+// via a partial Fisher–Yates shuffle with cryptographic randomness.
+func randomSubset(n, m int, rng io.Reader) ([]int, error) {
+	if m > n {
+		return nil, fmt.Errorf("%w: subset %d of %d", ErrParams, m, n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < m; i++ {
+		jBig, err := rand.Int(rng, big.NewInt(int64(n-i)))
+		if err != nil {
+			return nil, err
+		}
+		j := i + int(jBig.Int64())
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:m], nil
+}
+
+// maskedEvaluations computes the sender's arithmetic core: one masked,
+// amplified, shifted evaluation per request pair, serialized for OT.
+func maskedEvaluations(f *field.Field, eval Evaluator, h *poly.Poly, amplifier, shift *big.Int, req *EvalRequest) ([][]byte, error) {
+	msgs := make([][]byte, len(req.Pairs))
+	for i, pair := range req.Pairs {
+		pv, err := eval.Eval(pair.Z)
+		if err != nil {
+			return nil, fmt.Errorf("ompe: evaluate pair %d: %w", i, err)
+		}
+		y := f.Add(h.Eval(pair.V), f.Add(f.Mul(amplifier, pv), f.Reduce(shift)))
+		b, err := f.Bytes(y)
+		if err != nil {
+			return nil, err
+		}
+		msgs[i] = b
+	}
+	return msgs, nil
+}
+
+// MaskedEvaluations exposes the sender's arithmetic core (fresh masking
+// polynomial + amplified evaluation of every pair) WITHOUT the oblivious
+// transfer, for micro-benchmarks that isolate the polynomial-masking cost
+// the paper's Fig. 10 reports.
+func MaskedEvaluations(params Params, eval Evaluator, req *EvalRequest, rng io.Reader) ([][]byte, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	f := params.Field
+	h, err := poly.Random(f, rng, params.ComposedDegree(), f.Zero())
+	if err != nil {
+		return nil, err
+	}
+	amp, err := sampleAmplifier(rng, params.amplifierBitsOrDefault())
+	if err != nil {
+		return nil, err
+	}
+	return maskedEvaluations(f, eval, h, amp, new(big.Int), req)
+}

@@ -1,0 +1,466 @@
+package ompe
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/mvpoly"
+	"repro/internal/ot"
+)
+
+func testParams(t *testing.T, polyDegree int) Params {
+	t.Helper()
+	return Params{
+		Field:       field.Default(),
+		PolyDegree:  polyDegree,
+		MaskDegree:  2,
+		CoverFactor: 2,
+		Group:       ot.Group512Test(),
+	}
+}
+
+// TestRunLinear checks end-to-end that the receiver recovers amp·P(α) for
+// a linear polynomial, mirroring §IV-A.
+func TestRunLinear(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+
+	w := field.Vec{f.FromInt64(3), f.FromInt64(-5), f.FromInt64(7)}
+	b := f.FromInt64(11)
+	p, err := mvpoly.NewLinear(f, w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := field.Vec{f.FromInt64(2), f.FromInt64(4), f.FromInt64(-1)}
+
+	res, err := Run(params, p, input, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(α) = 3·2 − 5·4 + 7·(−1) + 11 = −10.
+	want := f.Mul(res.Amplifier, f.FromInt64(-10))
+	if res.Value.Cmp(want) != 0 {
+		t.Fatalf("got %v, want amp·P(α)=%v (amp=%v)", res.Value, want, res.Amplifier)
+	}
+	if f.Centered(res.Value).Sign() >= 0 {
+		t.Fatalf("amplified negative value must stay negative in centered form")
+	}
+}
+
+// TestRunNonlinearWithShift checks a degree-3 polynomial with a pinned
+// amplifier and shift, the configuration the similarity protocol uses.
+func TestRunNonlinearWithShift(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 3)
+
+	// P(x) = x0^3 + 2·x0·x1 + 5
+	p, err := mvpoly.New(f, 2, []mvpoly.Term{
+		{Coeff: big.NewInt(1), Exps: []uint{3, 0}},
+		{Coeff: big.NewInt(2), Exps: []uint{1, 1}},
+		{Coeff: big.NewInt(5), Exps: []uint{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := field.Vec{f.FromInt64(2), f.FromInt64(3)}
+	amp := big.NewInt(17)
+	shift := f.FromInt64(-1000)
+
+	res, err := Run(params, p, input, rand.Reader, WithAmplifier(amp), WithShift(shift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(α) = 8 + 12 + 5 = 25; amp·P + shift = 17·25 − 1000 = −575.
+	want := f.FromInt64(-575)
+	if res.Value.Cmp(want) != 0 {
+		t.Fatalf("got %v, want %v", f.Centered(res.Value), f.Centered(want))
+	}
+}
+
+// TestMatchesPlaintextProperty: for random linear polynomials and inputs,
+// the protocol output equals amp·P(α) computed directly.
+func TestMatchesPlaintextProperty(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + trial%4
+		w, err := f.RandVec(rand.Reader, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f.Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := mvpoly.NewLinear(f, w, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input, err := f.RandVec(rand.Reader, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(params, p, input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := p.Eval(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Mul(res.Amplifier, direct)
+		if res.Value.Cmp(want) != 0 {
+			t.Fatalf("trial %d: protocol %v != direct %v", trial, res.Value, want)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	good := testParams(t, 1)
+	bad := []Params{
+		{},
+		{Field: good.Field, PolyDegree: 0, MaskDegree: 1, CoverFactor: 2, Group: good.Group},
+		{Field: good.Field, PolyDegree: 1, MaskDegree: 0, CoverFactor: 2, Group: good.Group},
+		{Field: good.Field, PolyDegree: 1, MaskDegree: 1, CoverFactor: 1, Group: good.Group},
+		{Field: good.Field, PolyDegree: 1, MaskDegree: 1, CoverFactor: 2, Group: nil},
+		{Field: good.Field, PolyDegree: 1, MaskDegree: 1, CoverFactor: 2, AmplifierBits: -1, Group: good.Group},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.GenuineCount() != good.ComposedDegree()+1 {
+		t.Fatal("m != D+1")
+	}
+	if good.TotalPairs() != good.GenuineCount()*good.CoverFactor {
+		t.Fatal("M != m·k")
+	}
+}
+
+func buildLinear(t *testing.T, f *field.Field, n int) Evaluator {
+	t.Helper()
+	w, err := f.RandVec(rand.Reader, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mvpoly.NewLinear(f, w, f.FromInt64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSenderRejectsMalformedRequests is the failure-injection suite for
+// the sender's request validation.
+func TestSenderRejectsMalformedRequests(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	input := field.Vec{f.FromInt64(1), f.FromInt64(2)}
+
+	fresh := func() (*Sender, *EvalRequest) {
+		s, err := NewSender(params, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, req, err := NewReceiver(params, input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, req
+	}
+
+	t.Run("nil request", func(t *testing.T) {
+		s, _ := fresh()
+		if _, err := s.HandleRequest(nil, rand.Reader); err == nil {
+			t.Fatal("nil request should fail")
+		}
+	})
+	t.Run("wrong pair count", func(t *testing.T) {
+		s, req := fresh()
+		req.Pairs = req.Pairs[:len(req.Pairs)-1]
+		if _, err := s.HandleRequest(req, rand.Reader); err == nil {
+			t.Fatal("short request should fail")
+		}
+	})
+	t.Run("zero evaluation point", func(t *testing.T) {
+		s, req := fresh()
+		req.Pairs[0].V = f.Zero()
+		if _, err := s.HandleRequest(req, rand.Reader); err == nil {
+			t.Fatal("v=0 should fail (it would expose P(alpha) directly)")
+		}
+	})
+	t.Run("duplicate evaluation points", func(t *testing.T) {
+		s, req := fresh()
+		req.Pairs[1].V = new(big.Int).Set(req.Pairs[0].V)
+		if _, err := s.HandleRequest(req, rand.Reader); err == nil {
+			t.Fatal("duplicate v should fail")
+		}
+	})
+	t.Run("wrong arity", func(t *testing.T) {
+		s, req := fresh()
+		req.Pairs[0].Z = req.Pairs[0].Z[:1]
+		if _, err := s.HandleRequest(req, rand.Reader); err == nil {
+			t.Fatal("short z should fail")
+		}
+	})
+	t.Run("out-of-field component", func(t *testing.T) {
+		s, req := fresh()
+		req.Pairs[0].Z[0] = f.Modulus()
+		if _, err := s.HandleRequest(req, rand.Reader); err == nil {
+			t.Fatal("non-canonical z should fail")
+		}
+	})
+}
+
+func TestStateMachineOrder(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	input := field.Vec{f.FromInt64(3), f.FromInt64(4)}
+
+	sender, err := NewSender(params, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, req, err := NewReceiver(params, input, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Choice before request: state violation.
+	if _, err := sender.HandleChoice(nil, rand.Reader); err == nil {
+		t.Fatal("HandleChoice before HandleRequest should fail")
+	}
+	// Finish before setup: state violation.
+	if _, err := receiver.Finish(nil); err == nil {
+		t.Fatal("Finish before HandleSetup should fail")
+	}
+	setup, err := sender.HandleRequest(req, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double request: one-shot.
+	if _, err := sender.HandleRequest(req, rand.Reader); err == nil {
+		t.Fatal("second HandleRequest should fail")
+	}
+	choice, err := receiver.HandleSetup(setup, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sender.HandleChoice(choice, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Finish(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Finish(tr); err == nil {
+		t.Fatal("double Finish should fail")
+	}
+}
+
+func TestReceiverValidatesInput(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	if _, _, err := NewReceiver(params, nil, rand.Reader); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, _, err := NewReceiver(params, field.Vec{f.Modulus()}, rand.Reader); err == nil {
+		t.Fatal("non-canonical input should fail")
+	}
+}
+
+// TestRequestHidesInput checks the cover structure: the request must not
+// contain the raw input components in genuine positions at any fixed
+// index pattern (statistically — we check the input value appears nowhere
+// verbatim, which holds with overwhelming probability for random covers).
+func TestRequestHidesInput(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	secret := f.FromInt64(123456789)
+	input := field.Vec{secret, f.FromInt64(42)}
+	_, req, err := NewReceiver(params, input, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range req.Pairs {
+		for j, z := range pair.Z {
+			if z.Cmp(secret) == 0 {
+				t.Fatalf("raw secret appears verbatim at pair %d component %d", i, j)
+			}
+		}
+	}
+}
+
+// TestFreshAmplifierPerExecution: two executions against the same sender
+// configuration must use different amplifiers (Level-2 privacy).
+func TestFreshAmplifierPerExecution(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	input := field.Vec{f.FromInt64(1), f.FromInt64(1)}
+	seen := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		res, err := Run(params, eval, input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := res.Amplifier.String()
+		if seen[key] {
+			t.Fatal("amplifier repeated across executions")
+		}
+		seen[key] = true
+	}
+}
+
+// TestMaskedEvaluationsMatchesProtocol: the exported arithmetic core must
+// produce values consistent with a full protocol run's genuine points.
+func TestMaskedEvaluationsMatchesProtocol(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 3)
+	input := field.Vec{f.FromInt64(1), f.FromInt64(2), f.FromInt64(3)}
+	_, req, err := NewReceiver(params, input, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := MaskedEvaluations(params, eval, req, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != params.TotalPairs() {
+		t.Fatalf("%d masked evaluations, want %d", len(msgs), params.TotalPairs())
+	}
+	for i, m := range msgs {
+		if _, err := f.FromBytes(m); err != nil {
+			t.Fatalf("masked evaluation %d not a field element: %v", i, err)
+		}
+	}
+}
+
+func TestEvaluatorFunc(t *testing.T) {
+	f := field.Default()
+	ev := EvaluatorFunc(2, func(z field.Vec) (*big.Int, error) {
+		return f.Add(z[0], z[1]), nil
+	})
+	if ev.NumVars() != 2 {
+		t.Fatal("arity")
+	}
+	v, err := ev.Eval(field.Vec{f.FromInt64(3), f.FromInt64(4)})
+	if err != nil || v.Int64() != 7 {
+		t.Fatalf("eval = %v, %v", v, err)
+	}
+}
+
+// TestRequestStatisticallyHidesInput: the trainer's complete view (the M
+// pairs) should look the same regardless of the receiver's input. As a
+// cheap distinguisher, compare the fraction of Z-component top bits set
+// for a fixed extreme input versus a random input — both must sit near
+// 1/2 (covers are uniform except at v=0, which never appears).
+func TestRequestStatisticallyHidesInput(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	topBitFraction := func(input field.Vec) float64 {
+		ones, total := 0, 0
+		for trial := 0; trial < 40; trial++ {
+			_, req, err := NewReceiver(params, input, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pair := range req.Pairs {
+				for _, z := range pair.Z {
+					total++
+					if z.BitLen() >= f.Bits()-1 {
+						ones++
+					}
+				}
+			}
+		}
+		return float64(ones) / float64(total)
+	}
+	fixed := topBitFraction(field.Vec{f.FromInt64(0), f.FromInt64(0)})
+	random := topBitFraction(field.Vec{f.FromInt64(1 << 40), f.FromInt64(-(1 << 40))})
+	// A uniform element of [0, 2^255-19) has BitLen >= 254 with
+	// probability 1 - 2^253/2^255 = 3/4.
+	for name, frac := range map[string]float64{"zero-input": fixed, "large-input": random} {
+		if frac < 0.65 || frac > 0.85 {
+			t.Errorf("%s: top-bit fraction %.3f far from the uniform 0.75", name, frac)
+		}
+	}
+	if fixed-random > 0.1 || random-fixed > 0.1 {
+		t.Errorf("views distinguishable by top-bit fraction: %.3f vs %.3f", fixed, random)
+	}
+}
+
+// TestSessionMatchesPlaintext: the fast-session path must compute exactly
+// what the one-shot path computes, across several sequential queries.
+func TestSessionMatchesPlaintext(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 3)
+
+	sender, receiver, err := NewSession(params, eval, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		input, err := f.RandVec(rand.Reader, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, req, err := receiver.NewQuery(input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := sender.HandleQuery(req, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Finish(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := eval.Eval(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// got = amp·P(α) for an unknown fresh amplifier; verify the ratio
+		// is a plausible positive bounded integer.
+		if direct.Sign() == 0 {
+			continue
+		}
+		inv, err := f.Inv(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amp := f.Mul(got, inv)
+		bound := new(big.Int).Lsh(big.NewInt(1), uint(DefaultAmplifierBits)+1)
+		if amp.Sign() <= 0 || amp.Cmp(bound) > 0 {
+			t.Fatalf("round %d: implied amplifier %v out of range", round, amp)
+		}
+	}
+}
+
+// TestSessionSequentialEnforced: a second query before Finish must fail.
+func TestSessionSequentialEnforced(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	_, receiver, err := NewSession(params, eval, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := field.Vec{f.FromInt64(1), f.FromInt64(2)}
+	if _, _, err := receiver.NewQuery(input, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := receiver.NewQuery(input, rand.Reader); err == nil {
+		t.Fatal("second in-flight query should fail")
+	}
+}

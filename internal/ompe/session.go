@@ -1,0 +1,195 @@
+package ompe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/field"
+	"repro/internal/ot"
+	"repro/internal/poly"
+)
+
+// Session mode: after one IKNP base phase per (sender, receiver) session,
+// every OMPE execution costs only field arithmetic and symmetric crypto —
+// the m-out-of-M transfer runs over the OT extension (ot.ExtKofN) instead
+// of per-query Naor–Pinkas. Two messages per query instead of four, and
+// no public-key operations on the query path.
+//
+// Queries are strictly sequential within a session (the extension
+// endpoints advance lockstep batch state), matching the transport layer's
+// session model. Privacy is unchanged: fresh masking polynomial and
+// amplifier per query, fresh covers and genuine positions per query, and
+// the extension hides the genuine indices exactly as the base OT does.
+
+// ErrSessionBusy reports an out-of-order query on a session.
+var ErrSessionBusy = errors.New("ompe: session has a query in flight")
+
+// FastRequest is the receiver's single per-query message.
+type FastRequest struct {
+	Eval *EvalRequest
+	OT   *ot.ExtKofNRequest
+}
+
+// FastResponse is the sender's single per-query message.
+type FastResponse struct {
+	OT *ot.ExtKofNResponse
+}
+
+// SessionSender serves any number of fast queries for one evaluator.
+type SessionSender struct {
+	params Params
+	eval   Evaluator
+	iknp   *ot.IKNPSender
+}
+
+// SessionReceiver issues fast queries.
+type SessionReceiver struct {
+	params Params
+	iknp   *ot.IKNPReceiver
+	inQ    bool
+}
+
+// NewSessionReceiverBase starts a session from the receiver side,
+// returning the IKNP base setup to send to the sender.
+func NewSessionReceiverBase(params Params, rng io.Reader) (*SessionReceiver, *ot.IKNPBaseSetup, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	iknp, setup, err := ot.NewIKNPReceiverBase(params.Group, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SessionReceiver{params: params, iknp: iknp}, setup, nil
+}
+
+// NewSessionSenderBase starts a session from the sender side, given the
+// receiver's base setup; returns the base choice message.
+func NewSessionSenderBase(params Params, eval Evaluator, setup *ot.IKNPBaseSetup, rng io.Reader) (*SessionSender, *ot.IKNPBaseChoice, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if eval == nil {
+		return nil, nil, fmt.Errorf("%w: nil evaluator", ErrParams)
+	}
+	iknp, choice, err := ot.NewIKNPSenderBase(params.Group, setup, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SessionSender{params: params, eval: eval, iknp: iknp}, choice, nil
+}
+
+// FinishBaseReceiver completes the base phase on the receiver side.
+func (sr *SessionReceiver) FinishBaseReceiver(choice *ot.IKNPBaseChoice, rng io.Reader) (*ot.IKNPBaseTransfer, error) {
+	return sr.iknp.BaseRespond(choice, rng)
+}
+
+// FinishBaseSender completes the base phase on the sender side.
+func (ss *SessionSender) FinishBaseSender(tr *ot.IKNPBaseTransfer) error {
+	return ss.iknp.BaseFinish(tr)
+}
+
+// NewSession runs the base phase in memory and returns a paired session.
+func NewSession(params Params, eval Evaluator, rng io.Reader) (*SessionSender, *SessionReceiver, error) {
+	receiver, setup, err := NewSessionReceiverBase(params, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	sender, choice, err := NewSessionSenderBase(params, eval, setup, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := receiver.FinishBaseReceiver(choice, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sender.FinishBaseSender(tr); err != nil {
+		return nil, nil, err
+	}
+	return sender, receiver, nil
+}
+
+// SessionQuery is one in-flight fast query on the receiver side.
+type SessionQuery struct {
+	sr     *SessionReceiver
+	points []*big.Int
+	index  []int
+	ext    *ot.ExtKofNQuery
+}
+
+// NewQuery opens a fast query for one input vector.
+func (sr *SessionReceiver) NewQuery(input field.Vec, rng io.Reader) (*SessionQuery, *FastRequest, error) {
+	if sr.inQ {
+		return nil, nil, ErrSessionBusy
+	}
+	// Reuse the standard receiver's cover/decoy construction; only the
+	// transfer mechanism differs.
+	recv, req, err := NewReceiver(sr.params, input, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ext, otReq, err := ot.NewExtKofNQuery(sr.iknp, sr.params.TotalPairs(), recv.genuine)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr.inQ = true
+	q := &SessionQuery{
+		sr:     sr,
+		points: recv.points,
+		index:  recv.genuine,
+		ext:    ext,
+	}
+	return q, &FastRequest{Eval: req, OT: otReq}, nil
+}
+
+// HandleQuery answers one fast query: fresh mask and amplifier, masked
+// evaluations of every pair, extension-based transfer.
+func (ss *SessionSender) HandleQuery(req *FastRequest, rng io.Reader) (*FastResponse, error) {
+	if req == nil || req.Eval == nil || req.OT == nil {
+		return nil, fmt.Errorf("%w: nil fast request", ErrBadRequest)
+	}
+	if err := validateEvalRequest(ss.params, ss.eval.NumVars(), req.Eval); err != nil {
+		return nil, err
+	}
+	f := ss.params.Field
+	h, err := poly.Random(f, rng, ss.params.ComposedDegree(), f.Zero())
+	if err != nil {
+		return nil, err
+	}
+	amp, err := sampleAmplifier(rng, ss.params.amplifierBitsOrDefault())
+	if err != nil {
+		return nil, err
+	}
+	msgs, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), req.Eval)
+	if err != nil {
+		return nil, err
+	}
+	otResp, err := ot.ExtKofNRespond(ss.iknp, req.OT, msgs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &FastResponse{OT: otResp}, nil
+}
+
+// Finish recovers amp·P(α) from the sender's response.
+func (q *SessionQuery) Finish(resp *FastResponse) (*big.Int, error) {
+	if resp == nil || resp.OT == nil {
+		return nil, fmt.Errorf("%w: nil fast response", ErrBadRequest)
+	}
+	raw, err := q.ext.Recover(resp.OT)
+	if err != nil {
+		return nil, err
+	}
+	f := q.sr.params.Field
+	pts := make([]poly.Point, len(raw))
+	for i, b := range raw {
+		y, err := f.FromBytes(b)
+		if err != nil {
+			return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
+		}
+		pts[i] = poly.Point{X: q.points[q.index[i]], Y: y}
+	}
+	q.sr.inQ = false
+	return poly.InterpolateAtZero(f, pts)
+}

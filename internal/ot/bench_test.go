@@ -1,0 +1,128 @@
+package ot_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"repro/internal/ot"
+)
+
+// BenchmarkDirect1ofN vs BenchmarkTree1ofN quantify the crossover between
+// the direct Naor–Pinkas construction (n+1 exponentiations) and the tree
+// construction (≈3·log₂ n exponentiations + n hashes). OMPE uses the
+// direct form because its message counts are small (M = m·k ≈ 6–36);
+// the tree form wins once M grows past a few dozen.
+
+func benchMessages(b *testing.B, n int) [][]byte {
+	b.Helper()
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = make([]byte, 32)
+		if _, err := rand.Read(msgs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return msgs
+}
+
+func BenchmarkDirect1ofN(b *testing.B) {
+	g := ot.Group512Test()
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			msgs := benchMessages(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ot.Transfer1ofN(g, msgs, i%n, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTree1ofN(b *testing.B) {
+	g := ot.Group512Test()
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			msgs := benchMessages(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ot.Transfer1ofNTree(g, msgs, i%n, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKofN(b *testing.B) {
+	g := ot.Group512Test()
+	msgs := benchMessages(b, 6)
+	indices := []int{0, 2, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ot.TransferKofN(g, msgs, indices, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIKNPBatch1of2 vs BenchmarkDirectBatch1of2: the amortization
+// argument for OT extension. The base phase (κ=128 public-key OTs) is
+// setup cost paid once per session; each extended batch is pure symmetric
+// crypto.
+func BenchmarkIKNPBatch1of2(b *testing.B) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const m = 1024
+	choices := make([]int, m)
+	x0 := make([][]byte, m)
+	x1 := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		choices[j] = j % 2
+		x0[j] = make([]byte, 32)
+		x1[j] = make([]byte, 32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := receiver.Extend(choices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := sender.Respond(msg, x0, x1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := receiver.Recover(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectBatch1of2(b *testing.B) {
+	g := ot.Group512Test()
+	msgs := [2][]byte{make([]byte, 32), make([]byte, 32)}
+	const m = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < m; j++ {
+			if _, err := ot.Transfer1of2(g, msgs, j%2, rand.Reader); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkIKNPBasePhase(b *testing.B) {
+	g := ot.Group512Test()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ot.NewIKNP(g, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

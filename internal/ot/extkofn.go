@@ -1,0 +1,175 @@
+package ot
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// Extended k-out-of-n transfer: after one IKNP base phase per session,
+// every k-of-n transfer costs only symmetric crypto — no public-key
+// operations. Each of the k instances uses the tree construction's key
+// idea: the sender draws ⌈log₂ n⌉ key pairs, encrypts all n messages
+// under per-index key paths, and delivers exactly the receiver's path keys
+// through extended 1-of-2 transfers (k·⌈log₂ n⌉ of them, batched into one
+// IKNP extension round).
+//
+// One query is in flight at a time per session (the IKNP endpoints keep
+// lockstep batch state), matching the transport layer's sequential
+// session model.
+
+// ExtKofNRequest is the receiver's per-query message.
+type ExtKofNRequest struct {
+	IKNP *IKNPReceiverMsg
+	// K and N are the transfer shape (public).
+	K, N int
+}
+
+// ExtKofNResponse is the sender's per-query message.
+type ExtKofNResponse struct {
+	IKNP *IKNPSenderMsg
+	// Cts[i][j] is instance i's encryption of message j.
+	Cts [][][]byte
+}
+
+// ExtKofNQuery is the receiver's in-flight query state.
+type ExtKofNQuery struct {
+	iknp    *IKNPReceiver
+	indices []int
+	n       int
+	depth   int
+}
+
+// NewExtKofNQuery opens one k-of-n transfer for the given distinct
+// indices, producing the request message.
+func NewExtKofNQuery(r *IKNPReceiver, n int, indices []int) (*ExtKofNQuery, *ExtKofNRequest, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
+	}
+	if len(indices) == 0 || len(indices) > n {
+		return nil, nil, fmt.Errorf("ot: invalid k=%d for n=%d", len(indices), n)
+	}
+	seen := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			return nil, nil, fmt.Errorf("%w: %d", ErrBadIndex, idx)
+		}
+		if seen[idx] {
+			return nil, nil, fmt.Errorf("%w: %d", ErrDuplicateIndex, idx)
+		}
+		seen[idx] = true
+	}
+	depth := treeDepth(n)
+	choices := make([]int, len(indices)*depth)
+	for i, idx := range indices {
+		for j := 0; j < depth; j++ {
+			choices[i*depth+j] = (idx >> j) & 1
+		}
+	}
+	msg, err := r.Extend(choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &ExtKofNQuery{
+		iknp:    r,
+		indices: append([]int(nil), indices...),
+		n:       n,
+		depth:   depth,
+	}
+	return q, &ExtKofNRequest{IKNP: msg, K: len(indices), N: n}, nil
+}
+
+// ExtKofNRespond answers one query: the sender's messages (all the same
+// length) are encrypted per instance under fresh tree keys, and the keys
+// are delivered through the extended 1-of-2 batch.
+func ExtKofNRespond(s *IKNPSender, req *ExtKofNRequest, msgs [][]byte, rng io.Reader) (*ExtKofNResponse, error) {
+	if req == nil || req.IKNP == nil {
+		return nil, fmt.Errorf("%w: nil request", ErrIKNP)
+	}
+	n := len(msgs)
+	if n != req.N || n < 2 {
+		return nil, fmt.Errorf("%w: %d messages for declared n=%d", ErrIKNP, n, req.N)
+	}
+	for _, m := range msgs[1:] {
+		if len(m) != len(msgs[0]) {
+			return nil, ErrMessageLen
+		}
+	}
+	depth := treeDepth(n)
+	k := req.K
+	if k < 1 || k > n || req.IKNP.M != k*depth {
+		return nil, fmt.Errorf("%w: batch size %d for k=%d depth=%d", ErrIKNP, req.IKNP.M, k, depth)
+	}
+	// Fresh key pairs per (instance, level); x0/x1 feed the extension.
+	keys := make([][][2][]byte, k)
+	x0 := make([][]byte, k*depth)
+	x1 := make([][]byte, k*depth)
+	for i := 0; i < k; i++ {
+		keys[i] = make([][2][]byte, depth)
+		for j := 0; j < depth; j++ {
+			for b := 0; b < 2; b++ {
+				key := make([]byte, treeKeyLen)
+				if _, err := rand.Read(key); err != nil {
+					return nil, err
+				}
+				keys[i][j][b] = key
+			}
+			x0[i*depth+j] = keys[i][j][0]
+			x1[i*depth+j] = keys[i][j][1]
+		}
+	}
+	iknpResp, err := s.Respond(req.IKNP, x0, x1)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([][][]byte, k)
+	for i := 0; i < k; i++ {
+		cts[i] = make([][]byte, n)
+		for m := 0; m < n; m++ {
+			path := make([][]byte, depth)
+			for j := 0; j < depth; j++ {
+				path[j] = keys[i][j][(m>>j)&1]
+			}
+			pad := treePadFromKeys(path, m, len(msgs[m]))
+			ct := make([]byte, len(msgs[m]))
+			for p := range ct {
+				ct[p] = msgs[m][p] ^ pad[p]
+			}
+			cts[i][m] = ct
+		}
+	}
+	return &ExtKofNResponse{IKNP: iknpResp, Cts: cts}, nil
+}
+
+// Recover decrypts the query's chosen messages, in index order.
+func (q *ExtKofNQuery) Recover(resp *ExtKofNResponse) ([][]byte, error) {
+	if resp == nil || resp.IKNP == nil || len(resp.Cts) != len(q.indices) {
+		return nil, fmt.Errorf("%w: bad response", ErrIKNP)
+	}
+	pathKeys, err := q.iknp.Recover(resp.IKNP)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(q.indices))
+	for i, idx := range q.indices {
+		if len(resp.Cts[i]) != q.n {
+			return nil, fmt.Errorf("%w: instance %d has %d ciphertexts", ErrIKNP, i, len(resp.Cts[i]))
+		}
+		path := make([][]byte, q.depth)
+		for j := 0; j < q.depth; j++ {
+			key := pathKeys[i*q.depth+j]
+			if len(key) != treeKeyLen {
+				return nil, fmt.Errorf("%w: instance %d level %d key length", ErrIKNP, i, j)
+			}
+			path[j] = key
+		}
+		ct := resp.Cts[i][idx]
+		pad := treePadFromKeys(path, idx, len(ct))
+		x := make([]byte, len(ct))
+		for p := range ct {
+			x[p] = ct[p] ^ pad[p]
+		}
+		out[i] = x
+	}
+	return out, nil
+}

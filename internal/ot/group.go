@@ -1,0 +1,142 @@
+// Package ot implements the oblivious transfer protocols of paper §III-B:
+// 1-out-of-2, 1-out-of-n, and k-out-of-n transfers in the Naor–Pinkas
+// style over DDH groups. The k-out-of-n form is the primitive OMPE uses to
+// deliver the receiver's m genuine evaluations out of M = m·k pairs
+// (§IV-A.3) without revealing which indices were genuine.
+//
+// The k-out-of-n transfer is realized as k parallel 1-out-of-n instances,
+// which has identical functionality and privacy in the honest-but-curious
+// model the paper assumes (the receiver is trusted to pick distinct
+// indices; a malicious-receiver variant would need the Chu–Tzeng
+// construction the paper cites).
+package ot
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Group is a subgroup of Z_p^* of prime order q = (p-1)/2 for a safe prime
+// p, with generator g. All built-in groups use g = 2, which generates the
+// order-q subgroup because their primes satisfy p ≡ 7 (mod 8).
+type Group struct {
+	// P is the safe-prime modulus.
+	P *big.Int
+	// Q is the subgroup order (P-1)/2.
+	Q *big.Int
+	// G is the subgroup generator.
+	G *big.Int
+
+	name string
+}
+
+// Built-in group moduli. Group512TestHex offers fast benchmarks and tests
+// at toy security; the others are the RFC 2409 / RFC 3526 MODP groups.
+const (
+	// Group512TestHex is a locally generated 512-bit safe prime. TOY
+	// SECURITY — benchmarks and tests only.
+	Group512TestHex = "e61075b1c3282dc0ad77be6ffbb3a55b46d9a86430680b1b2b8b7045b2807dd370d5c65159b5ff757373ce1dc53da775de56d86eda471148ec231ead25c4c467"
+
+	// Group1024Hex is the RFC 2409 Oakley Group 2 prime (legacy security).
+	Group1024Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"
+
+	// Group1536Hex is the RFC 3526 group 5 prime.
+	Group1536Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
+		"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
+		"9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+	// Group2048Hex is the RFC 3526 group 14 prime.
+	Group2048Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05" +
+		"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB" +
+		"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+		"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718" +
+		"3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF"
+)
+
+var errBadGroupHex = errors.New("ot: invalid built-in group modulus")
+
+func newGroup(name, hexP string) *Group {
+	p, ok := new(big.Int).SetString(strings.ToLower(hexP), 16)
+	if !ok {
+		panic(errBadGroupHex) // compile-time constants, validated by tests
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	return &Group{P: p, Q: q, G: big.NewInt(2), name: name}
+}
+
+// Group512Test returns the 512-bit toy group for tests and benchmarks.
+func Group512Test() *Group { return newGroup("modp512-test", Group512TestHex) }
+
+// Group1024 returns the RFC 2409 Oakley Group 2 (legacy security).
+func Group1024() *Group { return newGroup("modp1024", Group1024Hex) }
+
+// Group1536 returns the RFC 3526 group 5.
+func Group1536() *Group { return newGroup("modp1536", Group1536Hex) }
+
+// Group2048 returns the RFC 3526 group 14, the recommended default.
+func Group2048() *Group { return newGroup("modp2048", Group2048Hex) }
+
+// GroupByName resolves a group by its flag-friendly name.
+func GroupByName(name string) (*Group, error) {
+	switch name {
+	case "modp512-test", "512":
+		return Group512Test(), nil
+	case "modp1024", "1024":
+		return Group1024(), nil
+	case "modp1536", "1536":
+		return Group1536(), nil
+	case "modp2048", "2048":
+		return Group2048(), nil
+	default:
+		return nil, fmt.Errorf("ot: unknown group %q", name)
+	}
+}
+
+// Name returns the group's identifier.
+func (g *Group) Name() string { return g.name }
+
+// Bits returns the modulus bit length.
+func (g *Group) Bits() int { return g.P.BitLen() }
+
+// ElementLen returns the fixed byte length of a serialized group element.
+func (g *Group) ElementLen() int { return (g.P.BitLen() + 7) / 8 }
+
+// Exp returns base^e mod P.
+func (g *Group) Exp(base, e *big.Int) *big.Int {
+	return new(big.Int).Exp(base, e, g.P)
+}
+
+// Mul returns a*b mod P.
+func (g *Group) Mul(a, b *big.Int) *big.Int {
+	return new(big.Int).Mod(new(big.Int).Mul(a, b), g.P)
+}
+
+// Inv returns a^{-1} mod P.
+func (g *Group) Inv(a *big.Int) (*big.Int, error) {
+	inv := new(big.Int).ModInverse(a, g.P)
+	if inv == nil {
+		return nil, fmt.Errorf("ot: %v not invertible in group", a)
+	}
+	return inv, nil
+}
+
+// ValidElement reports whether x is in [1, P).
+func (g *Group) ValidElement(x *big.Int) bool {
+	return x != nil && x.Sign() > 0 && x.Cmp(g.P) < 0
+}
+
+// Equal reports whether two groups share the same parameters.
+func (g *Group) Equal(other *Group) bool {
+	return other != nil && g.P.Cmp(other.P) == 0 && g.G.Cmp(other.G) == 0
+}

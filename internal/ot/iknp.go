@@ -1,0 +1,368 @@
+package ot
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank, semi-
+// honest variant): m 1-out-of-2 transfers for the price of κ = 128 base
+// transfers plus symmetric crypto. The roles of the base phase are
+// reversed — the OT-extension SENDER acts as the base-OT *receiver* with a
+// random choice vector s, and the OT-extension RECEIVER acts as the base-
+// OT *sender* with random seed pairs.
+//
+// Protocol (column i < κ, row j < m):
+//
+//	receiver: seeds (k0_i, k1_i); t_i = G(k0_i); u_i = t_i ⊕ G(k1_i) ⊕ r
+//	sender:   learns k(s_i)_i by base OT; q_i = G(k(s_i)_i) ⊕ s_i·u_i
+//	          ⇒ row q_j = t_j ⊕ r_j·s
+//	sender:   y0_j = x0_j ⊕ H(j, q_j); y1_j = x1_j ⊕ H(j, q_j ⊕ s)
+//	receiver: x(r_j)_j = y(r_j)_j ⊕ H(j, t_j)
+//
+// This primitive demonstrates the scaling path for batch-heavy
+// deployments (BenchmarkIKNP vs BenchmarkDirect1of2Batch); the OMPE
+// protocol keeps per-query Naor–Pinkas because its per-query message
+// counts are small and sessions are one-shot.
+
+// iknpKappa is the computational security parameter (base-OT count).
+const iknpKappa = 128
+
+// ErrIKNP reports malformed extension-protocol messages.
+var ErrIKNP = errors.New("ot: malformed IKNP message")
+
+// IKNPReceiverMsg carries the receiver's masked columns u_1..u_κ.
+type IKNPReceiverMsg struct {
+	// U holds κ columns of m bits each (packed, m bytes rounded up).
+	U [][]byte
+	// M is the number of extended transfers.
+	M int
+}
+
+// IKNPSenderMsg carries the sender's ciphertext pairs.
+type IKNPSenderMsg struct {
+	Y0 [][]byte
+	Y1 [][]byte
+}
+
+// IKNPSender is the OT-extension sender: it inputs m message pairs and
+// runs the base phase as a base-OT receiver with random choice bits.
+type IKNPSender struct {
+	s     []byte // κ choice bits, packed
+	seeds [][]byte
+	m     int
+	batch uint32 // lockstep batch counter: fresh PRG columns per batch
+
+	baseReceivers []*Receiver // base-phase state, nil once finished
+}
+
+// IKNPReceiver is the OT-extension receiver: it inputs m choice bits and
+// runs the base phase as a base-OT sender of seed pairs.
+type IKNPReceiver struct {
+	r     []byte // m choice bits, packed
+	m     int
+	seed0 [][]byte
+	seed1 [][]byte
+	t     [][]byte // κ columns of m bits
+	batch uint32   // lockstep batch counter: fresh PRG columns per batch
+
+	baseSenders []*Sender // base-phase state, nil once finished
+}
+
+// Base-phase messages: κ parallel 1-of-2 transfers in which the
+// OT-extension receiver plays the base-OT sender of its seed pairs. Three
+// messages total, so the base phase fits one round trip plus one message
+// over a transport.
+type (
+	// IKNPBaseSetup is the extension receiver's first message.
+	IKNPBaseSetup struct{ Setups []*SenderSetup }
+	// IKNPBaseChoice is the extension sender's reply (choices under its
+	// secret vector s).
+	IKNPBaseChoice struct{ Choices []*ReceiverChoice }
+	// IKNPBaseTransfer completes the seed delivery.
+	IKNPBaseTransfer struct{ Transfers []*SenderTransfer }
+)
+
+// NewIKNPReceiverBase creates the extension receiver and its base-phase
+// setup message (it acts as the base-OT sender of κ seed pairs).
+func NewIKNPReceiverBase(group *Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseSetup, error) {
+	recv := &IKNPReceiver{
+		seed0: make([][]byte, iknpKappa),
+		seed1: make([][]byte, iknpKappa),
+	}
+	recv.baseSenders = make([]*Sender, iknpKappa)
+	setups := make([]*SenderSetup, iknpKappa)
+	for i := 0; i < iknpKappa; i++ {
+		recv.seed0[i] = make([]byte, treeKeyLen)
+		recv.seed1[i] = make([]byte, treeKeyLen)
+		if _, err := rand.Read(recv.seed0[i]); err != nil {
+			return nil, nil, err
+		}
+		if _, err := rand.Read(recv.seed1[i]); err != nil {
+			return nil, nil, err
+		}
+		s, setup, err := NewSender(group, [][]byte{recv.seed0[i], recv.seed1[i]}, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ot: iknp base sender %d: %w", i, err)
+		}
+		recv.baseSenders[i] = s
+		setups[i] = setup
+	}
+	return recv, &IKNPBaseSetup{Setups: setups}, nil
+}
+
+// NewIKNPSenderBase creates the extension sender from the receiver's
+// base setup, returning its choice message.
+func NewIKNPSenderBase(group *Group, setup *IKNPBaseSetup, rng io.Reader) (*IKNPSender, *IKNPBaseChoice, error) {
+	if setup == nil || len(setup.Setups) != iknpKappa {
+		return nil, nil, fmt.Errorf("%w: base setup must carry %d transfers", ErrIKNP, iknpKappa)
+	}
+	send := &IKNPSender{
+		s:     make([]byte, iknpKappa/8),
+		seeds: make([][]byte, iknpKappa),
+	}
+	if _, err := rand.Read(send.s); err != nil {
+		return nil, nil, err
+	}
+	send.baseReceivers = make([]*Receiver, iknpKappa)
+	choices := make([]*ReceiverChoice, iknpKappa)
+	for i := 0; i < iknpKappa; i++ {
+		r, c, err := NewReceiver(group, 2, getBit(send.s, i), setup.Setups[i], rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ot: iknp base receiver %d: %w", i, err)
+		}
+		send.baseReceivers[i] = r
+		choices[i] = c
+	}
+	return send, &IKNPBaseChoice{Choices: choices}, nil
+}
+
+// BaseRespond is the extension receiver's answer to the sender's base
+// choices.
+func (r *IKNPReceiver) BaseRespond(choice *IKNPBaseChoice, rng io.Reader) (*IKNPBaseTransfer, error) {
+	if choice == nil || len(choice.Choices) != iknpKappa || r.baseSenders == nil {
+		return nil, fmt.Errorf("%w: bad base choice", ErrIKNP)
+	}
+	transfers := make([]*SenderTransfer, iknpKappa)
+	for i, s := range r.baseSenders {
+		tr, err := s.Respond(choice.Choices[i], rng)
+		if err != nil {
+			return nil, fmt.Errorf("ot: iknp base respond %d: %w", i, err)
+		}
+		transfers[i] = tr
+	}
+	r.baseSenders = nil // one-shot
+	return &IKNPBaseTransfer{Transfers: transfers}, nil
+}
+
+// BaseFinish completes the extension sender's base phase.
+func (s *IKNPSender) BaseFinish(tr *IKNPBaseTransfer) error {
+	if tr == nil || len(tr.Transfers) != iknpKappa || s.baseReceivers == nil {
+		return fmt.Errorf("%w: bad base transfer", ErrIKNP)
+	}
+	for i, r := range s.baseReceivers {
+		seed, err := r.Recover(tr.Transfers[i])
+		if err != nil {
+			return fmt.Errorf("ot: iknp base recover %d: %w", i, err)
+		}
+		s.seeds[i] = seed
+	}
+	s.baseReceivers = nil
+	return nil
+}
+
+// NewIKNP runs the complete base phase in memory (both roles) and returns
+// the two extension endpoints ready for any number of batches.
+func NewIKNP(group *Group, rng io.Reader) (*IKNPSender, *IKNPReceiver, error) {
+	recv, setup, err := NewIKNPReceiverBase(group, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	send, choice, err := NewIKNPSenderBase(group, setup, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := recv.BaseRespond(choice, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := send.BaseFinish(tr); err != nil {
+		return nil, nil, err
+	}
+	return send, recv, nil
+}
+
+// Extend prepares the receiver's side of one batch: choice bits r (one per
+// transfer) produce the masked-column message for the sender.
+func (r *IKNPReceiver) Extend(choices []int) (*IKNPReceiverMsg, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrIKNP)
+	}
+	r.m = m
+	r.r = make([]byte, (m+7)/8)
+	for j, c := range choices {
+		if c != 0 && c != 1 {
+			return nil, fmt.Errorf("%w: choice %d at %d", ErrIKNP, c, j)
+		}
+		if c == 1 {
+			setBit(r.r, j)
+		}
+	}
+	cols := (m + 7) / 8
+	r.batch++
+	r.t = make([][]byte, iknpKappa)
+	u := make([][]byte, iknpKappa)
+	for i := 0; i < iknpKappa; i++ {
+		// Fresh pseudorandom columns per batch: reusing a column across
+		// two choice vectors would leak r ⊕ r' and repeat pads.
+		t0 := prg(r.seed0[i], i, r.batch, cols)
+		t1 := prg(r.seed1[i], i, r.batch, cols)
+		r.t[i] = t0
+		ui := make([]byte, cols)
+		for b := range ui {
+			ui[b] = t0[b] ^ t1[b] ^ r.r[b]
+		}
+		u[i] = ui
+	}
+	return &IKNPReceiverMsg{U: u, M: m}, nil
+}
+
+// Respond consumes the receiver's columns and encrypts the message pairs
+// (x0[j], x1[j]); all messages must share one length.
+func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSenderMsg, error) {
+	if msg == nil || len(msg.U) != iknpKappa || msg.M <= 0 {
+		return nil, fmt.Errorf("%w: bad column message", ErrIKNP)
+	}
+	m := msg.M
+	if len(x0) != m || len(x1) != m {
+		return nil, fmt.Errorf("%w: %d pairs for %d transfers", ErrIKNP, len(x0), m)
+	}
+	msgLen := len(x0[0])
+	for j := range x0 {
+		if len(x0[j]) != msgLen || len(x1[j]) != msgLen {
+			return nil, ErrMessageLen
+		}
+	}
+	cols := (m + 7) / 8
+	s.batch++
+	// q columns: q_i = G(k(s_i)_i) ⊕ s_i·u_i.
+	q := make([][]byte, iknpKappa)
+	for i := 0; i < iknpKappa; i++ {
+		if len(msg.U[i]) != cols {
+			return nil, fmt.Errorf("%w: column %d length", ErrIKNP, i)
+		}
+		qi := prg(s.seeds[i], i, s.batch, cols)
+		if getBit(s.s, i) == 1 {
+			for b := range qi {
+				qi[b] ^= msg.U[i][b]
+			}
+		}
+		q[i] = qi
+	}
+	s.m = m
+	out := &IKNPSenderMsg{Y0: make([][]byte, m), Y1: make([][]byte, m)}
+	rowQ := make([]byte, iknpKappa/8)
+	rowQS := make([]byte, iknpKappa/8)
+	for j := 0; j < m; j++ {
+		// Transpose on the fly: row j of the q matrix.
+		for i := range rowQ {
+			rowQ[i] = 0
+		}
+		for i := 0; i < iknpKappa; i++ {
+			if getBit(q[i], j) == 1 {
+				setBit(rowQ, i)
+			}
+		}
+		for i := range rowQ {
+			rowQS[i] = rowQ[i] ^ s.s[i]
+		}
+		pad0 := rowHash(j, rowQ, msgLen)
+		pad1 := rowHash(j, rowQS, msgLen)
+		y0 := make([]byte, msgLen)
+		y1 := make([]byte, msgLen)
+		for b := 0; b < msgLen; b++ {
+			y0[b] = x0[j][b] ^ pad0[b]
+			y1[b] = x1[j][b] ^ pad1[b]
+		}
+		out.Y0[j] = y0
+		out.Y1[j] = y1
+	}
+	return out, nil
+}
+
+// Recover decrypts the chosen message of every transfer in the batch.
+func (r *IKNPReceiver) Recover(msg *IKNPSenderMsg) ([][]byte, error) {
+	if msg == nil || len(msg.Y0) != r.m || len(msg.Y1) != r.m {
+		return nil, fmt.Errorf("%w: bad ciphertext batch", ErrIKNP)
+	}
+	out := make([][]byte, r.m)
+	rowT := make([]byte, iknpKappa/8)
+	for j := 0; j < r.m; j++ {
+		for i := range rowT {
+			rowT[i] = 0
+		}
+		for i := 0; i < iknpKappa; i++ {
+			if getBit(r.t[i], j) == 1 {
+				setBit(rowT, i)
+			}
+		}
+		ct := msg.Y0[j]
+		if getBit(r.r, j) == 1 {
+			ct = msg.Y1[j]
+		}
+		pad := rowHash(j, rowT, len(ct))
+		x := make([]byte, len(ct))
+		for b := range ct {
+			x[b] = ct[b] ^ pad[b]
+		}
+		out[j] = x
+	}
+	return out, nil
+}
+
+// prg expands a seed into n pseudorandom bytes (SHA-256 counter mode,
+// domain-separated by column index and batch number).
+func prg(seed []byte, column int, batch uint32, n int) []byte {
+	out := make([]byte, 0, n)
+	var block [12]byte
+	for counter := uint32(0); len(out) < n; counter++ {
+		h := sha256.New()
+		h.Write([]byte("ppdc-iknp-prg-v1"))
+		h.Write(seed)
+		binary.BigEndian.PutUint32(block[:4], uint32(column))
+		binary.BigEndian.PutUint32(block[4:8], batch)
+		binary.BigEndian.PutUint32(block[8:], counter)
+		h.Write(block[:])
+		out = h.Sum(out)
+	}
+	return out[:n]
+}
+
+// rowHash is the correlation-robust hash H(j, row) expanded to msgLen.
+func rowHash(j int, row []byte, msgLen int) []byte {
+	out := make([]byte, 0, msgLen)
+	var block [8]byte
+	for counter := uint32(0); len(out) < msgLen; counter++ {
+		h := sha256.New()
+		h.Write([]byte("ppdc-iknp-hash-v1"))
+		binary.BigEndian.PutUint32(block[:4], uint32(j))
+		binary.BigEndian.PutUint32(block[4:], counter)
+		h.Write(block[:])
+		h.Write(row)
+		out = h.Sum(out)
+	}
+	return out[:msgLen]
+}
+
+func getBit(b []byte, i int) int {
+	return int(b[i/8]>>(uint(i)%8)) & 1
+}
+
+func setBit(b []byte, i int) {
+	b[i/8] |= 1 << (uint(i) % 8)
+}

@@ -1,0 +1,260 @@
+package ot_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	mrand "math/rand/v2"
+	"testing"
+
+	"repro/internal/ot"
+)
+
+func TestIKNPBatch(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 200
+	rng := mrand.New(mrand.NewPCG(1, 2))
+	choices := make([]int, m)
+	x0 := make([][]byte, m)
+	x1 := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		choices[j] = rng.IntN(2)
+		x0[j] = make([]byte, 32)
+		x1[j] = make([]byte, 32)
+		if _, err := rand.Read(x0[j]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rand.Read(x1[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvMsg, err := receiver.Extend(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendMsg, err := sender.Respond(recvMsg, x0, x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Recover(sendMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m; j++ {
+		want := x0[j]
+		other := x1[j]
+		if choices[j] == 1 {
+			want, other = x1[j], x0[j]
+		}
+		if !bytes.Equal(got[j], want) {
+			t.Fatalf("transfer %d: wrong message", j)
+		}
+		if bytes.Equal(got[j], other) {
+			t.Fatalf("transfer %d: recovered the non-chosen message", j)
+		}
+	}
+}
+
+// TestIKNPNonChosenUnreadable: decrypting the other slot with the
+// receiver's row must yield garbage — the pad for q_j⊕s differs by the
+// secret s.
+func TestIKNPNonChosenUnreadable(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices := []int{0, 1, 0, 1}
+	x0 := [][]byte{[]byte("zero-msg-0000000"), []byte("zero-msg-1111111"), []byte("zero-msg-2222222"), []byte("zero-msg-3333333")}
+	x1 := [][]byte{[]byte("one-msg-00000000"), []byte("one-msg-11111111"), []byte("one-msg-22222222"), []byte("one-msg-33333333")}
+	recvMsg, err := receiver.Extend(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendMsg, err := sender.Respond(recvMsg, x0, x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the ciphertext pairs so the receiver decrypts the slot it did
+	// not choose with its own pads.
+	swapped := &ot.IKNPSenderMsg{Y0: sendMsg.Y1, Y1: sendMsg.Y0}
+	leaked, err := receiver.Recover(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range choices {
+		other := x1[j]
+		if choices[j] == 1 {
+			other = x0[j]
+		}
+		if bytes.Equal(leaked[j], other) {
+			t.Fatalf("transfer %d: non-chosen message readable", j)
+		}
+	}
+}
+
+func TestIKNPValidation(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Extend(nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, err := receiver.Extend([]int{2}); err == nil {
+		t.Fatal("non-bit choice should fail")
+	}
+	msg, err := receiver.Extend([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Respond(nil, nil, nil); err == nil {
+		t.Fatal("nil message should fail")
+	}
+	if _, err := sender.Respond(msg, [][]byte{{1}}, [][]byte{{1}, {2}}); err == nil {
+		t.Fatal("pair-count mismatch should fail")
+	}
+	if _, err := sender.Respond(msg, [][]byte{{1}, {2, 3}}, [][]byte{{1}, {2}}); err == nil {
+		t.Fatal("unequal message lengths should fail")
+	}
+	if _, err := receiver.Recover(nil); err == nil {
+		t.Fatal("nil ciphertext batch should fail")
+	}
+}
+
+// TestIKNPSecondBatch: one base phase serves multiple Extend batches —
+// both endpoints advance a lockstep batch counter so every batch gets
+// fresh pseudorandom columns (reuse would leak r ⊕ r').
+func TestIKNPSecondBatch(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		choices := []int{1, 0, 1}
+		x0 := [][]byte{{10}, {20}, {30}}
+		x1 := [][]byte{{11}, {21}, {31}}
+		recvMsg, err := receiver.Extend(choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendMsg, err := sender.Respond(recvMsg, x0, x1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := receiver.Recover(sendMsg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte{11, 20, 31}
+		for j := range want {
+			if got[j][0] != want[j] {
+				t.Fatalf("round %d transfer %d: got %d want %d", round, j, got[j][0], want[j])
+			}
+		}
+	}
+}
+
+func TestExtKofN(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several sequential queries on one session.
+	for round := 0; round < 3; round++ {
+		msgs := make([][]byte, 6)
+		for i := range msgs {
+			msgs[i] = make([]byte, 32)
+			if _, err := rand.Read(msgs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		indices := []int{5, 0, 3}
+		q, req, err := ot.NewExtKofNQuery(receiver, len(msgs), indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ot.ExtKofNRespond(sender, req, msgs, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Recover(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range indices {
+			if !bytes.Equal(got[i], msgs[idx]) {
+				t.Fatalf("round %d: index %d wrong", round, idx)
+			}
+		}
+	}
+}
+
+func TestExtKofNValidation(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ot.NewExtKofNQuery(receiver, 1, []int{0}); err == nil {
+		t.Fatal("n=1 should fail")
+	}
+	if _, _, err := ot.NewExtKofNQuery(receiver, 4, []int{1, 1}); err == nil {
+		t.Fatal("duplicate indices should fail")
+	}
+	if _, _, err := ot.NewExtKofNQuery(receiver, 4, []int{4}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	_, req, err := ot.NewExtKofNQuery(receiver, 4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][]byte{{1}, {2}, {3}, {4}}
+	if _, err := ot.ExtKofNRespond(sender, req, msgs[:3], rand.Reader); err == nil {
+		t.Fatal("message-count mismatch should fail")
+	}
+	if _, err := ot.ExtKofNRespond(sender, nil, msgs, rand.Reader); err == nil {
+		t.Fatal("nil request should fail")
+	}
+}
+
+// TestExtKofNNonChosenUnreadable: an instance's path keys decrypt only
+// its chosen index.
+func TestExtKofNNonChosenUnreadable(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = make([]byte, 24)
+		if _, err := rand.Read(msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, req, err := ot.NewExtKofNQuery(receiver, len(msgs), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ot.ExtKofNRespond(sender, req, msgs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap another ciphertext into the chosen slot: the path pad must not
+	// decrypt it (index domain separation + different key path).
+	resp.Cts[0][2] = resp.Cts[0][5]
+	leaked, err := q.Recover(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(leaked[0], msgs[5]) {
+		t.Fatal("non-chosen message readable through the path keys")
+	}
+}

@@ -1,0 +1,225 @@
+package ot
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	// ErrBadIndex reports a choice index outside [0, n).
+	ErrBadIndex = errors.New("ot: choice index out of range")
+	// ErrBadMessage reports malformed or inconsistent protocol messages.
+	ErrBadMessage = errors.New("ot: malformed protocol message")
+	// ErrMessageLen reports sender messages of unequal length.
+	ErrMessageLen = errors.New("ot: all sender messages must have equal length")
+)
+
+// SenderSetup is the sender's first message of a 1-out-of-n transfer: the
+// n-1 random group elements C_1..C_{n-1} that constrain the receiver's
+// public keys.
+type SenderSetup struct {
+	Cs []*big.Int
+}
+
+// ReceiverChoice is the receiver's message: the single public key PK_0 from
+// which the sender derives all n per-index keys. PK_0 is uniform in the
+// group regardless of the chosen index, which is what hides the choice.
+type ReceiverChoice struct {
+	PK0 *big.Int
+}
+
+// SenderTransfer is the sender's final message: the ephemeral value
+// R = g^r and one ciphertext per message.
+type SenderTransfer struct {
+	R   *big.Int
+	Cts [][]byte
+}
+
+// Sender runs the sender role of a Naor–Pinkas 1-out-of-n transfer.
+type Sender struct {
+	group *Group
+	msgs  [][]byte
+	setup *SenderSetup
+}
+
+// NewSender prepares a transfer of the given messages (all the same
+// length) and returns the setup message for the receiver.
+func NewSender(group *Group, msgs [][]byte, rng io.Reader) (*Sender, *SenderSetup, error) {
+	if len(msgs) < 2 {
+		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", len(msgs))
+	}
+	for _, m := range msgs[1:] {
+		if len(m) != len(msgs[0]) {
+			return nil, nil, ErrMessageLen
+		}
+	}
+	cs := make([]*big.Int, len(msgs)-1)
+	for i := range cs {
+		c, err := randomElement(group, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		cs[i] = c
+	}
+	copied := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		copied[i] = append([]byte(nil), m...)
+	}
+	setup := &SenderSetup{Cs: cs}
+	return &Sender{group: group, msgs: copied, setup: setup}, setup, nil
+}
+
+// Respond consumes the receiver's choice and produces the ciphertexts.
+func (s *Sender) Respond(choice *ReceiverChoice, rng io.Reader) (*SenderTransfer, error) {
+	if choice == nil || !s.group.ValidElement(choice.PK0) {
+		return nil, fmt.Errorf("%w: invalid PK0", ErrBadMessage)
+	}
+	r, err := randomExponent(s.group, rng)
+	if err != nil {
+		return nil, err
+	}
+	bigR := s.group.Exp(s.group.G, r)
+
+	// PK_i = C_i / PK_0, so PK_i^r = C_i^r * (PK_0^r)^{-1}.
+	pk0r := s.group.Exp(choice.PK0, r)
+	pk0rInv, err := s.group.Inv(pk0r)
+	if err != nil {
+		return nil, fmt.Errorf("ot: respond: %w", err)
+	}
+
+	cts := make([][]byte, len(s.msgs))
+	for i, m := range s.msgs {
+		var keyElem *big.Int
+		if i == 0 {
+			keyElem = pk0r
+		} else {
+			keyElem = s.group.Mul(s.group.Exp(s.setup.Cs[i-1], r), pk0rInv)
+		}
+		pad, err := s.keystream(keyElem, i, len(m))
+		if err != nil {
+			return nil, err
+		}
+		ct := make([]byte, len(m))
+		for j := range m {
+			ct[j] = m[j] ^ pad[j]
+		}
+		cts[i] = ct
+	}
+	return &SenderTransfer{R: bigR, Cts: cts}, nil
+}
+
+// Receiver runs the receiver role of a 1-out-of-n transfer.
+type Receiver struct {
+	group *Group
+	n     int
+	sigma int
+	x     *big.Int // secret exponent; PK_sigma = g^x
+}
+
+// NewReceiver prepares the receiver's choice of index sigma among n
+// messages, given the sender's setup.
+func NewReceiver(group *Group, n, sigma int, setup *SenderSetup, rng io.Reader) (*Receiver, *ReceiverChoice, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
+	}
+	if sigma < 0 || sigma >= n {
+		return nil, nil, fmt.Errorf("%w: sigma=%d n=%d", ErrBadIndex, sigma, n)
+	}
+	if setup == nil || len(setup.Cs) != n-1 {
+		return nil, nil, fmt.Errorf("%w: setup must carry %d constraints", ErrBadMessage, n-1)
+	}
+	for _, c := range setup.Cs {
+		if !group.ValidElement(c) {
+			return nil, nil, fmt.Errorf("%w: invalid constraint element", ErrBadMessage)
+		}
+	}
+	x, err := randomExponent(group, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	gx := group.Exp(group.G, x)
+	pk0 := gx
+	if sigma > 0 {
+		// PK_0 = C_sigma / g^x so that PK_sigma = C_sigma / PK_0 = g^x.
+		gxInv, err := group.Inv(gx)
+		if err != nil {
+			return nil, nil, err
+		}
+		pk0 = group.Mul(setup.Cs[sigma-1], gxInv)
+	}
+	r := &Receiver{group: group, n: n, sigma: sigma, x: x}
+	return r, &ReceiverChoice{PK0: pk0}, nil
+}
+
+// Recover decrypts the chosen message from the sender's transfer.
+func (r *Receiver) Recover(tr *SenderTransfer) ([]byte, error) {
+	if tr == nil || !r.group.ValidElement(tr.R) {
+		return nil, fmt.Errorf("%w: invalid R", ErrBadMessage)
+	}
+	if len(tr.Cts) != r.n {
+		return nil, fmt.Errorf("%w: got %d ciphertexts, want %d", ErrBadMessage, len(tr.Cts), r.n)
+	}
+	ct := tr.Cts[r.sigma]
+	// PK_sigma = g^x in both branches of NewReceiver, so PK_sigma^r = R^x.
+	keyElem := r.group.Exp(tr.R, r.x)
+	pad, err := keystream(r.group, keyElem, r.sigma, len(ct))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(ct))
+	for j := range ct {
+		out[j] = ct[j] ^ pad[j]
+	}
+	return out, nil
+}
+
+func (s *Sender) keystream(elem *big.Int, index, n int) ([]byte, error) {
+	return keystream(s.group, elem, index, n)
+}
+
+// keystream derives n bytes from a group element with SHA-256 in counter
+// mode, domain-separated by the message index.
+func keystream(group *Group, elem *big.Int, index, n int) ([]byte, error) {
+	eb := make([]byte, group.ElementLen())
+	elem.FillBytes(eb)
+	out := make([]byte, 0, n)
+	var block [8]byte
+	for counter := uint32(0); len(out) < n; counter++ {
+		h := sha256.New()
+		h.Write([]byte("ppdc-ot-kdf-v1"))
+		h.Write(eb)
+		binary.BigEndian.PutUint32(block[:4], uint32(index))
+		binary.BigEndian.PutUint32(block[4:], counter)
+		h.Write(block[:])
+		out = h.Sum(out)
+	}
+	return out[:n], nil
+}
+
+// randomExponent samples a uniform exponent in [1, q).
+func randomExponent(group *Group, rng io.Reader) (*big.Int, error) {
+	qm1 := new(big.Int).Sub(group.Q, big.NewInt(1))
+	x, err := rand.Int(rng, qm1)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sample exponent: %w", err)
+	}
+	return x.Add(x, big.NewInt(1)), nil
+}
+
+// randomElement samples a uniform element of the order-q subgroup by
+// squaring a uniform element of Z_p^* (squares form the subgroup for a
+// safe prime).
+func randomElement(group *Group, rng io.Reader) (*big.Int, error) {
+	pm1 := new(big.Int).Sub(group.P, big.NewInt(1))
+	x, err := rand.Int(rng, pm1)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sample element: %w", err)
+	}
+	x.Add(x, big.NewInt(1))
+	return group.Mul(x, x), nil
+}

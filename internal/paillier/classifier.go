@@ -1,0 +1,131 @@
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+)
+
+// Baseline private linear classification in the style of Rahulamathavan et
+// al. [15]: the client encrypts its sample under its own Paillier key; the
+// trainer evaluates the linear decision function homomorphically
+// (Enc(d·S²) = Π Enc(t_j)^{round(w_j·S)} · Enc(round(b·S²))) and returns
+// the ciphertext; the client decrypts and takes the sign. This measures
+// the dominant homomorphic-evaluation cost of the cryptographic
+// alternative the paper dismisses as impractical.
+
+// ClassifierScaleBits is the fixed-point precision of the baseline.
+const ClassifierScaleBits = 32
+
+// BaselineClient is the sample owner: it holds the Paillier key pair.
+type BaselineClient struct {
+	key   *PrivateKey
+	scale *big.Int
+}
+
+// BaselineTrainer is the model owner: it evaluates under the client's
+// public key.
+type BaselineTrainer struct {
+	pk      *PublicKey
+	weights []*big.Int // round(w_j·S)
+	bias    *big.Int   // round(b·S²)
+}
+
+// NewBaselineClient generates a key pair of the given modulus size.
+func NewBaselineClient(rng io.Reader, bits int) (*BaselineClient, error) {
+	key, err := GenerateKey(rng, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineClient{
+		key:   key,
+		scale: new(big.Int).Lsh(big.NewInt(1), ClassifierScaleBits),
+	}, nil
+}
+
+// PublicKey returns the client's public key for the trainer.
+func (c *BaselineClient) PublicKey() *PublicKey { return &c.key.PublicKey }
+
+// EncryptSample encrypts a sample component-wise at the base scale.
+func (c *BaselineClient) EncryptSample(sample []float64, rng io.Reader) ([]*big.Int, error) {
+	out := make([]*big.Int, len(sample))
+	for i, v := range sample {
+		m, err := encodeFixed(v, c.scale)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: component %d: %w", i, err)
+		}
+		ct, err := c.key.EncryptSigned(m, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// DecryptLabel decrypts the returned ciphertext and maps to a ±1 label.
+func (c *BaselineClient) DecryptLabel(ct *big.Int) (int, error) {
+	m, err := c.key.DecryptSigned(ct)
+	if err != nil {
+		return 0, err
+	}
+	if m.Sign() < 0 {
+		return -1, nil
+	}
+	return 1, nil
+}
+
+// NewBaselineTrainer fixes a linear model (w, b) under the client's key.
+func NewBaselineTrainer(pk *PublicKey, w []float64, b float64) (*BaselineTrainer, error) {
+	if pk == nil || len(w) == 0 {
+		return nil, errors.New("paillier: invalid trainer inputs")
+	}
+	scale := new(big.Int).Lsh(big.NewInt(1), ClassifierScaleBits)
+	scale2 := new(big.Int).Lsh(big.NewInt(1), 2*ClassifierScaleBits)
+	weights := make([]*big.Int, len(w))
+	for i, v := range w {
+		m, err := encodeFixed(v, scale)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: weight %d: %w", i, err)
+		}
+		weights[i] = m
+	}
+	bias, err := encodeFixed(b, scale2)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineTrainer{pk: pk, weights: weights, bias: bias}, nil
+}
+
+// Classify evaluates Enc(d(t)·S²) homomorphically from the encrypted
+// sample.
+func (t *BaselineTrainer) Classify(encSample []*big.Int, rng io.Reader) (*big.Int, error) {
+	if len(encSample) != len(t.weights) {
+		return nil, fmt.Errorf("paillier: sample dim %d, model dim %d", len(encSample), len(t.weights))
+	}
+	acc, err := t.pk.EncryptSigned(t.bias, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i, ct := range encSample {
+		if ct == nil || ct.Sign() <= 0 || ct.Cmp(t.pk.N2) >= 0 {
+			return nil, ErrBadCiphertext
+		}
+		acc = t.pk.Add(acc, t.pk.MulPlain(ct, t.weights[i]))
+	}
+	return acc, nil
+}
+
+func encodeFixed(v float64, scale *big.Int) (*big.Int, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, errors.New("value not finite")
+	}
+	r := new(big.Rat).SetFloat64(v)
+	r.Mul(r, new(big.Rat).SetInt(scale))
+	num := new(big.Int).Set(r.Num())
+	den := r.Denom()
+	q := new(big.Int).Quo(num, den)
+	return q, nil
+}

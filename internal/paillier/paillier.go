@@ -1,0 +1,163 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem and a Paillier-based private linear classifier in the style
+// of Rahulamathavan et al. (the paper's reference [15]) — the related-work
+// baseline the paper argues "introduces too much complexity for the
+// computations". The ablation benches compare it against the OMPE
+// protocol.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	// ErrMessageRange reports a plaintext outside [0, N).
+	ErrMessageRange = errors.New("paillier: message out of range")
+	// ErrBadCiphertext reports a ciphertext outside [0, N²) or not
+	// invertible.
+	ErrBadCiphertext = errors.New("paillier: invalid ciphertext")
+)
+
+// PublicKey is a Paillier public key with g = N+1.
+type PublicKey struct {
+	N  *big.Int
+	N2 *big.Int // N²
+}
+
+// PrivateKey holds the decryption trapdoor.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod N²))⁻¹ mod N
+}
+
+// GenerateKey creates a key pair with an N of the given bit length.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: modulus too small (%d bits)", bits)
+	}
+	for {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, big.NewInt(1))
+		// mu = (L(g^lambda mod N²))⁻¹ mod N
+		gl := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(gl, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+func lFunc(x, n *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(x, big.NewInt(1)), n)
+}
+
+// Encrypt encrypts m ∈ [0, N) as c = (1+N)^m · r^N mod N².
+func (pk *PublicKey) Encrypt(m *big.Int, rng io.Reader) (*big.Int, error) {
+	if m == nil || m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	r, err := pk.randomUnit(rng)
+	if err != nil {
+		return nil, err
+	}
+	// (1+N)^m = 1 + m·N mod N², which is much cheaper than a modexp.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// EncryptSigned embeds a signed integer via centered representation.
+func (pk *PublicKey) EncryptSigned(m *big.Int, rng io.Reader) (*big.Int, error) {
+	half := new(big.Int).Rsh(pk.N, 1)
+	if new(big.Int).Abs(m).Cmp(half) >= 0 {
+		return nil, ErrMessageRange
+	}
+	return pk.Encrypt(new(big.Int).Mod(m, pk.N), rng)
+}
+
+// Decrypt recovers m ∈ [0, N).
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c == nil || c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, ErrBadCiphertext
+	}
+	cl := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	m := lFunc(cl, sk.N)
+	m.Mul(m, sk.mu)
+	return m.Mod(m, sk.N), nil
+}
+
+// DecryptSigned recovers a signed integer from centered representation.
+func (sk *PrivateKey) DecryptSigned(c *big.Int) (*big.Int, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return nil, err
+	}
+	half := new(big.Int).Rsh(sk.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, sk.N)
+	}
+	return m, nil
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(c1,c2)) = m1+m2.
+func (pk *PublicKey) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// MulPlain homomorphically multiplies by a plaintext scalar:
+// Dec(MulPlain(c,k)) = k·m. Negative scalars use the centered embedding.
+func (pk *PublicKey) MulPlain(c, k *big.Int) *big.Int {
+	e := new(big.Int).Mod(k, pk.N)
+	return new(big.Int).Exp(c, e, pk.N2)
+}
+
+// randomUnit samples r ∈ [1, N) coprime to N.
+func (pk *PublicKey) randomUnit(rng io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(rng, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(big.NewInt(1)) == 0 {
+			return r, nil
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package paillier_test
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paillier"
+)
+
+// testKey caches one key pair — generation dominates test time otherwise.
+var (
+	keyOnce sync.Once
+	testKey *paillier.PrivateKey
+	keyErr  error
+)
+
+func key(t *testing.T) *paillier.PrivateKey {
+	t.Helper()
+	keyOnce.Do(func() {
+		testKey, keyErr = paillier.GenerateKey(rand.Reader, 512)
+	})
+	if keyErr != nil {
+		t.Fatal(keyErr)
+	}
+	return testKey
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, 42, 1 << 30} {
+		ct, err := sk.Encrypt(big.NewInt(m), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, pt.Int64())
+		}
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 5, -5, -(1 << 40), 1 << 40} {
+		ct, err := sk.EncryptSigned(big.NewInt(m), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := sk.DecryptSigned(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Int64() != m {
+			t.Fatalf("signed round trip %d -> %d", m, pt.Int64())
+		}
+	}
+}
+
+// TestAdditiveHomomorphism: Dec(E(a)·E(b)) = a+b.
+func TestAdditiveHomomorphism(t *testing.T) {
+	sk := key(t)
+	check := func(a, b int32) bool {
+		ca, err := sk.EncryptSigned(big.NewInt(int64(a)), rand.Reader)
+		if err != nil {
+			return false
+		}
+		cb, err := sk.EncryptSigned(big.NewInt(int64(b)), rand.Reader)
+		if err != nil {
+			return false
+		}
+		sum, err := sk.DecryptSigned(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScalarHomomorphism: Dec(E(m)^k) = k·m, including negative k via the
+// centered embedding.
+func TestScalarHomomorphism(t *testing.T) {
+	sk := key(t)
+	check := func(m, k int16) bool {
+		cm, err := sk.EncryptSigned(big.NewInt(int64(m)), rand.Reader)
+		if err != nil {
+			return false
+		}
+		prod, err := sk.DecryptSigned(sk.MulPlain(cm, big.NewInt(int64(k))))
+		if err != nil {
+			return false
+		}
+		return prod.Int64() == int64(m)*int64(k)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := key(t)
+	m := big.NewInt(7)
+	c1, err := sk.Encrypt(m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Encrypt(m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("two encryptions of the same message collided")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Encrypt(big.NewInt(-1), rand.Reader); err == nil {
+		t.Fatal("negative plaintext should fail Encrypt")
+	}
+	if _, err := sk.Encrypt(sk.N, rand.Reader); err == nil {
+		t.Fatal("m = N should fail")
+	}
+	if _, err := sk.Decrypt(big.NewInt(0)); err == nil {
+		t.Fatal("zero ciphertext should fail")
+	}
+	if _, err := sk.Decrypt(sk.N2); err == nil {
+		t.Fatal("ciphertext >= N² should fail")
+	}
+	half := new(big.Int).Rsh(sk.N, 1)
+	if _, err := sk.EncryptSigned(half, rand.Reader); err == nil {
+		t.Fatal("signed value >= N/2 should fail")
+	}
+	if _, err := paillier.GenerateKey(rand.Reader, 32); err == nil {
+		t.Fatal("tiny modulus should fail")
+	}
+}
+
+func TestBaselineClassifier(t *testing.T) {
+	client, err := paillier.NewBaselineClient(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0.5, -1.25, 2}
+	b := -0.75
+	trainer, err := paillier.NewBaselineTrainer(client.PublicKey(), w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sample []float64
+		want   int
+	}{
+		{[]float64{1, 0, 0}, -1},   // 0.5 - 0.75 < 0
+		{[]float64{0, 0, 1}, 1},    // 2 - 0.75 > 0
+		{[]float64{0, 1, 0}, -1},   // -1.25 - 0.75 < 0
+		{[]float64{1, -1, 0.5}, 1}, // 0.5+1.25+1-0.75 > 0
+		{[]float64{-1, 1, -1}, -1}, // all negative contributions
+	}
+	for i, tc := range cases {
+		enc, err := client.EncryptSample(tc.sample, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := trainer.Classify(enc, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label, err := client.DecryptLabel(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != tc.want {
+			t.Fatalf("case %d: label %d, want %d", i, label, tc.want)
+		}
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	client, err := paillier.NewBaselineClient(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := paillier.NewBaselineTrainer(client.PublicKey(), []float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Classify([]*big.Int{big.NewInt(1)}, rand.Reader); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+	if _, err := trainer.Classify([]*big.Int{big.NewInt(0), big.NewInt(1)}, rand.Reader); err == nil {
+		t.Fatal("invalid ciphertext should fail")
+	}
+	if _, err := paillier.NewBaselineTrainer(nil, []float64{1}, 0); err == nil {
+		t.Fatal("nil key should fail")
+	}
+}

@@ -1,0 +1,231 @@
+package poly_test
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/poly"
+)
+
+func f(t *testing.T) *field.Field {
+	t.Helper()
+	return field.Default()
+}
+
+func TestNewTrimsAndReduces(t *testing.T) {
+	fl := f(t)
+	p := poly.New(fl, []*big.Int{big.NewInt(-3), big.NewInt(2), big.NewInt(0), big.NewInt(0)})
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+	if fl.Centered(p.Coeff(0)).Int64() != -3 {
+		t.Fatalf("coeff(0) = %v", fl.Centered(p.Coeff(0)))
+	}
+	if p.Coeff(5).Sign() != 0 {
+		t.Fatal("out-of-range coeff must be zero")
+	}
+}
+
+func TestZeroAndConstant(t *testing.T) {
+	fl := f(t)
+	z := poly.Zero(fl)
+	if z.Degree() != -1 {
+		t.Fatalf("zero degree = %d", z.Degree())
+	}
+	if z.Eval(big.NewInt(42)).Sign() != 0 {
+		t.Fatal("zero poly must evaluate to 0")
+	}
+	c := poly.Constant(fl, big.NewInt(7))
+	if c.Eval(big.NewInt(12345)).Int64() != 7 {
+		t.Fatal("constant poly must evaluate to its constant")
+	}
+}
+
+func TestEvalKnownPolynomial(t *testing.T) {
+	fl := f(t)
+	// p(x) = 2x² − 3x + 5
+	p := poly.New(fl, []*big.Int{big.NewInt(5), big.NewInt(-3), big.NewInt(2)})
+	cases := map[int64]int64{0: 5, 1: 4, 2: 7, -1: 10, 10: 175}
+	for x, want := range cases {
+		got := fl.Centered(p.Eval(fl.FromInt64(x)))
+		if got.Int64() != want {
+			t.Fatalf("p(%d) = %v, want %d", x, got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	fl := f(t)
+	p := poly.New(fl, []*big.Int{big.NewInt(1), big.NewInt(2)})  // 1 + 2x
+	q := poly.New(fl, []*big.Int{big.NewInt(-1), big.NewInt(3)}) // -1 + 3x
+
+	sum := p.Add(q) // 5x
+	if sum.Degree() != 1 || fl.Centered(sum.Coeff(1)).Int64() != 5 || sum.Coeff(0).Sign() != 0 {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff := p.Sub(q) // 2 - x
+	if fl.Centered(diff.Coeff(0)).Int64() != 2 || fl.Centered(diff.Coeff(1)).Int64() != -1 {
+		t.Fatalf("diff = %v", diff)
+	}
+	prod := p.Mul(q) // -1 + x + 6x²
+	want := []int64{-1, 1, 6}
+	for i, w := range want {
+		if fl.Centered(prod.Coeff(i)).Int64() != w {
+			t.Fatalf("prod coeff %d = %v, want %d", i, fl.Centered(prod.Coeff(i)), w)
+		}
+	}
+	scaled := p.ScalarMul(fl.FromInt64(-2)) // -2 - 4x
+	if fl.Centered(scaled.Coeff(1)).Int64() != -4 {
+		t.Fatalf("scaled = %v", scaled)
+	}
+}
+
+// TestMulAgainstEval cross-checks multiplication by the evaluation
+// homomorphism (p·q)(x) = p(x)·q(x).
+func TestMulAgainstEval(t *testing.T) {
+	fl := f(t)
+	check := func(a0, a1, a2, b0, b1 int64, x int64) bool {
+		p := poly.New(fl, []*big.Int{big.NewInt(a0), big.NewInt(a1), big.NewInt(a2)})
+		q := poly.New(fl, []*big.Int{big.NewInt(b0), big.NewInt(b1)})
+		xe := fl.FromInt64(x)
+		lhs := p.Mul(q).Eval(xe)
+		rhs := fl.Mul(p.Eval(xe), q.Eval(xe))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPolynomialShape(t *testing.T) {
+	fl := f(t)
+	v0 := fl.FromInt64(42)
+	for _, deg := range []int{0, 1, 3, 10} {
+		p, err := poly.Random(fl, rand.Reader, deg, v0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Eval(fl.Zero()).Cmp(v0) != 0 {
+			t.Fatalf("deg %d: p(0) != 42", deg)
+		}
+		if deg >= 1 && p.Degree() != deg {
+			t.Fatalf("degree = %d, want exactly %d", p.Degree(), deg)
+		}
+	}
+	if _, err := poly.Random(fl, rand.Reader, -1, v0); err == nil {
+		t.Fatal("negative degree should fail")
+	}
+}
+
+// TestMaskingCancellation is the OMPE sender's core property: h with
+// h(0)=0 contributes nothing at x=0 but randomizes everywhere else.
+func TestMaskingCancellation(t *testing.T) {
+	fl := f(t)
+	secret := poly.New(fl, []*big.Int{big.NewInt(99), big.NewInt(-5)})
+	h, err := poly.Random(fl, rand.Reader, 4, fl.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := secret.Add(h)
+	if masked.Eval(fl.Zero()).Cmp(secret.Eval(fl.Zero())) != 0 {
+		t.Fatal("masking must vanish at 0")
+	}
+	x := fl.FromInt64(3)
+	if masked.Eval(x).Cmp(secret.Eval(x)) == 0 {
+		t.Fatal("masking left p(3) unchanged (vanishing improbability)")
+	}
+}
+
+// TestInterpolateRoundTrip: interpolating deg+1 evaluations of a random
+// polynomial recovers it exactly.
+func TestInterpolateRoundTrip(t *testing.T) {
+	fl := f(t)
+	for _, deg := range []int{0, 1, 2, 5, 12} {
+		p, err := poly.Random(fl, rand.Reader, deg, fl.FromInt64(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]poly.Point, deg+1)
+		for i := range pts {
+			x := fl.FromInt64(int64(i + 1))
+			pts[i] = poly.Point{X: x, Y: p.Eval(x)}
+		}
+		q, err := poly.Interpolate(fl, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("deg %d: interpolation did not recover the polynomial", deg)
+		}
+	}
+}
+
+// TestInterpolateAtZeroMatchesFull: the streamlined R(0) equals the full
+// interpolation evaluated at 0 (paper Eq. 3's use).
+func TestInterpolateAtZeroMatchesFull(t *testing.T) {
+	fl := f(t)
+	check := func(seed int64) bool {
+		p, err := poly.Random(fl, rand.Reader, 6, fl.FromInt64(seed%1000))
+		if err != nil {
+			return false
+		}
+		pts := make([]poly.Point, 7)
+		for i := range pts {
+			x, err := fl.RandNonZero(rand.Reader)
+			if err != nil {
+				return false
+			}
+			pts[i] = poly.Point{X: x, Y: p.Eval(x)}
+		}
+		v, err := poly.InterpolateAtZero(fl, pts)
+		if err != nil {
+			// Collision of random xs is negligible but legal to reject.
+			return true
+		}
+		return v.Cmp(p.Eval(fl.Zero())) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolateRejectsDuplicates(t *testing.T) {
+	fl := f(t)
+	pts := []poly.Point{
+		{X: fl.FromInt64(1), Y: fl.FromInt64(2)},
+		{X: fl.FromInt64(1), Y: fl.FromInt64(3)},
+	}
+	if _, err := poly.Interpolate(fl, pts); err == nil {
+		t.Fatal("duplicate nodes should fail")
+	}
+	if _, err := poly.InterpolateAtZero(fl, pts); err == nil {
+		t.Fatal("duplicate nodes should fail at-zero too")
+	}
+	if _, err := poly.Interpolate(fl, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	fl := f(t)
+	if got := poly.Zero(fl).String(); got != "0" {
+		t.Fatalf("zero String = %q", got)
+	}
+	p := poly.New(fl, []*big.Int{big.NewInt(5), big.NewInt(3), big.NewInt(1)})
+	if p.String() == "" {
+		t.Fatal("empty String for nonzero poly")
+	}
+}
+
+func TestCoeffsCopy(t *testing.T) {
+	fl := f(t)
+	p := poly.New(fl, []*big.Int{big.NewInt(1), big.NewInt(2)})
+	cs := p.Coeffs()
+	cs[0].SetInt64(100)
+	if p.Coeff(0).Int64() == 100 {
+		t.Fatal("Coeffs must return a copy")
+	}
+}

@@ -1,0 +1,563 @@
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+
+	"repro/internal/field"
+	"repro/internal/fixedpoint"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+)
+
+// Params fixes the protocol parameters of a private similarity evaluation.
+type Params struct {
+	// Metric is the public evaluation geometry.
+	Metric Metric
+	// MaskDegree is the security parameter q (default 2).
+	MaskDegree int
+	// CoverFactor is the decoy multiplier k (default 2).
+	CoverFactor int
+	// AmplifierBits bounds r_am and r_aw (default 64).
+	AmplifierBits int
+	// Group is the OT group (default ot.Group2048).
+	Group *ot.Group
+	// FracBits is the fixed-point precision (default 24).
+	FracBits uint
+}
+
+func (p Params) withDefaults() Params {
+	if p.Metric == (Metric{}) {
+		p.Metric = DefaultMetric()
+	}
+	if p.MaskDegree == 0 {
+		p.MaskDegree = 2
+	}
+	if p.CoverFactor == 0 {
+		p.CoverFactor = 2
+	}
+	if p.AmplifierBits == 0 {
+		p.AmplifierBits = ompe.DefaultAmplifierBits
+	}
+	if p.Group == nil {
+		p.Group = ot.Group2048()
+	}
+	if p.FracBits == 0 {
+		p.FracBits = 24
+	}
+	return p
+}
+
+// Spec is the public contract Alice publishes for an evaluation.
+type Spec struct {
+	Dim           int
+	Metric        Metric
+	MaskDegree    int
+	CoverFactor   int
+	AmplifierBits int
+	FieldBits     int
+	FracBits      uint
+	GroupName     string
+}
+
+// Round identifies the three OMPE rounds of §V-B.
+type Round int
+
+const (
+	// RoundCentroid delivers x1 = r_am·(mA·mB) to Bob.
+	RoundCentroid Round = iota + 1
+	// RoundNormal delivers x2 = r_aw·(wA·wB) + r_b to Bob.
+	RoundNormal
+	// RoundArea delivers T²·S⁹ to Bob via Alice's two-variate degree-4
+	// polynomial, Eq. (7).
+	RoundArea
+)
+
+// scale exponents of the three rounds' results.
+const (
+	dotScaleExp  = 2 // S·S products of two base-scale encodings
+	areaScaleExp = 9 // bracket1 (S⁴) · bracket2 (S⁵)
+)
+
+// ErrRound reports a protocol message for the wrong round.
+var ErrRound = errors.New("similarity: round mismatch")
+
+// specFor derives the public spec from params and dimension.
+func specFor(dim int, p Params) (Spec, error) {
+	p = p.withDefaults()
+	if err := p.Metric.Validate(); err != nil {
+		return Spec{}, err
+	}
+	if dim < 2 {
+		return Spec{}, fmt.Errorf("similarity: need >= 2 dims, got %d", dim)
+	}
+	// Field sizing: rounds 1-2 need 2·fb + amplifier bits; round 3 needs
+	// 9·fb. 40 value bits + slack cover the metric's magnitudes.
+	need := max(2*int(p.FracBits)+p.AmplifierBits, areaScaleExp*int(p.FracBits)) + 40 + 24
+	f, err := field.ByBits(need)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Dim:           dim,
+		Metric:        p.Metric,
+		MaskDegree:    p.MaskDegree,
+		CoverFactor:   p.CoverFactor,
+		AmplifierBits: p.AmplifierBits,
+		FieldBits:     f.Bits(),
+		FracBits:      p.FracBits,
+		GroupName:     p.Group.Name(),
+	}, nil
+}
+
+// Codec reconstructs the protocol codec from the spec.
+func (s Spec) Codec() (*fixedpoint.Codec, error) {
+	f, err := field.ByBits(s.FieldBits)
+	if err != nil {
+		return nil, err
+	}
+	if f.Bits() != s.FieldBits {
+		return nil, fmt.Errorf("similarity: no built-in field with exactly %d bits", s.FieldBits)
+	}
+	return fixedpoint.NewCodec(f, s.FracBits)
+}
+
+// ompeParams derives the OMPE parameters of one round.
+func (s Spec) ompeParams(round Round) (ompe.Params, error) {
+	group, err := ot.GroupByName(s.GroupName)
+	if err != nil {
+		return ompe.Params{}, err
+	}
+	codec, err := s.Codec()
+	if err != nil {
+		return ompe.Params{}, err
+	}
+	degree := 1
+	if round == RoundArea {
+		degree = 4
+	}
+	return ompe.Params{
+		Field:         codec.Field(),
+		PolyDegree:    degree,
+		MaskDegree:    s.MaskDegree,
+		CoverFactor:   s.CoverFactor,
+		AmplifierBits: s.AmplifierBits,
+		Group:         group,
+	}, nil
+}
+
+// ClearShare carries the values Bob may send in the clear (§V-B: "Bob can
+// send |mB|² and |wB|² to Alice directly" — vector norms reveal no single
+// dimension).
+type ClearShare struct {
+	NormM2 float64
+	NormW2 float64
+}
+
+// linEval is a bias-free linear evaluator c·z over the field.
+type linEval struct {
+	f   *field.Field
+	c   field.Vec
+	deg int
+}
+
+func (e *linEval) NumVars() int { return len(e.c) }
+
+func (e *linEval) Eval(z field.Vec) (*big.Int, error) { return e.f.Dot(e.c, z) }
+
+// Alice is the responder: she holds model A and answers Bob's three OMPE
+// rounds. One Alice value serves a single evaluation (fresh r_am, r_aw,
+// r_b per evaluation).
+type Alice struct {
+	spec  Spec
+	codec *fixedpoint.Codec
+
+	wA []float64
+	mA []float64
+
+	ram, raw, rb *big.Int
+	clear        *ClearShare
+
+	round  Round
+	sender *ompe.Sender
+}
+
+// NewAlice prepares the responder for one evaluation of the linear model
+// (wA, bA) over the agreed geometry.
+func NewAlice(wA []float64, bA float64, params Params, rng io.Reader) (*Alice, error) {
+	params = params.withDefaults()
+	spec, err := specFor(len(wA), params)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := spec.Codec()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := LinearBoundaryPoints(wA, bA, spec.Metric)
+	if err != nil {
+		return nil, err
+	}
+	mA, err := Centroid(pts)
+	if err != nil {
+		return nil, err
+	}
+	f := codec.Field()
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(spec.AmplifierBits))
+	ram, err := f.RandBounded(rng, bound)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := f.RandBounded(rng, bound)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := f.Rand(rng)
+	if err != nil {
+		return nil, err
+	}
+	a := &Alice{
+		spec:  spec,
+		codec: codec,
+		wA:    append([]float64(nil), wA...),
+		mA:    mA,
+		ram:   ram,
+		raw:   raw,
+		rb:    rb,
+		round: RoundCentroid,
+	}
+	return a, nil
+}
+
+// Spec returns the public contract for Bob.
+func (a *Alice) Spec() Spec { return a.spec }
+
+// HandleClearShare stores Bob's vector norms (must arrive before round 3).
+func (a *Alice) HandleClearShare(cs *ClearShare) error {
+	if cs == nil || cs.NormM2 < 0 || cs.NormW2 <= 0 ||
+		math.IsNaN(cs.NormM2) || math.IsInf(cs.NormM2, 0) ||
+		math.IsNaN(cs.NormW2) || math.IsInf(cs.NormW2, 0) {
+		return errors.New("similarity: invalid clear share")
+	}
+	a.clear = cs
+	return nil
+}
+
+// HandleRequest answers the OMPE request of the given round.
+func (a *Alice) HandleRequest(round Round, req *ompe.EvalRequest, rng io.Reader) (*ot.BatchSetup, error) {
+	if round != a.round {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, a.round)
+	}
+	params, err := a.spec.ompeParams(round)
+	if err != nil {
+		return nil, err
+	}
+	eval, opts, err := a.buildRound(round)
+	if err != nil {
+		return nil, err
+	}
+	sender, err := ompe.NewSender(params, eval, opts...)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := sender.HandleRequest(req, rng)
+	if err != nil {
+		return nil, err
+	}
+	a.sender = sender
+	return setup, nil
+}
+
+// HandleChoice finishes the OT of the current round.
+func (a *Alice) HandleChoice(round Round, choice *ot.BatchChoice, rng io.Reader) (*ot.BatchTransfer, error) {
+	if round != a.round || a.sender == nil {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, a.round)
+	}
+	tr, err := a.sender.HandleChoice(choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	a.sender = nil
+	a.round++
+	return tr, nil
+}
+
+func (a *Alice) buildRound(round Round) (ompe.Evaluator, []ompe.SenderOption, error) {
+	f := a.codec.Field()
+	switch round {
+	case RoundCentroid:
+		enc, err := a.codec.EncodeVec(a.mA)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &linEval{f: f, c: enc}, []ompe.SenderOption{ompe.WithAmplifier(a.ram)}, nil
+	case RoundNormal:
+		enc, err := a.codec.EncodeVec(a.wA)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &linEval{f: f, c: enc},
+			[]ompe.SenderOption{ompe.WithAmplifier(a.raw), ompe.WithShift(a.rb)}, nil
+	case RoundArea:
+		return a.buildAreaEvaluator()
+	default:
+		return nil, nil, fmt.Errorf("similarity: unknown round %d", round)
+	}
+}
+
+// buildAreaEvaluator assembles Eq. (7):
+//
+//	T²(x1,x2) = [(c1 − 2·d1·x1)² + c2] · [c4/4 − (c3/4)·d2·(d3 + x2)²]
+//
+// with d1 = r_am⁻¹, d2 = r_aw⁻² (the paper writes r_aw⁻¹; the square is
+// required for (d3+x2)² = r_aw²·(wA·wB)² to cancel), d3 = −r_b, and the ¼
+// folded into c3, c4 to save a multiplication. Scale plan: x1 at S², c1 at
+// S², c2 at S⁴, c3/4 at S, c4/4 at S⁵ → result at S⁹.
+func (a *Alice) buildAreaEvaluator() (ompe.Evaluator, []ompe.SenderOption, error) {
+	if a.clear == nil {
+		return nil, nil, errors.New("similarity: clear share missing before area round")
+	}
+	f := a.codec.Field()
+	normMA2 := 0.0
+	for _, v := range a.mA {
+		normMA2 += v * v
+	}
+	normWA2 := 0.0
+	for _, v := range a.wA {
+		normWA2 += v * v
+	}
+	if normWA2 == 0 {
+		return nil, nil, errors.New("similarity: zero normal vector")
+	}
+	m := a.spec.Metric
+	s0 := math.Sin(m.Theta0)
+
+	encC1, err := a.codec.EncodeAtScale(normMA2+a.clear.NormM2, a.codec.ScalePow(dotScaleExp))
+	if err != nil {
+		return nil, nil, err
+	}
+	encC2, err := a.codec.EncodeAtScale(math.Pow(m.L0, 4), a.codec.ScalePow(4))
+	if err != nil {
+		return nil, nil, err
+	}
+	encC3, err := a.codec.EncodeAtScale(0.25/(normWA2*a.clear.NormW2), a.codec.ScalePow(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	encC4, err := a.codec.EncodeAtScale(0.25*(1+s0*s0), a.codec.ScalePow(5))
+	if err != nil {
+		return nil, nil, err
+	}
+	d1, err := f.Inv(a.ram)
+	if err != nil {
+		return nil, nil, err
+	}
+	rawSq := f.Mul(a.raw, a.raw)
+	d2, err := f.Inv(rawSq)
+	if err != nil {
+		return nil, nil, err
+	}
+	d3 := f.Neg(a.rb)
+	two := big.NewInt(2)
+
+	eval := ompe.EvaluatorFunc(2, func(z field.Vec) (*big.Int, error) {
+		if len(z) != 2 {
+			return nil, fmt.Errorf("similarity: area round arity %d", len(z))
+		}
+		// bracket1 = (c1 − 2·d1·z1)² + c2, at S⁴.
+		t1 := f.Sub(encC1, f.Mul(two, f.Mul(d1, z[0])))
+		bracket1 := f.Add(f.Mul(t1, t1), encC2)
+		// bracket2 = c4/4 − (c3/4)·d2·(d3+z2)², at S⁵.
+		t2 := f.Add(d3, z[1])
+		bracket2 := f.Sub(encC4, f.Mul(encC3, f.Mul(d2, f.Mul(t2, t2))))
+		return f.Mul(bracket1, bracket2), nil
+	})
+	one := big.NewInt(1)
+	return eval, []ompe.SenderOption{ompe.WithAmplifier(one)}, nil
+}
+
+// Bob is the requester: he holds model B and learns T.
+type Bob struct {
+	spec  Spec
+	codec *fixedpoint.Codec
+
+	wB []float64
+	mB []float64
+
+	normM2, normW2 float64
+
+	round    Round
+	receiver *ompe.Receiver
+	x1, x2   *big.Int
+}
+
+// NewBob prepares the requester from Alice's public spec and Bob's own
+// linear model (wB, bB).
+func NewBob(spec Spec, wB []float64, bB float64) (*Bob, error) {
+	if len(wB) != spec.Dim {
+		return nil, fmt.Errorf("similarity: model dim %d, spec dim %d", len(wB), spec.Dim)
+	}
+	codec, err := spec.Codec()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := LinearBoundaryPoints(wB, bB, spec.Metric)
+	if err != nil {
+		return nil, err
+	}
+	mB, err := Centroid(pts)
+	if err != nil {
+		return nil, err
+	}
+	normM2, normW2 := 0.0, 0.0
+	for _, v := range mB {
+		normM2 += v * v
+	}
+	for _, v := range wB {
+		normW2 += v * v
+	}
+	if normW2 == 0 {
+		return nil, errors.New("similarity: zero normal vector")
+	}
+	return &Bob{
+		spec:   spec,
+		codec:  codec,
+		wB:     append([]float64(nil), wB...),
+		mB:     mB,
+		normM2: normM2,
+		normW2: normW2,
+		round:  RoundCentroid,
+	}, nil
+}
+
+// ClearShare returns the values Bob sends Alice in the clear.
+func (b *Bob) ClearShare() *ClearShare {
+	return &ClearShare{NormM2: b.normM2, NormW2: b.normW2}
+}
+
+// StartRound opens the OMPE receiver for the given round and returns the
+// evaluation request.
+func (b *Bob) StartRound(round Round, rng io.Reader) (*ompe.EvalRequest, error) {
+	if round != b.round || b.receiver != nil {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, b.round)
+	}
+	var input field.Vec
+	switch round {
+	case RoundCentroid:
+		enc, err := b.codec.EncodeVec(b.mB)
+		if err != nil {
+			return nil, err
+		}
+		input = enc
+	case RoundNormal:
+		enc, err := b.codec.EncodeVec(b.wB)
+		if err != nil {
+			return nil, err
+		}
+		input = enc
+	case RoundArea:
+		if b.x1 == nil || b.x2 == nil {
+			return nil, errors.New("similarity: area round before dot rounds")
+		}
+		input = field.Vec{b.x1, b.x2}
+	default:
+		return nil, fmt.Errorf("similarity: unknown round %d", round)
+	}
+	params, err := b.spec.ompeParams(round)
+	if err != nil {
+		return nil, err
+	}
+	receiver, req, err := ompe.NewReceiver(params, input, rng)
+	if err != nil {
+		return nil, err
+	}
+	b.receiver = receiver
+	return req, nil
+}
+
+// HandleSetup advances the OT of the current round.
+func (b *Bob) HandleSetup(round Round, setup *ot.BatchSetup, rng io.Reader) (*ot.BatchChoice, error) {
+	if round != b.round || b.receiver == nil {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, b.round)
+	}
+	return b.receiver.HandleSetup(setup, rng)
+}
+
+// FinishRound completes the current round. After RoundArea it returns the
+// final result; earlier rounds return nil.
+func (b *Bob) FinishRound(round Round, tr *ot.BatchTransfer) (*Result, error) {
+	if round != b.round || b.receiver == nil {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, b.round)
+	}
+	value, err := b.receiver.Finish(tr)
+	if err != nil {
+		return nil, err
+	}
+	b.receiver = nil
+	switch round {
+	case RoundCentroid:
+		b.x1 = value
+	case RoundNormal:
+		b.x2 = value
+	case RoundArea:
+		t2, err := b.codec.DecodeAtScale(value, b.codec.ScalePow(areaScaleExp))
+		if err != nil {
+			return nil, err
+		}
+		if t2 < 0 {
+			// Fixed-point rounding can nick slightly below zero when the
+			// models are near-identical; clamp.
+			t2 = 0
+		}
+		b.round++
+		return &Result{T: math.Sqrt(t2), TSquared: t2}, nil
+	}
+	b.round++
+	return nil, nil
+}
+
+// EvaluatePrivate runs a complete in-memory private evaluation between two
+// linear models and returns Bob's result. Distributed deployments drive
+// Alice and Bob over a transport instead.
+func EvaluatePrivate(wA []float64, bA float64, wB []float64, bB float64, params Params, rng io.Reader) (*Result, error) {
+	alice, err := NewAlice(wA, bA, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	bob, err := NewBob(alice.Spec(), wB, bB)
+	if err != nil {
+		return nil, err
+	}
+	if err := alice.HandleClearShare(bob.ClearShare()); err != nil {
+		return nil, err
+	}
+	for _, round := range []Round{RoundCentroid, RoundNormal, RoundArea} {
+		req, err := bob.StartRound(round, rng)
+		if err != nil {
+			return nil, err
+		}
+		setup, err := alice.HandleRequest(round, req, rng)
+		if err != nil {
+			return nil, err
+		}
+		choice, err := bob.HandleSetup(round, setup, rng)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := alice.HandleChoice(round, choice, rng)
+		if err != nil {
+			return nil, err
+		}
+		result, err := bob.FinishRound(round, tr)
+		if err != nil {
+			return nil, err
+		}
+		if round == RoundArea {
+			return result, nil
+		}
+	}
+	return nil, errors.New("similarity: protocol did not complete")
+}

@@ -1,0 +1,28 @@
+package svm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/svm"
+)
+
+// FuzzReadModel: arbitrary JSON must either load a valid model or error —
+// never panic, never yield a model that fails Validate.
+func FuzzReadModel(f *testing.F) {
+	f.Add(`{"kernel":{"kind":"linear"},"supportVectors":[[1,2]],"alphaY":[0.5],"bias":0.1,"dim":2}`)
+	f.Add(`{"kernel":{"kind":"rbf","gamma":0.5},"supportVectors":[[1]],"alphaY":[1],"dim":1}`)
+	f.Add(`{"kernel":{"kind":"polynomial","a0":1,"degree":3},"supportVectors":[[0,0]],"alphaY":[1],"dim":2}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"kernel":{"kind":"linear"},"supportVectors":[[1e400]],"alphaY":[1],"dim":1}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := svm.ReadModel(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ReadModel returned invalid model: %v", err)
+		}
+	})
+}

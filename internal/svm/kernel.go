@@ -1,0 +1,146 @@
+// Package svm implements the supervised-learning substrate of the paper:
+// soft-margin support vector machines trained by sequential minimal
+// optimization (SMO), with the linear, polynomial, RBF and sigmoid kernels
+// of §III-A and §IV-B. It stands in for LIBSVM, which the paper's
+// experiments use as the training black box.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// KernelKind enumerates the supported kernel families.
+type KernelKind int
+
+const (
+	// KernelLinear is K(x,y) = x·y.
+	KernelLinear KernelKind = iota + 1
+	// KernelPolynomial is K(x,y) = (a0·x·y + b0)^p (paper default
+	// a0 = 1/n, b0 = 0, p = 3).
+	KernelPolynomial
+	// KernelRBF is K(x,y) = exp(−γ·‖x−y‖²).
+	KernelRBF
+	// KernelSigmoid is K(x,y) = tanh(a0·x·y + c0).
+	KernelSigmoid
+)
+
+// String implements fmt.Stringer.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelLinear:
+		return "linear"
+	case KernelPolynomial:
+		return "polynomial"
+	case KernelRBF:
+		return "rbf"
+	case KernelSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// ErrDimension reports vectors of mismatched dimension.
+var ErrDimension = errors.New("svm: dimension mismatch")
+
+// Kernel is a positive-definite (or conditionally usable) kernel function
+// together with its parameters.
+type Kernel struct {
+	Kind KernelKind
+	// A0 scales the inner product for polynomial and sigmoid kernels.
+	A0 float64
+	// B0 is the polynomial kernel's additive constant.
+	B0 float64
+	// Degree is the polynomial kernel's exponent p.
+	Degree int
+	// Gamma is the RBF kernel's width.
+	Gamma float64
+	// C0 is the sigmoid kernel's additive constant.
+	C0 float64
+}
+
+// Linear returns the linear kernel.
+func Linear() Kernel { return Kernel{Kind: KernelLinear} }
+
+// Polynomial returns (a0·x·y + b0)^degree.
+func Polynomial(a0, b0 float64, degree int) Kernel {
+	return Kernel{Kind: KernelPolynomial, A0: a0, B0: b0, Degree: degree}
+}
+
+// PaperPolynomial returns the paper's default nonlinear kernel for an
+// n-dimensional dataset: a0 = 1/n, b0 = 0, p = 3 (§VI-B.1).
+func PaperPolynomial(n int) Kernel {
+	return Polynomial(1/float64(n), 0, 3)
+}
+
+// RBF returns exp(−γ‖x−y‖²).
+func RBF(gamma float64) Kernel { return Kernel{Kind: KernelRBF, Gamma: gamma} }
+
+// Sigmoid returns tanh(a0·x·y + c0).
+func Sigmoid(a0, c0 float64) Kernel { return Kernel{Kind: KernelSigmoid, A0: a0, C0: c0} }
+
+// Validate checks the kernel's parameters.
+func (k Kernel) Validate() error {
+	switch k.Kind {
+	case KernelLinear:
+		return nil
+	case KernelPolynomial:
+		if k.Degree < 1 {
+			return fmt.Errorf("svm: polynomial kernel degree %d", k.Degree)
+		}
+		if k.A0 == 0 {
+			return errors.New("svm: polynomial kernel a0 must be non-zero")
+		}
+		return nil
+	case KernelRBF:
+		if k.Gamma <= 0 {
+			return fmt.Errorf("svm: rbf gamma %v must be positive", k.Gamma)
+		}
+		return nil
+	case KernelSigmoid:
+		if k.A0 == 0 {
+			return errors.New("svm: sigmoid kernel a0 must be non-zero")
+		}
+		return nil
+	default:
+		return fmt.Errorf("svm: unknown kernel kind %d", int(k.Kind))
+	}
+}
+
+// Eval computes K(x, y).
+func (k Kernel) Eval(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimension, len(x), len(y))
+	}
+	switch k.Kind {
+	case KernelLinear:
+		return dot(x, y), nil
+	case KernelPolynomial:
+		return math.Pow(k.A0*dot(x, y)+k.B0, float64(k.Degree)), nil
+	case KernelRBF:
+		return math.Exp(-k.Gamma * sqDist(x, y)), nil
+	case KernelSigmoid:
+		return math.Tanh(k.A0*dot(x, y) + k.C0), nil
+	default:
+		return 0, fmt.Errorf("svm: unknown kernel kind %d", int(k.Kind))
+	}
+}
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func sqDist(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model is a trained binary SVM classifier: the paper's d(t) =
+// Σ_s α_s·y_s·K(x_s, t) + b with labels in {+1, −1}.
+type Model struct {
+	// Kernel is the kernel the model was trained with.
+	Kernel Kernel
+	// SupportVectors are the x_s with non-zero multipliers.
+	SupportVectors [][]float64
+	// AlphaY holds α_s·y_s for each support vector.
+	AlphaY []float64
+	// Bias is b.
+	Bias float64
+	// Dim is the feature dimension n.
+	Dim int
+}
+
+// ErrEmptyModel reports a model without support vectors.
+var ErrEmptyModel = errors.New("svm: model has no support vectors")
+
+// Validate checks structural consistency.
+func (m *Model) Validate() error {
+	if len(m.SupportVectors) == 0 {
+		return ErrEmptyModel
+	}
+	if len(m.SupportVectors) != len(m.AlphaY) {
+		return fmt.Errorf("svm: %d support vectors but %d multipliers", len(m.SupportVectors), len(m.AlphaY))
+	}
+	for i, sv := range m.SupportVectors {
+		if len(sv) != m.Dim {
+			return fmt.Errorf("%w: support vector %d has dim %d, want %d", ErrDimension, i, len(sv), m.Dim)
+		}
+	}
+	return m.Kernel.Validate()
+}
+
+// Decision evaluates d(t).
+func (m *Model) Decision(t []float64) (float64, error) {
+	if len(t) != m.Dim {
+		return 0, fmt.Errorf("%w: sample dim %d, model dim %d", ErrDimension, len(t), m.Dim)
+	}
+	acc := m.Bias
+	for i, sv := range m.SupportVectors {
+		k, err := m.Kernel.Eval(sv, t)
+		if err != nil {
+			return 0, err
+		}
+		acc += m.AlphaY[i] * k
+	}
+	return acc, nil
+}
+
+// Classify returns sign(d(t)) as a {+1, −1} label (0 maps to +1, matching
+// the convention that the boundary belongs to the positive class).
+func (m *Model) Classify(t []float64) (int, error) {
+	d, err := m.Decision(t)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return -1, nil
+	}
+	return 1, nil
+}
+
+// Accuracy returns the fraction of samples whose predicted label matches y.
+func (m *Model) Accuracy(x [][]float64, y []int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, errors.New("svm: empty evaluation set")
+	}
+	correct := 0
+	for i := range x {
+		pred, err := m.Classify(x[i])
+		if err != nil {
+			return 0, err
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}
+
+// LinearWeights collapses a linear-kernel model into its primal weight
+// vector w = Σ_s α_s·y_s·x_s. The similarity protocol (§V-B) needs w and b
+// explicitly. Non-linear models return an error; use kernel-space
+// operations for them.
+func (m *Model) LinearWeights() ([]float64, error) {
+	if m.Kernel.Kind != KernelLinear {
+		return nil, fmt.Errorf("svm: LinearWeights on %v kernel", m.Kernel.Kind)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	w := make([]float64, m.Dim)
+	for i, sv := range m.SupportVectors {
+		for j := range w {
+			w[j] += m.AlphaY[i] * sv[j]
+		}
+	}
+	return w, nil
+}
+
+// NumSupportVectors returns |S|.
+func (m *Model) NumSupportVectors() int { return len(m.SupportVectors) }

@@ -1,0 +1,145 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Multiclass extension: the paper's protocols are binary (§III-A), but its
+// closest related work (Rahulamathavan et al. [15]) handles multi-class
+// SVMs. This file adds the standard one-vs-one decomposition: K classes
+// train K(K-1)/2 binary models, and prediction is a majority vote. The
+// privacy-preserving counterpart (internal/classify) runs one binary
+// protocol per pair and lets the client vote locally, so the trainer never
+// learns which pairs were decisive.
+
+// PairModel is one binary member of a one-vs-one ensemble: its +1 side is
+// ClassPos, its −1 side ClassNeg.
+type PairModel struct {
+	ClassPos int
+	ClassNeg int
+	Model    *Model
+}
+
+// MulticlassModel is a one-vs-one ensemble over arbitrary integer labels.
+type MulticlassModel struct {
+	// Classes lists the distinct labels in ascending order.
+	Classes []int
+	// Pairs holds one binary model per unordered class pair.
+	Pairs []PairModel
+}
+
+// TrainMulticlass fits a one-vs-one ensemble. Labels may be any integers
+// (at least two distinct values).
+func TrainMulticlass(x [][]float64, y []int, cfg Config) (*MulticlassModel, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	classSet := make(map[int]bool)
+	for _, label := range y {
+		classSet[label] = true
+	}
+	if len(classSet) < 2 {
+		return nil, errors.New("svm: multiclass training needs >= 2 classes")
+	}
+	classes := make([]int, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	var pairs []PairModel
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			pos, neg := classes[i], classes[j]
+			var px [][]float64
+			var py []int
+			for k := range x {
+				switch y[k] {
+				case pos:
+					px = append(px, x[k])
+					py = append(py, 1)
+				case neg:
+					px = append(px, x[k])
+					py = append(py, -1)
+				}
+			}
+			model, err := Train(px, py, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", pos, neg, err)
+			}
+			pairs = append(pairs, PairModel{ClassPos: pos, ClassNeg: neg, Model: model})
+		}
+	}
+	return &MulticlassModel{Classes: classes, Pairs: pairs}, nil
+}
+
+// Validate checks structural consistency.
+func (m *MulticlassModel) Validate() error {
+	if len(m.Classes) < 2 {
+		return errors.New("svm: multiclass model needs >= 2 classes")
+	}
+	want := len(m.Classes) * (len(m.Classes) - 1) / 2
+	if len(m.Pairs) != want {
+		return fmt.Errorf("svm: %d pair models, want %d", len(m.Pairs), want)
+	}
+	for _, p := range m.Pairs {
+		if err := p.Model.Validate(); err != nil {
+			return fmt.Errorf("svm: pair (%d,%d): %w", p.ClassPos, p.ClassNeg, err)
+		}
+	}
+	return nil
+}
+
+// Classify predicts by majority vote over the pairwise models; ties break
+// toward the smaller label (deterministic, matching LIBSVM).
+func (m *MulticlassModel) Classify(t []float64) (int, error) {
+	votes := make(map[int]int, len(m.Classes))
+	for _, p := range m.Pairs {
+		label, err := p.Model.Classify(t)
+		if err != nil {
+			return 0, err
+		}
+		if label > 0 {
+			votes[p.ClassPos]++
+		} else {
+			votes[p.ClassNeg]++
+		}
+	}
+	return Vote(m.Classes, votes)
+}
+
+// Vote resolves a vote tally deterministically (most votes, smallest
+// label on ties). It is exported so the private protocol's client-side
+// voting matches exactly.
+func Vote(classes []int, votes map[int]int) (int, error) {
+	if len(classes) == 0 {
+		return 0, errors.New("svm: no classes to vote over")
+	}
+	best := classes[0]
+	for _, c := range classes[1:] {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Accuracy evaluates the ensemble.
+func (m *MulticlassModel) Accuracy(x [][]float64, y []int) (float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, fmt.Errorf("svm: bad evaluation set (%d samples, %d labels)", len(x), len(y))
+	}
+	correct := 0
+	for i := range x {
+		pred, err := m.Classify(x[i])
+		if err != nil {
+			return 0, err
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}

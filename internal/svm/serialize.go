@@ -1,0 +1,163 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: a trainer that retrains on every restart would leak
+// schedule information and waste work, so models serialize to a stable
+// JSON format (kernel hyperparameters, support vectors, multipliers,
+// bias).
+
+// modelJSON is the stable wire form of a Model.
+type modelJSON struct {
+	Kernel         kernelJSON  `json:"kernel"`
+	SupportVectors [][]float64 `json:"supportVectors"`
+	AlphaY         []float64   `json:"alphaY"`
+	Bias           float64     `json:"bias"`
+	Dim            int         `json:"dim"`
+}
+
+type kernelJSON struct {
+	Kind   string  `json:"kind"`
+	A0     float64 `json:"a0,omitempty"`
+	B0     float64 `json:"b0,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	C0     float64 `json:"c0,omitempty"`
+}
+
+func kernelToJSON(k Kernel) kernelJSON {
+	return kernelJSON{
+		Kind:   k.Kind.String(),
+		A0:     k.A0,
+		B0:     k.B0,
+		Degree: k.Degree,
+		Gamma:  k.Gamma,
+		C0:     k.C0,
+	}
+}
+
+func kernelFromJSON(k kernelJSON) (Kernel, error) {
+	out := Kernel{A0: k.A0, B0: k.B0, Degree: k.Degree, Gamma: k.Gamma, C0: k.C0}
+	switch k.Kind {
+	case "linear":
+		out.Kind = KernelLinear
+	case "polynomial":
+		out.Kind = KernelPolynomial
+	case "rbf":
+		out.Kind = KernelRBF
+	case "sigmoid":
+		out.Kind = KernelSigmoid
+	default:
+		return Kernel{}, fmt.Errorf("svm: unknown kernel kind %q", k.Kind)
+	}
+	return out, out.Validate()
+}
+
+// WriteModel serializes a model as JSON.
+func WriteModel(w io.Writer, m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(modelJSON{
+		Kernel:         kernelToJSON(m.Kernel),
+		SupportVectors: m.SupportVectors,
+		AlphaY:         m.AlphaY,
+		Bias:           m.Bias,
+		Dim:            m.Dim,
+	})
+}
+
+// ReadModel parses a model from its JSON form and validates it.
+func ReadModel(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("svm: decode model: %w", err)
+	}
+	kernel, err := kernelFromJSON(mj.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Kernel:         kernel,
+		SupportVectors: mj.SupportVectors,
+		AlphaY:         mj.AlphaY,
+		Bias:           mj.Bias,
+		Dim:            mj.Dim,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// multiclassJSON is the stable wire form of a MulticlassModel.
+type multiclassJSON struct {
+	Classes []int      `json:"classes"`
+	Pairs   []pairJSON `json:"pairs"`
+}
+
+type pairJSON struct {
+	ClassPos int       `json:"classPos"`
+	ClassNeg int       `json:"classNeg"`
+	Model    modelJSON `json:"model"`
+}
+
+// WriteMulticlassModel serializes a one-vs-one ensemble as JSON.
+func WriteMulticlassModel(w io.Writer, m *MulticlassModel) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	out := multiclassJSON{Classes: m.Classes}
+	for _, p := range m.Pairs {
+		out.Pairs = append(out.Pairs, pairJSON{
+			ClassPos: p.ClassPos,
+			ClassNeg: p.ClassNeg,
+			Model: modelJSON{
+				Kernel:         kernelToJSON(p.Model.Kernel),
+				SupportVectors: p.Model.SupportVectors,
+				AlphaY:         p.Model.AlphaY,
+				Bias:           p.Model.Bias,
+				Dim:            p.Model.Dim,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadMulticlassModel parses a one-vs-one ensemble and validates it.
+func ReadMulticlassModel(r io.Reader) (*MulticlassModel, error) {
+	var mj multiclassJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("svm: decode multiclass model: %w", err)
+	}
+	out := &MulticlassModel{Classes: mj.Classes}
+	for _, p := range mj.Pairs {
+		kernel, err := kernelFromJSON(p.Model.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		out.Pairs = append(out.Pairs, PairModel{
+			ClassPos: p.ClassPos,
+			ClassNeg: p.ClassNeg,
+			Model: &Model{
+				Kernel:         kernel,
+				SupportVectors: p.Model.SupportVectors,
+				AlphaY:         p.Model.AlphaY,
+				Bias:           p.Model.Bias,
+				Dim:            p.Model.Dim,
+			},
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package svm_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/svm"
+)
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	x, y, _, _ := separable2D(80, 41, 0.1)
+	kernels := []svm.Kernel{
+		svm.Linear(),
+		svm.Polynomial(0.5, 1, 3),
+		svm.RBF(0.7),
+		svm.Sigmoid(0.2, 0.1),
+	}
+	for _, k := range kernels {
+		t.Run(k.Kind.String(), func(t *testing.T) {
+			model, err := svm.Train(x, y, svm.Config{Kernel: k, C: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := svm.WriteModel(&buf, model); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := svm.ReadModel(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Kernel != model.Kernel {
+				t.Fatalf("kernel changed: %+v vs %+v", loaded.Kernel, model.Kernel)
+			}
+			// Decisions must agree exactly.
+			for i := 0; i < 10; i++ {
+				a, err := model.Decision(x[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := loaded.Decision(x[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(a-b) > 1e-12 {
+					t.Fatalf("decision changed: %v vs %v", a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestReadModelRejectsInvalid(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"kernel":{"kind":"mystery"},"supportVectors":[[1]],"alphaY":[1],"dim":1}`,
+		`{"kernel":{"kind":"linear"},"supportVectors":[],"alphaY":[],"dim":1}`,
+		`{"kernel":{"kind":"linear"},"supportVectors":[[1,2]],"alphaY":[1,2],"dim":2}`,
+	}
+	for i, in := range cases {
+		if _, err := svm.ReadModel(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestMulticlassSerializationRoundTrip(t *testing.T) {
+	// Three linearly separable stripes.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 90; i++ {
+		v := -1 + 2*float64(i)/89
+		x = append(x, []float64{v, float64(i%7)/7 - 0.5})
+		switch {
+		case v < -0.3:
+			y = append(y, 1)
+		case v < 0.3:
+			y = append(y, 2)
+		default:
+			y = append(y, 3)
+		}
+	}
+	model, err := svm.TrainMulticlass(x, y, svm.Config{Kernel: svm.Linear(), C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svm.WriteMulticlassModel(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := svm.ReadMulticlassModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a, err := model.Classify(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Classify(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("sample %d: %d vs %d after round trip", i, a, b)
+		}
+	}
+	if _, err := svm.ReadMulticlassModel(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty ensemble should fail")
+	}
+}

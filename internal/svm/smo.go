@@ -1,0 +1,294 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config holds training hyperparameters.
+type Config struct {
+	// Kernel selects the kernel (Linear() if zero-valued Kind).
+	Kernel Kernel
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3, LIBSVM's default).
+	Tol float64
+	// MaxIter hard-bounds pair optimizations (default 100·n, min 10000).
+	MaxIter int
+	// GramLimit bounds the size n for which the full Gram matrix is
+	// precomputed (default 4096; above it kernels are evaluated on
+	// demand).
+	GramLimit int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Kernel.Kind == 0 {
+		c.Kernel = Linear()
+	}
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 100 * n
+		if c.MaxIter < 10000 {
+			c.MaxIter = 10000
+		}
+	}
+	if c.GramLimit == 0 {
+		c.GramLimit = 4096
+	}
+	return c
+}
+
+// Train fits a binary soft-margin SVM on samples x with labels y ∈ {+1,−1}
+// using Platt's sequential minimal optimization with an error cache and
+// second-choice heuristic (max |E_i − E_j|). It replaces the paper's use
+// of LIBSVM.
+func Train(x [][]float64, y []int, cfg Config) (*Model, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 samples, got %d", n)
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", n, len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, errors.New("svm: zero-dimensional samples")
+	}
+	hasPos, hasNeg := false, false
+	for i, yi := range y {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("%w: sample %d has dim %d, want %d", ErrDimension, i, len(x[i]), dim)
+		}
+		switch yi {
+		case 1:
+			hasPos = true
+		case -1:
+			hasNeg = true
+		default:
+			return nil, fmt.Errorf("svm: label %d at index %d; labels must be ±1", yi, i)
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, errors.New("svm: training set must contain both classes")
+	}
+	cfg = cfg.withDefaults(n)
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.C <= 0 {
+		return nil, fmt.Errorf("svm: C=%v must be positive", cfg.C)
+	}
+
+	tr := &trainer{x: x, y: y, cfg: cfg, n: n}
+	if err := tr.init(); err != nil {
+		return nil, err
+	}
+	tr.solve()
+	return tr.model(dim)
+}
+
+type trainer struct {
+	x   [][]float64
+	y   []int
+	cfg Config
+	n   int
+
+	alpha []float64
+	errs  []float64 // E_i = f(x_i) − y_i with the current b folded in
+	b     float64
+	gram  [][]float64 // full Gram matrix, or nil when beyond GramLimit
+	diag  []float64   // K_ii, always cached
+	iters int
+}
+
+func (t *trainer) init() error {
+	t.alpha = make([]float64, t.n)
+	t.errs = make([]float64, t.n)
+	t.diag = make([]float64, t.n)
+	for i := range t.errs {
+		// With α = 0, f(x_i) = b = 0, so E_i = −y_i.
+		t.errs[i] = -float64(t.y[i])
+	}
+	for i := 0; i < t.n; i++ {
+		k, err := t.cfg.Kernel.Eval(t.x[i], t.x[i])
+		if err != nil {
+			return err
+		}
+		t.diag[i] = k
+	}
+	if t.n <= t.cfg.GramLimit {
+		t.gram = make([][]float64, t.n)
+		flat := make([]float64, t.n*t.n)
+		for i := 0; i < t.n; i++ {
+			t.gram[i], flat = flat[:t.n], flat[t.n:]
+			t.gram[i][i] = t.diag[i]
+			for j := 0; j < i; j++ {
+				k, err := t.cfg.Kernel.Eval(t.x[i], t.x[j])
+				if err != nil {
+					return err
+				}
+				t.gram[i][j] = k
+				t.gram[j][i] = k
+			}
+		}
+	}
+	return nil
+}
+
+func (t *trainer) k(i, j int) float64 {
+	if t.gram != nil {
+		return t.gram[i][j]
+	}
+	if i == j {
+		return t.diag[i]
+	}
+	k, err := t.cfg.Kernel.Eval(t.x[i], t.x[j])
+	if err != nil {
+		// Dimensions were validated in Train; kernel eval cannot fail here.
+		panic(err)
+	}
+	return k
+}
+
+// solve runs Platt's outer loop: alternate full sweeps with sweeps over
+// non-bound multipliers until a full sweep makes no progress.
+func (t *trainer) solve() {
+	examineAll := true
+	changed := 0
+	for (changed > 0 || examineAll) && t.iters < t.cfg.MaxIter {
+		changed = 0
+		for i := 0; i < t.n && t.iters < t.cfg.MaxIter; i++ {
+			if !examineAll && (t.alpha[i] <= 0 || t.alpha[i] >= t.cfg.C) {
+				continue
+			}
+			if t.examine(i) {
+				changed++
+			}
+		}
+		if examineAll {
+			examineAll = false
+		} else if changed == 0 {
+			examineAll = true
+		}
+	}
+}
+
+// examine checks KKT conditions for multiplier i and, on violation,
+// optimizes it against the partner j maximizing |E_i − E_j|.
+func (t *trainer) examine(i int) bool {
+	yi := float64(t.y[i])
+	ri := t.errs[i] * yi
+	if !((ri < -t.cfg.Tol && t.alpha[i] < t.cfg.C) || (ri > t.cfg.Tol && t.alpha[i] > 0)) {
+		return false
+	}
+	// Second-choice heuristic: maximize |E_i − E_j|, preferring non-bound
+	// partners; fall back to any other index.
+	best, bestGap := -1, -1.0
+	for j := 0; j < t.n; j++ {
+		if j == i || t.alpha[j] <= 0 || t.alpha[j] >= t.cfg.C {
+			continue
+		}
+		gap := math.Abs(t.errs[i] - t.errs[j])
+		if gap > bestGap {
+			best, bestGap = j, gap
+		}
+	}
+	if best >= 0 && t.step(i, best) {
+		return true
+	}
+	for j := 0; j < t.n; j++ {
+		if j == i {
+			continue
+		}
+		if t.step(i, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// step jointly optimizes the pair (i, j), returning whether it moved.
+func (t *trainer) step(i, j int) bool {
+	t.iters++
+	yi, yj := float64(t.y[i]), float64(t.y[j])
+	ai, aj := t.alpha[i], t.alpha[j]
+	c := t.cfg.C
+
+	var lo, hi float64
+	if t.y[i] != t.y[j] {
+		lo = math.Max(0, aj-ai)
+		hi = math.Min(c, c+aj-ai)
+	} else {
+		lo = math.Max(0, ai+aj-c)
+		hi = math.Min(c, ai+aj)
+	}
+	if lo >= hi {
+		return false
+	}
+	kii, kjj, kij := t.k(i, i), t.k(j, j), t.k(i, j)
+	eta := 2*kij - kii - kjj
+	if eta >= 0 {
+		// Non-positive-curvature direction (possible for sigmoid kernels);
+		// skip rather than line-search the boundary.
+		return false
+	}
+	ajNew := aj - yj*(t.errs[i]-t.errs[j])/eta
+	if ajNew > hi {
+		ajNew = hi
+	} else if ajNew < lo {
+		ajNew = lo
+	}
+	if math.Abs(ajNew-aj) < 1e-12*(ajNew+aj+1e-12) {
+		return false
+	}
+	aiNew := ai + yi*yj*(aj-ajNew)
+
+	b1 := t.b - t.errs[i] - yi*(aiNew-ai)*kii - yj*(ajNew-aj)*kij
+	b2 := t.b - t.errs[j] - yi*(aiNew-ai)*kij - yj*(ajNew-aj)*kjj
+	var bNew float64
+	switch {
+	case aiNew > 0 && aiNew < c:
+		bNew = b1
+	case ajNew > 0 && ajNew < c:
+		bNew = b2
+	default:
+		bNew = (b1 + b2) / 2
+	}
+
+	di, dj, db := yi*(aiNew-ai), yj*(ajNew-aj), bNew-t.b
+	for k := 0; k < t.n; k++ {
+		t.errs[k] += di*t.k(i, k) + dj*t.k(j, k) + db
+	}
+	t.alpha[i], t.alpha[j], t.b = aiNew, ajNew, bNew
+	return true
+}
+
+func (t *trainer) model(dim int) (*Model, error) {
+	var sv [][]float64
+	var alphaY []float64
+	for i, a := range t.alpha {
+		if a > 1e-12 {
+			vec := make([]float64, dim)
+			copy(vec, t.x[i])
+			sv = append(sv, vec)
+			alphaY = append(alphaY, a*float64(t.y[i]))
+		}
+	}
+	m := &Model{
+		Kernel:         t.cfg.Kernel,
+		SupportVectors: sv,
+		AlphaY:         alphaY,
+		Bias:           t.b,
+		Dim:            dim,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+	"repro/internal/svm"
+)
+
+// ClassifyClient drives the classification protocol over a connection.
+type ClassifyClient struct {
+	conn   *Conn
+	client *classify.Client
+	rand   io.Reader
+}
+
+// DialClassify connects to a trainer server over TCP and performs the
+// handshake.
+func DialClassify(addr string, timeout time.Duration, rng io.Reader) (*ClassifyClient, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	cc, err := NewClassifyClient(nc, rng)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// NewClassifyClient performs the handshake on an established stream.
+func NewClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*ClassifyClient, error) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(2 * time.Minute)
+	if err := conn.Send(&Hello{Service: "classify"}); err != nil {
+		return nil, err
+	}
+	spec, err := Recv[*classify.Spec](conn)
+	if err != nil {
+		return nil, err
+	}
+	client, err := classify.NewClient(*spec)
+	if err != nil {
+		return nil, err
+	}
+	return &ClassifyClient{conn: conn, client: client, rand: rng}, nil
+}
+
+// Spec returns the trainer's published protocol contract.
+func (c *ClassifyClient) Spec() classify.Spec { return c.client.Spec() }
+
+// Classify runs one private classification round trip.
+func (c *ClassifyClient) Classify(sample []float64) (int, error) {
+	receiver, req, err := c.client.NewSession(sample, c.rand)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.conn.Send(req); err != nil {
+		return 0, err
+	}
+	setup, err := Recv[*batchSetup](c.conn)
+	if err != nil {
+		return 0, err
+	}
+	choice, err := receiver.HandleSetup(setup, c.rand)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.conn.Send(choice); err != nil {
+		return 0, err
+	}
+	tr, err := Recv[*batchTransfer](c.conn)
+	if err != nil {
+		return 0, err
+	}
+	result, err := receiver.Finish(tr)
+	if err != nil {
+		return 0, err
+	}
+	return c.client.Interpret(result)
+}
+
+// Close ends the session cleanly.
+func (c *ClassifyClient) Close() error {
+	_ = c.conn.Send(&Done{})
+	return c.conn.Close()
+}
+
+// EvaluateSimilarity runs a full linear similarity evaluation as Bob
+// against a server hosting model A, using Bob's own model (wB, bB).
+func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.Reader) (*similarity.Result, error) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(2 * time.Minute)
+	defer func() { _ = conn.Close() }()
+	if err := conn.Send(&Hello{Service: "similarity-linear"}); err != nil {
+		return nil, err
+	}
+	spec, err := Recv[*similarity.Spec](conn)
+	if err != nil {
+		return nil, err
+	}
+	bob, err := similarity.NewBob(*spec, wB, bB)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(bob.ClearShare()); err != nil {
+		return nil, err
+	}
+	for _, round := range []similarity.Round{similarity.RoundCentroid, similarity.RoundNormal, similarity.RoundArea} {
+		if err := conn.Send(&RoundHeader{Round: round}); err != nil {
+			return nil, err
+		}
+		req, err := bob.StartRound(round, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(req); err != nil {
+			return nil, err
+		}
+		setup, err := Recv[*batchSetup](conn)
+		if err != nil {
+			return nil, err
+		}
+		choice, err := bob.HandleSetup(round, setup, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(choice); err != nil {
+			return nil, err
+		}
+		tr, err := Recv[*batchTransfer](conn)
+		if err != nil {
+			return nil, err
+		}
+		result, err := bob.FinishRound(round, tr)
+		if err != nil {
+			return nil, err
+		}
+		if round == similarity.RoundArea {
+			return result, nil
+		}
+	}
+	return nil, fmt.Errorf("transport: similarity protocol did not complete")
+}
+
+// EvaluateKernelSimilarity runs a full kernelized similarity evaluation
+// as Bob against a server hosting a polynomial-kernel model, using Bob's
+// own model.
+func EvaluateKernelSimilarity(rw io.ReadWriteCloser, modelB *svm.Model, rng io.Reader) (*similarity.Result, error) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(2 * time.Minute)
+	defer func() { _ = conn.Close() }()
+	if err := conn.Send(&Hello{Service: "similarity-kernel"}); err != nil {
+		return nil, err
+	}
+	spec, err := Recv[*similarity.KernelSpec](conn)
+	if err != nil {
+		return nil, err
+	}
+	bob, err := similarity.NewKernelBob(*spec, modelB)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(bob.ClearShare()); err != nil {
+		return nil, err
+	}
+	scale, err := Recv[*similarity.AreaScale](conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := bob.SetAreaScale(scale); err != nil {
+		return nil, err
+	}
+	rounds := []similarity.Round{similarity.RoundCentroid}
+	for t := 0; t < len(modelB.SupportVectors); t++ {
+		rounds = append(rounds, similarity.RoundNormal)
+	}
+	rounds = append(rounds, similarity.RoundArea)
+	for _, round := range rounds {
+		if err := conn.Send(&RoundHeader{Round: round}); err != nil {
+			return nil, err
+		}
+		req, err := bob.StartRound(round, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(req); err != nil {
+			return nil, err
+		}
+		setup, err := Recv[*batchSetup](conn)
+		if err != nil {
+			return nil, err
+		}
+		choice, err := bob.HandleSetup(round, setup, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(choice); err != nil {
+			return nil, err
+		}
+		tr, err := Recv[*batchTransfer](conn)
+		if err != nil {
+			return nil, err
+		}
+		result, err := bob.FinishRound(round, tr)
+		if err != nil {
+			return nil, err
+		}
+		if round == similarity.RoundArea {
+			return result, nil
+		}
+	}
+	return nil, fmt.Errorf("transport: kernel similarity protocol did not complete")
+}
+
+// DialSimilarity runs a similarity evaluation against a TCP server.
+func DialSimilarity(addr string, wB []float64, bB float64, timeout time.Duration, rng io.Reader) (*similarity.Result, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return EvaluateSimilarity(nc, wB, bB, rng)
+}
+
+// FastClassifyClient drives the IKNP fast classification session over a
+// connection: one base phase at dial time, then two messages per query.
+type FastClassifyClient struct {
+	conn    *Conn
+	session *classify.FastClient
+	rand    io.Reader
+}
+
+// NewFastClassifyClient performs the handshake and base phase on an
+// established stream.
+func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyClient, error) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(2 * time.Minute)
+	if err := conn.Send(&Hello{Service: "classify-fast"}); err != nil {
+		return nil, err
+	}
+	spec, err := Recv[*classify.Spec](conn)
+	if err != nil {
+		return nil, err
+	}
+	session, setup, err := classify.NewFastClient(*spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(setup); err != nil {
+		return nil, err
+	}
+	choice, err := Recv[*ot.IKNPBaseChoice](conn)
+	if err != nil {
+		return nil, err
+	}
+	baseTr, err := session.FinishBase(choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(baseTr); err != nil {
+		return nil, err
+	}
+	return &FastClassifyClient{conn: conn, session: session, rand: rng}, nil
+}
+
+// DialClassifyFast connects over TCP and runs the base phase.
+func DialClassifyFast(addr string, timeout time.Duration, rng io.Reader) (*FastClassifyClient, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	fc, err := NewFastClassifyClient(nc, rng)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	return fc, nil
+}
+
+// Classify runs one two-message fast query.
+func (c *FastClassifyClient) Classify(sample []float64) (int, error) {
+	query, req, err := c.session.NewQuery(sample, c.rand)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.conn.Send(req); err != nil {
+		return 0, err
+	}
+	resp, err := Recv[*ompe.FastResponse](c.conn)
+	if err != nil {
+		return 0, err
+	}
+	return query.Finish(resp)
+}
+
+// Close ends the session cleanly.
+func (c *FastClassifyClient) Close() error {
+	_ = c.conn.Send(&Done{})
+	return c.conn.Close()
+}
+
+// DialKernelSimilarity runs a kernelized similarity evaluation against a
+// TCP server.
+func DialKernelSimilarity(addr string, modelB *svm.Model, timeout time.Duration, rng io.Reader) (*similarity.Result, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return EvaluateKernelSimilarity(nc, modelB, rng)
+}

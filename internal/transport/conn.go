@@ -1,0 +1,153 @@
+// Package transport carries the protocol state machines over real
+// connections: a typed message layer (gob-encoded envelopes over any
+// io.ReadWriteCloser) plus a TCP server and client for the classification
+// and similarity protocols. The same code paths drive in-memory net.Pipe
+// connections in tests and TCP sockets in the cmd/ binaries, making the
+// system an actual distributed deployment rather than a single-process
+// simulation.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+)
+
+// envelope wraps every message with an error channel: a party that fails
+// mid-protocol reports the failure instead of going silent.
+type envelope struct {
+	Err     string
+	Payload any
+}
+
+var registerOnce sync.Once
+
+func registerTypes() {
+	registerOnce.Do(func() {
+		gob.Register(&classify.Spec{})
+		gob.Register(&ompe.EvalRequest{})
+		gob.Register(&ot.BatchSetup{})
+		gob.Register(&ot.BatchChoice{})
+		gob.Register(&ot.BatchTransfer{})
+		gob.Register(&similarity.Spec{})
+		gob.Register(&similarity.ClearShare{})
+		gob.Register(&similarity.KernelSpec{})
+		gob.Register(&similarity.KernelClearShare{})
+		gob.Register(&similarity.AreaScale{})
+		gob.Register(&Hello{})
+		gob.Register(&RoundHeader{})
+		gob.Register(&Done{})
+		gob.Register(&ot.IKNPBaseSetup{})
+		gob.Register(&ot.IKNPBaseChoice{})
+		gob.Register(&ot.IKNPBaseTransfer{})
+		gob.Register(&ompe.FastRequest{})
+		gob.Register(&ompe.FastResponse{})
+	})
+}
+
+// Hello opens a session and selects the service.
+type Hello struct {
+	// Service is one of "classify", "classify-fast", "similarity-linear",
+	// "similarity-kernel".
+	Service string
+}
+
+// RoundHeader precedes each OMPE round of the similarity protocol.
+type RoundHeader struct {
+	Round similarity.Round
+}
+
+// Done signals the clean end of a session.
+type Done struct{}
+
+// ErrRemote wraps an error reported by the peer.
+var ErrRemote = errors.New("transport: remote error")
+
+// Conn is a typed, framed protocol connection.
+type Conn struct {
+	rw  io.ReadWriteCloser
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	// deadline, when non-zero, bounds each message exchange on net.Conn
+	// transports.
+	deadline time.Duration
+}
+
+// deadliner matches net.Conn's deadline surface.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// NewConn wraps a byte stream in the typed message layer.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	registerTypes()
+	return &Conn{rw: rw, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// SetMessageDeadline bounds each subsequent Send/Recv when the underlying
+// stream supports deadlines (no-op otherwise).
+func (c *Conn) SetMessageDeadline(d time.Duration) { c.deadline = d }
+
+func (c *Conn) arm() {
+	if c.deadline <= 0 {
+		return
+	}
+	if d, ok := c.rw.(deadliner); ok {
+		// Best effort: a failed deadline set surfaces as a read/write error.
+		_ = d.SetDeadline(time.Now().Add(c.deadline))
+	}
+}
+
+// Send transmits one message.
+func (c *Conn) Send(v any) error {
+	c.arm()
+	if err := c.enc.Encode(&envelope{Payload: v}); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// SendErr reports a protocol failure to the peer.
+func (c *Conn) SendErr(cause error) error {
+	c.arm()
+	return c.enc.Encode(&envelope{Err: cause.Error()})
+}
+
+// recvAny receives the next message of any payload type.
+func (c *Conn) recvAny() (any, error) {
+	c.arm()
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	if env.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, env.Err)
+	}
+	return env.Payload, nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// Recv receives the next message and asserts its type.
+func Recv[T any](c *Conn) (T, error) {
+	var zero T
+	payload, err := c.recvAny()
+	if err != nil {
+		return zero, err
+	}
+	v, ok := payload.(T)
+	if !ok {
+		return zero, fmt.Errorf("transport: unexpected message %T, want %T", payload, zero)
+	}
+	return v, nil
+}

@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+)
+
+// Wire aliases for the protocol message types.
+type (
+	evalRequest   = ompe.EvalRequest
+	batchChoice   = ot.BatchChoice
+	batchSetup    = ot.BatchSetup
+	batchTransfer = ot.BatchTransfer
+)
+
+// Server hosts a trainer's protocol endpoints: privacy-preserving
+// classification (one-shot and IKNP fast sessions) and, when enabled,
+// linear and kernelized similarity evaluation. It serves concurrent
+// sessions, one goroutine per connection.
+type Server struct {
+	trainer *classify.Trainer
+
+	// simWeights/simBias enable the linear similarity service when set.
+	simWeights []float64
+	simBias    float64
+	simParams  similarity.Params
+	simEnabled bool
+
+	// kernelSimEnabled enables the kernelized similarity service for the
+	// trainer's own (polynomial-kernel) model.
+	kernelSimParams  similarity.Params
+	kernelSimEnabled bool
+
+	// MessageDeadline bounds each message exchange (default 2 minutes).
+	MessageDeadline time.Duration
+	// Logf logs session-level events (default log.Printf; set to a no-op
+	// for quiet operation).
+	Logf func(format string, args ...any)
+	// Rand is the entropy source (default crypto/rand.Reader).
+	Rand io.Reader
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	ln     net.Listener
+	closed bool
+}
+
+// NewServer builds a server around a classification trainer.
+func NewServer(trainer *classify.Trainer) *Server {
+	return &Server{
+		trainer:         trainer,
+		MessageDeadline: 2 * time.Minute,
+		Logf:            log.Printf,
+		Rand:            rand.Reader,
+	}
+}
+
+// EnableSimilarity adds the linear similarity service for the given model.
+func (s *Server) EnableSimilarity(w []float64, b float64, params similarity.Params) {
+	s.simWeights = append([]float64(nil), w...)
+	s.simBias = b
+	s.simParams = params
+	s.simEnabled = true
+}
+
+// EnableKernelSimilarity adds the kernelized (§V-C) similarity service for
+// the trainer's own polynomial-kernel model.
+func (s *Server) EnableKernelSimilarity(params similarity.Params) {
+	s.kernelSimParams = params
+	s.kernelSimEnabled = true
+}
+
+// Serve accepts sessions on the listener until Close. It returns
+// net.ErrClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn runs one session on an established byte stream (exported so
+// tests can drive net.Pipe).
+func (s *Server) ServeConn(rw io.ReadWriteCloser) {
+	s.serveConn(rw)
+}
+
+func (s *Server) serveConn(rw io.ReadWriteCloser) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(s.MessageDeadline)
+	defer func() {
+		if err := conn.Close(); err != nil && s.Logf != nil {
+			s.Logf("transport: close session: %v", err)
+		}
+	}()
+	hello, err := Recv[*Hello](conn)
+	if err != nil {
+		s.logf("transport: handshake: %v", err)
+		return
+	}
+	switch hello.Service {
+	case "classify":
+		err = s.serveClassify(conn)
+	case "similarity-linear":
+		err = s.serveSimilarity(conn)
+	case "similarity-kernel":
+		err = s.serveKernelSimilarity(conn)
+	case "classify-fast":
+		err = s.serveClassifyFast(conn)
+	default:
+		err = fmt.Errorf("unknown service %q", hello.Service)
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		s.logf("transport: session (%s): %v", hello.Service, err)
+		_ = conn.SendErr(err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// serveClassify answers any number of classification queries on one
+// session: EvalRequest → BatchSetup → BatchChoice → BatchTransfer, until
+// Done or EOF.
+func (s *Server) serveClassify(conn *Conn) error {
+	spec := s.trainer.Spec()
+	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	for {
+		payload, err := conn.recvAny()
+		if err != nil {
+			return err
+		}
+		switch msg := payload.(type) {
+		case *Done:
+			return nil
+		case *evalRequest:
+			sender, err := s.trainer.NewSession()
+			if err != nil {
+				return err
+			}
+			setup, err := sender.HandleRequest(msg, s.Rand)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(setup); err != nil {
+				return err
+			}
+			choice, err := Recv[*batchChoice](conn)
+			if err != nil {
+				return err
+			}
+			tr, err := sender.HandleChoice(choice, s.Rand)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(tr); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("transport: unexpected message %T", payload)
+		}
+	}
+}
+
+// serveSimilarity runs one linear similarity evaluation as Alice.
+func (s *Server) serveSimilarity(conn *Conn) error {
+	if !s.simEnabled {
+		return errors.New("similarity service not enabled")
+	}
+	alice, err := similarity.NewAlice(s.simWeights, s.simBias, s.simParams, s.Rand)
+	if err != nil {
+		return err
+	}
+	spec := alice.Spec()
+	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	clear, err := Recv[*similarity.ClearShare](conn)
+	if err != nil {
+		return err
+	}
+	if err := alice.HandleClearShare(clear); err != nil {
+		return err
+	}
+	for _, round := range []similarity.Round{similarity.RoundCentroid, similarity.RoundNormal, similarity.RoundArea} {
+		header, err := Recv[*RoundHeader](conn)
+		if err != nil {
+			return err
+		}
+		if header.Round != round {
+			return fmt.Errorf("transport: round %d, want %d", header.Round, round)
+		}
+		req, err := Recv[*evalRequest](conn)
+		if err != nil {
+			return err
+		}
+		setup, err := alice.HandleRequest(round, req, s.Rand)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(setup); err != nil {
+			return err
+		}
+		choice, err := Recv[*batchChoice](conn)
+		if err != nil {
+			return err
+		}
+		tr, err := alice.HandleChoice(round, choice, s.Rand)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveKernelSimilarity runs one kernelized similarity evaluation as
+// Alice: clear share, area-scale announcement, then the centroid round,
+// |S_B| normal rounds, and the area round.
+func (s *Server) serveKernelSimilarity(conn *Conn) error {
+	if !s.kernelSimEnabled {
+		return errors.New("kernel similarity service not enabled")
+	}
+	alice, err := similarity.NewKernelAlice(s.trainer.Model(), s.kernelSimParams, s.Rand)
+	if err != nil {
+		return err
+	}
+	spec := alice.Spec()
+	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	clear, err := Recv[*similarity.KernelClearShare](conn)
+	if err != nil {
+		return err
+	}
+	if err := alice.HandleClearShare(clear); err != nil {
+		return err
+	}
+	scale, err := alice.AnnounceAreaScale()
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(scale); err != nil {
+		return err
+	}
+	rounds := []similarity.Round{similarity.RoundCentroid}
+	for t := 0; t < clear.NumSupport; t++ {
+		rounds = append(rounds, similarity.RoundNormal)
+	}
+	rounds = append(rounds, similarity.RoundArea)
+	for _, round := range rounds {
+		header, err := Recv[*RoundHeader](conn)
+		if err != nil {
+			return err
+		}
+		if header.Round != round {
+			return fmt.Errorf("transport: round %d, want %d", header.Round, round)
+		}
+		req, err := Recv[*evalRequest](conn)
+		if err != nil {
+			return err
+		}
+		setup, err := alice.HandleRequest(round, req, s.Rand)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(setup); err != nil {
+			return err
+		}
+		choice, err := Recv[*batchChoice](conn)
+		if err != nil {
+			return err
+		}
+		tr, err := alice.HandleChoice(round, choice, s.Rand)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveClassifyFast runs an IKNP fast session: one base phase, then any
+// number of two-message classification queries until Done or EOF.
+func (s *Server) serveClassifyFast(conn *Conn) error {
+	spec := s.trainer.Spec()
+	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	setup, err := Recv[*ot.IKNPBaseSetup](conn)
+	if err != nil {
+		return err
+	}
+	fast, choice, err := s.trainer.NewFastSession(setup, s.Rand)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(choice); err != nil {
+		return err
+	}
+	baseTr, err := Recv[*ot.IKNPBaseTransfer](conn)
+	if err != nil {
+		return err
+	}
+	if err := fast.FinishBase(baseTr); err != nil {
+		return err
+	}
+	for {
+		payload, err := conn.recvAny()
+		if err != nil {
+			return err
+		}
+		switch msg := payload.(type) {
+		case *Done:
+			return nil
+		case *ompe.FastRequest:
+			resp, err := fast.HandleQuery(msg, s.Rand)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(resp); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("transport: unexpected message %T", payload)
+		}
+	}
+}

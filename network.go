@@ -1,0 +1,60 @@
+package ppdc
+
+import (
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Server hosts a trainer's protocol endpoints over real connections:
+// privacy-preserving classification and, when enabled, linear similarity
+// evaluation. It serves concurrent sessions.
+type Server = transport.Server
+
+// NetworkClient drives the classification protocol against a remote
+// trainer.
+type NetworkClient = transport.ClassifyClient
+
+// NewServer builds a protocol server around a trainer.
+func NewServer(t *Trainer) *Server { return transport.NewServer(t) }
+
+// DialClassify connects to a trainer server over TCP, performing the
+// spec handshake.
+func DialClassify(addr string, timeout time.Duration, rng io.Reader) (*NetworkClient, error) {
+	return transport.DialClassify(addr, timeout, rng)
+}
+
+// DialSimilarity runs a full private similarity evaluation as Bob against
+// a TCP server hosting model A, using Bob's own linear model (wB, bB).
+func DialSimilarity(addr string, wB []float64, bB float64, timeout time.Duration, rng io.Reader) (*SimilarityResult, error) {
+	return transport.DialSimilarity(addr, wB, bB, timeout, rng)
+}
+
+// DialKernelSimilarity runs a kernelized (§V-C) private similarity
+// evaluation as Bob against a TCP server hosting a polynomial-kernel
+// model, using Bob's own model.
+func DialKernelSimilarity(addr string, modelB *Model, timeout time.Duration, rng io.Reader) (*SimilarityResult, error) {
+	return transport.DialKernelSimilarity(addr, modelB, timeout, rng)
+}
+
+// Serve is a convenience: listen on addr and serve until the listener
+// fails or the server is closed.
+func Serve(s *Server, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// FastNetworkClient drives the IKNP fast classification session against a
+// remote trainer: one base phase at dial time, two messages per query.
+type FastNetworkClient = transport.FastClassifyClient
+
+// DialClassifyFast connects to a trainer server over TCP and runs the
+// fast session's base phase.
+func DialClassifyFast(addr string, timeout time.Duration, rng io.Reader) (*FastNetworkClient, error) {
+	return transport.DialClassifyFast(addr, timeout, rng)
+}

@@ -1,0 +1,94 @@
+package ppdc
+
+import (
+	"io"
+
+	"repro/internal/similarity"
+	"repro/internal/svm"
+)
+
+// SimilarityMetric fixes the public evaluation geometry: the data box
+// [α, β]ⁿ and the regularizers L0, θ0 of the triangle metric (Eq. 4).
+type SimilarityMetric = similarity.Metric
+
+// SimilarityParams configures the private similarity protocol.
+type SimilarityParams = similarity.Params
+
+// SimilarityResult carries T (smaller = more similar models), T², and —
+// for plaintext evaluations — the underlying L and cos θ.
+type SimilarityResult = similarity.Result
+
+// DefaultSimilarityMetric returns the paper's geometry: box [−1,1],
+// L0 = 0.05, θ0 = 5°.
+func DefaultSimilarityMetric() SimilarityMetric { return similarity.DefaultMetric() }
+
+// EvaluateSimilarity computes the triangle metric between two linear
+// models in the clear (the paper's "ordinary evaluation" baseline).
+func EvaluateSimilarity(wA []float64, bA float64, wB []float64, bB float64, m SimilarityMetric) (*SimilarityResult, error) {
+	return similarity.EvaluateLinear(wA, bA, wB, bB, m)
+}
+
+// EvaluateSimilarityPrivate runs the paper's three-round private protocol
+// between two linear models in process and returns Bob's result.
+func EvaluateSimilarityPrivate(wA []float64, bA float64, wB []float64, bB float64, params SimilarityParams, rng io.Reader) (*SimilarityResult, error) {
+	return similarity.EvaluatePrivate(wA, bA, wB, bB, params, rng)
+}
+
+// EvaluateModelSimilarity computes the metric between two trained models
+// in the clear, dispatching on the kernel: linear models use the closed
+// form, kernel models the feature-space form of §V-C.
+func EvaluateModelSimilarity(a, b *Model, m SimilarityMetric) (*SimilarityResult, error) {
+	if a.Kernel.Kind == svm.KernelLinear && b.Kernel.Kind == svm.KernelLinear {
+		wA, err := a.LinearWeights()
+		if err != nil {
+			return nil, err
+		}
+		wB, err := b.LinearWeights()
+		if err != nil {
+			return nil, err
+		}
+		return similarity.EvaluateLinear(wA, a.Bias, wB, b.Bias, m)
+	}
+	return similarity.EvaluateKernel(a, b, m)
+}
+
+// EvaluateModelSimilarityPrivate runs the private protocol between two
+// trained models in process, dispatching on the kernel.
+func EvaluateModelSimilarityPrivate(a, b *Model, params SimilarityParams, rng io.Reader) (*SimilarityResult, error) {
+	if a.Kernel.Kind == svm.KernelLinear && b.Kernel.Kind == svm.KernelLinear {
+		wA, err := a.LinearWeights()
+		if err != nil {
+			return nil, err
+		}
+		wB, err := b.LinearWeights()
+		if err != nil {
+			return nil, err
+		}
+		return similarity.EvaluatePrivate(wA, a.Bias, wB, b.Bias, params, rng)
+	}
+	return similarity.EvaluatePrivateKernel(a, b, params, rng)
+}
+
+// SimilarityMatrix computes the pairwise private similarity metric among a
+// set of linear models (e.g., a consortium of trainers ranking potential
+// partners). Entry [i][j] is T between models i and j; the diagonal is the
+// metric's regularized floor. Each pair runs its own three-round protocol
+// with fresh randomizers.
+func SimilarityMatrix(models []*Model, params SimilarityParams, rng io.Reader) ([][]float64, error) {
+	n := len(models)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			res, err := EvaluateModelSimilarityPrivate(models[i], models[j], params, rng)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = res.T
+			out[j][i] = res.T
+		}
+	}
+	return out, nil
+}
