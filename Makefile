@@ -1,0 +1,20 @@
+# Tier-1 gate (see DESIGN.md §7): vet + build + race-clean tests + a
+# one-shot smoke run of the parallelism sweeps.
+.PHONY: check vet build test bench-smoke bench
+
+check: vet build test bench-smoke
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench-smoke:
+	go test -run='^$$' -bench=Parallelism -benchtime=1x ./...
+
+bench:
+	go test -run='^$$' -bench=. -benchmem ./...

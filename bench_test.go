@@ -12,6 +12,7 @@ package ppdc_test
 import (
 	"crypto/rand"
 	"fmt"
+	"math/big"
 	"sync"
 	"testing"
 
@@ -20,6 +21,8 @@ import (
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/field"
+	"repro/internal/mvpoly"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/paillier"
@@ -451,6 +454,115 @@ func BenchmarkOMPE_Primitive(b *testing.B) {
 		if _, err := ompe.Run(params, eval, input, rand.Reader); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel engine: the -parallelism sweep over the concurrent masked
+// evaluation + batch OT pipeline (DESIGN.md "Concurrency architecture"). ---
+
+// parallelismSweepEvaluator builds the degree-2 bivariate polynomial the
+// sweep evaluates: with MaskDegree 2 the composed degree is D = 4, m = 5
+// genuine points, and CoverFactor 100 gives M = 500 masked pairs/query.
+func parallelismSweepEvaluator(b *testing.B, fld *field.Field) ompe.Evaluator {
+	b.Helper()
+	p, err := mvpoly.New(fld, 2, []mvpoly.Term{
+		{Coeff: big.NewInt(1), Exps: []uint{2, 0}},
+		{Coeff: big.NewInt(3), Exps: []uint{1, 1}},
+		{Coeff: big.NewInt(1), Exps: []uint{0, 1}},
+		{Coeff: big.NewInt(5), Exps: []uint{0, 0}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkParallelism_OMPEEndToEnd runs one full nonlinear OMPE exchange
+// with M = 500 pairs per query, sweeping the worker-pool bound on both
+// endpoints. par=1 is the exact serial baseline (bit-identical messages
+// given the same rng stream); higher degrees fan the masked evaluations,
+// request construction, and batch-OT exponentiations across cores.
+func BenchmarkParallelism_OMPEEndToEnd(b *testing.B) {
+	fld := fieldDefault()
+	eval := parallelismSweepEvaluator(b, fld)
+	input, err := fld.RandVec(rand.Reader, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			params := ompe.Params{
+				Field:       fld,
+				PolyDegree:  2,
+				MaskDegree:  2,
+				CoverFactor: 100, // M = 500
+				Group:       ot.Group512Test(),
+				Parallelism: par,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ompe.Run(params, eval, input, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(params.TotalPairs())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkParallelism_MaskedEvaluations isolates the sender's masked
+// evaluation stage (no OT) across the same sweep: the pure-arithmetic
+// region the worker pool chunks.
+func BenchmarkParallelism_MaskedEvaluations(b *testing.B) {
+	fld := fieldDefault()
+	eval := parallelismSweepEvaluator(b, fld)
+	input, err := fld.RandVec(rand.Reader, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			params := ompe.Params{
+				Field:       fld,
+				PolyDegree:  2,
+				MaskDegree:  2,
+				CoverFactor: 100, // M = 500
+				Group:       ot.Group512Test(),
+				Parallelism: par,
+			}
+			_, req, err := ompe.NewReceiver(params, input, rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ompe.MaskedEvaluations(params, eval, req, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(params.TotalPairs())*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkParallelism_PrivateNonlinearQuery sweeps the full classifier
+// pipeline (trainer + client) on the diabetes polynomial model.
+func BenchmarkParallelism_PrivateNonlinearQuery(b *testing.B) {
+	f := setup(b)
+	sample := f.diabetesTest.X[0]
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			trainer, client := benchTrainer(b, f.polyModel, classify.Params{Parallelism: par})
+			client.SetParallelism(par)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := classify.ClassifyWith(trainer, client, sample, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -37,6 +37,7 @@ func run(args []string) error {
 		quick     = fs.Bool("quick", false, "subsample protocol-heavy experiments")
 		fullScale = fs.Bool("full", false, "use the paper's full test-set sizes")
 		csvPath   = fs.String("csv", "", "also write the experiment's series to a CSV file (single experiments only)")
+		par       = fs.Int("parallelism", 0, "worker pool bound per endpoint (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,10 +51,11 @@ func run(args []string) error {
 		return err
 	}
 	opts := experiments.Options{
-		Seed:      *seed,
-		Group:     g,
-		Quick:     *quick,
-		FullScale: *fullScale,
+		Seed:        *seed,
+		Group:       g,
+		Quick:       *quick,
+		FullScale:   *fullScale,
+		Parallelism: *par,
 	}
 	csvOut = *csvPath
 	if csvOut != "" && fs.Arg(0) == "all" {

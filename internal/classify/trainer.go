@@ -149,6 +149,7 @@ func (t *Trainer) NewSession() (*ompe.Sender, error) {
 	if err != nil {
 		return nil, err
 	}
+	params.Parallelism = t.params.Parallelism
 	if t.params.InsecureUnitAmplifier {
 		return ompe.NewSender(params, t.eval, ompe.WithAmplifier(big.NewInt(1)))
 	}

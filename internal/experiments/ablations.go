@@ -48,6 +48,7 @@ func ablationModel(opts Options, nonlinear bool) (*svm.Model, [][]float64, error
 }
 
 func measure(model *svm.Model, samples [][]float64, params classify.Params, opts Options) (time.Duration, *classify.Trainer, error) {
+	params.Parallelism = opts.Parallelism
 	trainer, err := classify.NewTrainer(model, params)
 	if err != nil {
 		return 0, nil, err
@@ -56,6 +57,7 @@ func measure(model *svm.Model, samples [][]float64, params classify.Params, opts
 	if err != nil {
 		return 0, nil, err
 	}
+	client.SetParallelism(opts.Parallelism)
 	start := time.Now()
 	for q := 0; q < ablationQueries; q++ {
 		if _, err := classify.ClassifyWith(trainer, client, samples[q%len(samples)], opts.Rand); err != nil {

@@ -103,7 +103,7 @@ func fig9Row(spec dataset.Spec, opts Options, measured int) (*Fig9Row, error) {
 		return nil, err
 	}
 
-	linTrainer, err := classify.NewTrainer(linModel, classify.Params{Group: opts.Group})
+	linTrainer, err := classify.NewTrainer(linModel, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +111,7 @@ func fig9Row(spec dataset.Spec, opts Options, measured int) (*Fig9Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	linClient.SetParallelism(opts.Parallelism)
 	linPriv, err := perQuery(func(s []float64) error {
 		_, err := classify.ClassifyWith(linTrainer, linClient, s, opts.Rand)
 		return err
@@ -119,7 +120,7 @@ func fig9Row(spec dataset.Spec, opts Options, measured int) (*Fig9Row, error) {
 		return nil, err
 	}
 
-	polyTrainer, err := classify.NewTrainer(polyModel, classify.Params{Group: opts.Group})
+	polyTrainer, err := classify.NewTrainer(polyModel, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +128,7 @@ func fig9Row(spec dataset.Spec, opts Options, measured int) (*Fig9Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	polyClient.SetParallelism(opts.Parallelism)
 	polyPriv, err := perQuery(func(s []float64) error {
 		_, err := classify.ClassifyWith(polyTrainer, polyClient, s, opts.Rand)
 		return err
@@ -202,7 +204,7 @@ func Fig10(opts Options, dims []int) ([]Fig10Row, error) {
 	if opts.Quick {
 		reps = 1
 	}
-	params := similarity.Params{Group: opts.Group}
+	params := similarity.Params{Group: opts.Group, Parallelism: opts.Parallelism}
 	metric := similarity.DefaultMetric()
 	var rows []Fig10Row
 	for _, dim := range dims {

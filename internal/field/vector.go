@@ -45,7 +45,7 @@ func (f *Field) Dot(a, b Vec) (*big.Int, error) {
 		tmp.Mul(a[i], b[i])
 		acc.Add(acc, tmp)
 	}
-	return f.Reduce(acc), nil
+	return acc.Mod(acc, f.p), nil
 }
 
 // AddVec returns the componentwise sum of a and b.

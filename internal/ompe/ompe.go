@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/ot"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -55,7 +56,11 @@ var (
 type Evaluator interface {
 	// NumVars returns the input arity.
 	NumVars() int
-	// Eval evaluates the polynomial at a field point.
+	// Eval evaluates the polynomial at a field point. Eval must be safe
+	// for concurrent use: the sender fans the M request pairs out across
+	// Params.Parallelism workers. Every evaluator in this repository
+	// qualifies — they read shared encoded state and allocate per-call
+	// scratch.
 	Eval(x field.Vec) (*big.Int, error)
 }
 
@@ -77,6 +82,15 @@ type Params struct {
 	AmplifierBits int
 	// Group is the oblivious-transfer group.
 	Group *ot.Group
+	// Parallelism bounds the worker pool used for the data-parallel hot
+	// paths (masked evaluations, cover construction, batch OT): <= 0
+	// selects GOMAXPROCS, 1 forces the serial path, larger values request
+	// exactly that many workers. It is a local performance knob, not part
+	// of the wire contract — the two parties may use different values.
+	// Randomness is always drawn serially, so protocol messages and
+	// results are bit-identical at every parallelism degree given the same
+	// rng stream.
+	Parallelism int
 }
 
 // DefaultAmplifierBits bounds fresh amplifiers to 64 bits, large enough to
@@ -248,12 +262,12 @@ func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup,
 		return nil, err
 	}
 
-	msgs, err := maskedEvaluations(f, s.eval, h, s.amplifier, s.shift, req)
+	msgs, err := maskedEvaluations(f, s.eval, h, s.amplifier, s.shift, req, s.params.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 
-	batch, setup, err := ot.NewBatchSender(s.params.Group, msgs, s.params.GenuineCount(), rng)
+	batch, setup, err := ot.NewBatchSenderParallel(s.params.Group, msgs, s.params.GenuineCount(), s.params.Parallelism, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +309,13 @@ func validateEvalRequest(params Params, numVars int, req *EvalRequest) error {
 		if pair.V == nil || !f.Contains(pair.V) || pair.V.Sign() == 0 {
 			return fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
 		}
-		key := pair.V.String()
+		// Key the dedup map on the fixed-width serialization: decimal
+		// big.Int formatting is measurably slow at M ≈ 1k pairs.
+		kb, err := f.Bytes(pair.V)
+		if err != nil {
+			return fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
+		}
+		key := string(kb)
 		if seen[key] {
 			return fmt.Errorf("%w: pair %d repeats evaluation point", ErrBadRequest, i)
 		}
@@ -371,14 +391,15 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 		isGenuine[idx] = true
 	}
 
+	// Draw every decoy component serially, in pair order — exactly the
+	// stream the fully serial construction consumes — then evaluate the
+	// genuine pairs' cover tuples across the worker pool. crypto/rand
+	// draws never happen inside the parallel region, so the request is
+	// deterministic given a locked rng at any parallelism degree.
 	pairs := make([]Pair, total)
 	for i := 0; i < total; i++ {
 		z := make(field.Vec, len(input))
-		if isGenuine[i] {
-			for j, g := range covers {
-				z[j] = g.Eval(points[i])
-			}
-		} else {
+		if !isGenuine[i] {
 			// Decoy: uniform garbage indistinguishable from cover values.
 			for j := range z {
 				x, err := f.Rand(rng)
@@ -390,6 +411,15 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 		}
 		pairs[i] = Pair{V: points[i], Z: z}
 	}
+	_ = parallel.For(params.Parallelism, total, func(i int) error {
+		if !isGenuine[i] {
+			return nil
+		}
+		for j, g := range covers {
+			pairs[i].Z[j] = g.Eval(points[i])
+		}
+		return nil
+	})
 
 	r := &Receiver{
 		params:  params,
@@ -406,7 +436,7 @@ func (r *Receiver) HandleSetup(setup *ot.BatchSetup, rng io.Reader) (*ot.BatchCh
 	if r.state != receiverAwaitingSetup {
 		return nil, ErrState
 	}
-	batch, choice, err := ot.NewBatchReceiver(r.params.Group, r.params.TotalPairs(), r.genuine, setup, rng)
+	batch, choice, err := ot.NewBatchReceiverParallel(r.params.Group, r.params.TotalPairs(), r.genuine, setup, r.params.Parallelism, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +472,9 @@ func (r *Receiver) Finish(tr *ot.BatchTransfer) (*big.Int, error) {
 	return result, nil
 }
 
-// distinctNonZero samples n distinct non-zero field elements.
+// distinctNonZero samples n distinct non-zero field elements. The dedup
+// map is keyed on the fixed-width serialization rather than the decimal
+// string (big.Int decimal formatting is measurably slow at M ≈ 1k pairs).
 func distinctNonZero(f *field.Field, n int, rng io.Reader) ([]*big.Int, error) {
 	out := make([]*big.Int, 0, n)
 	seen := make(map[string]bool, n)
@@ -451,7 +483,11 @@ func distinctNonZero(f *field.Field, n int, rng io.Reader) ([]*big.Int, error) {
 		if err != nil {
 			return nil, err
 		}
-		key := x.String()
+		kb, err := f.Bytes(x)
+		if err != nil {
+			return nil, err
+		}
+		key := string(kb)
 		if seen[key] {
 			continue
 		}
@@ -483,20 +519,29 @@ func randomSubset(n, m int, rng io.Reader) ([]int, error) {
 }
 
 // maskedEvaluations computes the sender's arithmetic core: one masked,
-// amplified, shifted evaluation per request pair, serialized for OT.
-func maskedEvaluations(f *field.Field, eval Evaluator, h *poly.Poly, amplifier, shift *big.Int, req *EvalRequest) ([][]byte, error) {
+// amplified, shifted evaluation per request pair, serialized for OT. Each
+// pair's h(v_i) + amp·P(z_i) + shift is independent, so the M pairs are
+// chunked across the worker pool; a failing pair stops the batch and
+// surfaces the lowest-indexed error without deadlocking the pool.
+func maskedEvaluations(f *field.Field, eval Evaluator, h *poly.Poly, amplifier, shift *big.Int, req *EvalRequest, parallelism int) ([][]byte, error) {
 	msgs := make([][]byte, len(req.Pairs))
-	for i, pair := range req.Pairs {
+	reducedShift := f.Reduce(shift)
+	err := parallel.For(parallelism, len(req.Pairs), func(i int) error {
+		pair := req.Pairs[i]
 		pv, err := eval.Eval(pair.Z)
 		if err != nil {
-			return nil, fmt.Errorf("ompe: evaluate pair %d: %w", i, err)
+			return fmt.Errorf("ompe: evaluate pair %d: %w", i, err)
 		}
-		y := f.Add(h.Eval(pair.V), f.Add(f.Mul(amplifier, pv), f.Reduce(shift)))
+		y := f.Add(h.Eval(pair.V), f.Add(f.Mul(amplifier, pv), reducedShift))
 		b, err := f.Bytes(y)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		msgs[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return msgs, nil
 }
@@ -518,5 +563,5 @@ func MaskedEvaluations(params Params, eval Evaluator, req *EvalRequest, rng io.R
 	if err != nil {
 		return nil, err
 	}
-	return maskedEvaluations(f, eval, h, amp, new(big.Int), req)
+	return maskedEvaluations(f, eval, h, amp, new(big.Int), req, params.Parallelism)
 }

@@ -1,0 +1,240 @@
+package ompe
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math/big"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/mvpoly"
+	"repro/internal/ot"
+)
+
+// detReader is a deterministic byte stream (SHA-256 in counter mode) so two
+// protocol runs can consume identical randomness.
+type detReader struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+func newDetReader(seed string) *detReader {
+	return &detReader{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (d *detReader) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		h := sha256.New()
+		h.Write(d.seed[:])
+		var c [8]byte
+		binary.BigEndian.PutUint64(c[:], d.counter)
+		d.counter++
+		h.Write(c[:])
+		d.buf = h.Sum(d.buf)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+func parallelTestParams(par int) Params {
+	return Params{
+		Field:       field.Default(),
+		PolyDegree:  2,
+		MaskDegree:  2,
+		CoverFactor: 3,
+		Group:       ot.Group512Test(),
+		Parallelism: par,
+	}
+}
+
+func quadEvaluator(t *testing.T, f *field.Field) Evaluator {
+	t.Helper()
+	// P(x) = x0² + 3·x0·x1 − 2·x1 + 7
+	p, err := mvpoly.New(f, 2, []mvpoly.Term{
+		{Coeff: big.NewInt(1), Exps: []uint{2, 0}},
+		{Coeff: big.NewInt(3), Exps: []uint{1, 1}},
+		{Coeff: big.NewInt(-2), Exps: []uint{0, 1}},
+		{Coeff: big.NewInt(7), Exps: []uint{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParallelRoundTrip runs the full protocol across worker counts and
+// checks the recovered value at each degree. Under -race this also
+// exercises the concurrent masked evaluations, request construction, and
+// batch OT for data races.
+func TestParallelRoundTrip(t *testing.T) {
+	f := field.Default()
+	input := field.Vec{f.FromInt64(4), f.FromInt64(-3)}
+	// P(α) = 16 − 36 + 6 + 7 = −7.
+	wantPlain := f.FromInt64(-7)
+	for _, par := range []int{0, 1, 2, 4, 8} {
+		params := parallelTestParams(par)
+		res, err := Run(params, quadEvaluator(t, f), input, rand.Reader)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		want := f.Mul(res.Amplifier, wantPlain)
+		if res.Value.Cmp(want) != 0 {
+			t.Fatalf("par=%d: got %v, want amp·P(α)=%v", par, res.Value, want)
+		}
+	}
+}
+
+// TestParallelDeterministic locks the rng stream and checks that the
+// receiver's request and the final value are bit-identical at every
+// parallelism degree: randomness is drawn serially in the serial-code
+// order, only pure arithmetic fans out.
+func TestParallelDeterministic(t *testing.T) {
+	f := field.Default()
+	input := field.Vec{f.FromInt64(9), f.FromInt64(2)}
+
+	type trace struct {
+		req   *EvalRequest
+		value *big.Int
+	}
+	runOnce := func(par int) trace {
+		params := parallelTestParams(par)
+		rng := newDetReader("ompe-determinism")
+		sender, err := NewSender(params, quadEvaluator(t, f))
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		receiver, req, err := NewReceiver(params, input, rng)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		setup, err := sender.HandleRequest(req, rng)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		choice, err := receiver.HandleSetup(setup, rng)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		tr, err := sender.HandleChoice(choice, rng)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		value, err := receiver.Finish(tr)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return trace{req: req, value: value}
+	}
+
+	base := runOnce(1)
+	for _, par := range []int{2, 4, 0} {
+		got := runOnce(par)
+		if base.value.Cmp(got.value) != 0 {
+			t.Fatalf("par=%d: value %v differs from serial %v", par, got.value, base.value)
+		}
+		if len(base.req.Pairs) != len(got.req.Pairs) {
+			t.Fatalf("par=%d: request length differs", par)
+		}
+		for i := range base.req.Pairs {
+			if base.req.Pairs[i].V.Cmp(got.req.Pairs[i].V) != 0 {
+				t.Fatalf("par=%d: pair %d evaluation point differs", par, i)
+			}
+			for j := range base.req.Pairs[i].Z {
+				if base.req.Pairs[i].Z[j].Cmp(got.req.Pairs[i].Z[j]) != 0 {
+					t.Fatalf("par=%d: pair %d component %d differs", par, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEvaluatorErrorPropagates checks deadlock-free error
+// propagation when one pair's evaluation fails mid-batch: the sender's
+// HandleRequest must return the error promptly at any parallelism degree.
+func TestParallelEvaluatorErrorPropagates(t *testing.T) {
+	f := field.Default()
+	input := field.Vec{f.FromInt64(1), f.FromInt64(2)}
+	boom := errors.New("evaluator exploded")
+
+	for _, par := range []int{1, 4, 0} {
+		params := parallelTestParams(par)
+		var calls atomic.Int64
+		eval := EvaluatorFunc(2, func(z field.Vec) (*big.Int, error) {
+			if calls.Add(1) == 3 { // fail one evaluation mid-batch
+				return nil, boom
+			}
+			return f.Dot(field.Vec{f.One(), f.One()}, z)
+		})
+		sender, err := NewSender(params, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, req, err := NewReceiver(params, input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sender.HandleRequest(req, rand.Reader); !errors.Is(err, boom) {
+			t.Fatalf("par=%d: got %v, want evaluator error", par, err)
+		}
+	}
+}
+
+// TestParallelSessionRoundTrip covers the extension-based fast path with a
+// parallel worker pool (masked evaluations are the parallel region there).
+func TestParallelSessionRoundTrip(t *testing.T) {
+	f := field.Default()
+	params := parallelTestParams(4)
+	input := field.Vec{f.FromInt64(4), f.FromInt64(-3)}
+
+	sender, receiver, err := NewSession(params, quadEvaluator(t, f), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		q, req, err := receiver.NewQuery(input, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := sender.HandleQuery(req, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		value, err := q.Finish(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Centered(value).Sign() >= 0 {
+			t.Fatalf("query %d: amplified P(α)=−7 must stay negative, got %v", i, value)
+		}
+	}
+}
+
+// TestDistinctNonZeroKeyedByCanonicalBytes guards the dedup key: two
+// big.Ints with equal canonical encodings must collide even if their
+// String forms were produced differently.
+func TestDistinctNonZeroKeyedByCanonicalBytes(t *testing.T) {
+	f := field.Default()
+	pts, err := distinctNonZero(f, 64, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(pts))
+	for _, p := range pts {
+		if p.Sign() == 0 {
+			t.Fatal("zero evaluation point")
+		}
+		b, err := f.Bytes(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(b)] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[string(b)] = true
+	}
+}

@@ -161,7 +161,7 @@ func (ss *SessionSender) HandleQuery(req *FastRequest, rng io.Reader) (*FastResp
 	if err != nil {
 		return nil, err
 	}
-	msgs, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), req.Eval)
+	msgs, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), req.Eval, ss.params.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -60,12 +60,65 @@ func BenchmarkKofN(b *testing.B) {
 	g := ot.Group512Test()
 	msgs := benchMessages(b, 6)
 	indices := []int{0, 2, 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ot.TransferKofN(g, msgs, indices, rand.Reader); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(len(indices))*float64(b.N)/b.Elapsed().Seconds(), "transfers/s")
+}
+
+// BenchmarkKofNParallel sweeps the worker-pool bound on a wide batch
+// (k=16 of n=64). Per-instance exponentiations dominate, so throughput
+// should scale with cores until the pool saturates them; par=1 is the
+// serial baseline.
+func BenchmarkKofNParallel(b *testing.B) {
+	g := ot.Group512Test()
+	msgs := benchMessages(b, 64)
+	indices := make([]int, 16)
+	for i := range indices {
+		indices[i] = i * 4
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ot.TransferKofNParallel(g, msgs, indices, par, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(indices))*float64(b.N)/b.Elapsed().Seconds(), "transfers/s")
+		})
+	}
+}
+
+// BenchmarkExpG prices the fixed-base window table against generic
+// square-and-multiply for the generator exponentiations every OT instance
+// performs.
+func BenchmarkExpG(b *testing.B) {
+	g := ot.Group512Test()
+	e, err := rand.Int(rand.Reader, g.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fixed-base", func(b *testing.B) {
+		g.ExpG(e) // build the table outside the timed region
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.ExpG(e)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Exp(g.G, e)
+		}
+	})
 }
 
 // BenchmarkIKNPBatch1of2 vs BenchmarkDirectBatch1of2: the amortization

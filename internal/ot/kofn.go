@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
+
+	"repro/internal/parallel"
 )
 
 // ErrDuplicateIndex reports repeated indices in a k-out-of-n choice.
@@ -27,26 +30,70 @@ type BatchTransfer struct {
 
 // BatchSender runs the sender role of a k-out-of-n transfer as k parallel
 // 1-out-of-n instances (honest-but-curious; see package doc).
+//
+// The per-instance exponentiations — the OT bottleneck — are distributed
+// across a worker pool (internal/parallel). All randomness is drawn
+// serially before any parallel region, so the rng stream and every message
+// are bit-identical at any parallelism degree.
 type BatchSender struct {
 	senders []*Sender
+	par     int
 }
 
-// NewBatchSender prepares a k-out-of-n transfer of the given messages.
+// NewBatchSender prepares a k-out-of-n transfer of the given messages
+// using all available cores (parallelism 0 = GOMAXPROCS).
 func NewBatchSender(group *Group, msgs [][]byte, k int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
+	return NewBatchSenderParallel(group, msgs, k, 0, rng)
+}
+
+// NewBatchSenderParallel is NewBatchSender with an explicit worker count
+// (<= 0 selects GOMAXPROCS, 1 forces the serial path).
+func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
 	if k < 1 || k > len(msgs) {
 		return nil, nil, fmt.Errorf("ot: invalid k=%d for n=%d", k, len(msgs))
 	}
+	if len(msgs) < 2 {
+		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", len(msgs))
+	}
+	for _, m := range msgs[1:] {
+		if len(m) != len(msgs[0]) {
+			return nil, nil, ErrMessageLen
+		}
+	}
+	// One defensive copy of the messages, shared read-only by all k
+	// instances (the serial construction copied them per instance).
+	copied := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		copied[i] = append([]byte(nil), m...)
+	}
+	// Draw every instance's constraint randomness serially, in the same
+	// nested order as instance-by-instance construction; only the subgroup
+	// squarings run in parallel.
+	raw := make([][]*big.Int, k)
+	for i := 0; i < k; i++ {
+		rs := make([]*big.Int, len(msgs)-1)
+		for j := range rs {
+			x, err := randomElementRaw(group, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
+			}
+			rs[j] = x
+		}
+		raw[i] = rs
+	}
 	senders := make([]*Sender, k)
 	setups := make([]*SenderSetup, k)
-	for i := 0; i < k; i++ {
-		s, setup, err := NewSender(group, msgs, rng)
-		if err != nil {
-			return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
+	_ = parallel.For(parallelism, k, func(i int) error {
+		cs := make([]*big.Int, len(raw[i]))
+		for j, x := range raw[i] {
+			cs[j] = group.Mul(x, x)
 		}
-		senders[i] = s
+		setup := &SenderSetup{Cs: cs}
+		senders[i] = &Sender{group: group, msgs: copied, setup: setup}
 		setups[i] = setup
-	}
-	return &BatchSender{senders: senders}, &BatchSetup{Setups: setups}, nil
+		return nil
+	})
+	return &BatchSender{senders: senders, par: parallelism}, &BatchSetup{Setups: setups}, nil
 }
 
 // Respond consumes the receiver's batched choice.
@@ -54,13 +101,31 @@ func (bs *BatchSender) Respond(choice *BatchChoice, rng io.Reader) (*BatchTransf
 	if choice == nil || len(choice.Choices) != len(bs.senders) {
 		return nil, fmt.Errorf("%w: want %d choices", ErrBadMessage, len(bs.senders))
 	}
-	transfers := make([]*SenderTransfer, len(bs.senders))
+	// Validate every choice and draw every ephemeral exponent serially
+	// (matching the serial instance order), then fan out the
+	// exponentiation-heavy responses.
+	rs := make([]*big.Int, len(bs.senders))
 	for i, s := range bs.senders {
-		tr, err := s.Respond(choice.Choices[i], rng)
+		if err := s.checkChoice(choice.Choices[i]); err != nil {
+			return nil, fmt.Errorf("ot: instance %d: %w", i, err)
+		}
+		r, err := randomExponent(s.group, rng)
 		if err != nil {
 			return nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
+		rs[i] = r
+	}
+	transfers := make([]*SenderTransfer, len(bs.senders))
+	err := parallel.For(bs.par, len(bs.senders), func(i int) error {
+		tr, err := bs.senders[i].respond(choice.Choices[i], rs[i])
+		if err != nil {
+			return fmt.Errorf("ot: instance %d: %w", i, err)
+		}
 		transfers[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &BatchTransfer{Transfers: transfers}, nil
 }
@@ -68,11 +133,18 @@ func (bs *BatchSender) Respond(choice *BatchChoice, rng io.Reader) (*BatchTransf
 // BatchReceiver runs the receiver role of a k-out-of-n transfer.
 type BatchReceiver struct {
 	receivers []*Receiver
+	par       int
 }
 
 // NewBatchReceiver prepares the receiver's choice of the (distinct) indices
-// among n messages.
+// among n messages using all available cores (parallelism 0 = GOMAXPROCS).
 func NewBatchReceiver(group *Group, n int, indices []int, setup *BatchSetup, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
+	return NewBatchReceiverParallel(group, n, indices, setup, 0, rng)
+}
+
+// NewBatchReceiverParallel is NewBatchReceiver with an explicit worker
+// count (<= 0 selects GOMAXPROCS, 1 forces the serial path).
+func NewBatchReceiverParallel(group *Group, n int, indices []int, setup *BatchSetup, parallelism int, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
 	if setup == nil || len(setup.Setups) != len(indices) {
 		return nil, nil, fmt.Errorf("%w: setup count must equal k", ErrBadMessage)
 	}
@@ -83,17 +155,34 @@ func NewBatchReceiver(group *Group, n int, indices []int, setup *BatchSetup, rng
 		}
 		seen[idx] = true
 	}
-	receivers := make([]*Receiver, len(indices))
-	choices := make([]*ReceiverChoice, len(indices))
+	// Per instance: validate, then draw the secret exponent — the same
+	// order as serial construction — before the parallel exponentiations.
+	xs := make([]*big.Int, len(indices))
 	for i, idx := range indices {
-		r, c, err := NewReceiver(group, n, idx, setup.Setups[i], rng)
+		if err := checkReceiverArgs(group, n, idx, setup.Setups[i]); err != nil {
+			return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
+		}
+		x, err := randomExponent(group, rng)
 		if err != nil {
 			return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
+		xs[i] = x
+	}
+	receivers := make([]*Receiver, len(indices))
+	choices := make([]*ReceiverChoice, len(indices))
+	err := parallel.For(parallelism, len(indices), func(i int) error {
+		r, c, err := newReceiverWithSecret(group, n, indices[i], setup.Setups[i], xs[i])
+		if err != nil {
+			return fmt.Errorf("ot: instance %d: %w", i, err)
+		}
 		receivers[i] = r
 		choices[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return &BatchReceiver{receivers: receivers}, &BatchChoice{Choices: choices}, nil
+	return &BatchReceiver{receivers: receivers, par: parallelism}, &BatchChoice{Choices: choices}, nil
 }
 
 // Recover decrypts the k chosen messages, in choice order.
@@ -102,12 +191,16 @@ func (br *BatchReceiver) Recover(tr *BatchTransfer) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: want %d transfers", ErrBadMessage, len(br.receivers))
 	}
 	out := make([][]byte, len(br.receivers))
-	for i, r := range br.receivers {
-		m, err := r.Recover(tr.Transfers[i])
+	err := parallel.For(br.par, len(br.receivers), func(i int) error {
+		m, err := br.receivers[i].Recover(tr.Transfers[i])
 		if err != nil {
-			return nil, fmt.Errorf("ot: instance %d: %w", i, err)
+			return fmt.Errorf("ot: instance %d: %w", i, err)
 		}
 		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -139,11 +232,16 @@ func Transfer1ofN(group *Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte
 
 // TransferKofN runs a complete in-memory k-out-of-n transfer.
 func TransferKofN(group *Group, msgs [][]byte, indices []int, rng io.Reader) ([][]byte, error) {
-	sender, setup, err := NewBatchSender(group, msgs, len(indices), rng)
+	return TransferKofNParallel(group, msgs, indices, 0, rng)
+}
+
+// TransferKofNParallel is TransferKofN with an explicit worker count.
+func TransferKofNParallel(group *Group, msgs [][]byte, indices []int, parallelism int, rng io.Reader) ([][]byte, error) {
+	sender, setup, err := NewBatchSenderParallel(group, msgs, len(indices), parallelism, rng)
 	if err != nil {
 		return nil, err
 	}
-	receiver, choice, err := NewBatchReceiver(group, len(msgs), indices, setup, rng)
+	receiver, choice, err := NewBatchReceiverParallel(group, len(msgs), indices, setup, parallelism, rng)
 	if err != nil {
 		return nil, err
 	}

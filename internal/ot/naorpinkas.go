@@ -76,14 +76,29 @@ func NewSender(group *Group, msgs [][]byte, rng io.Reader) (*Sender, *SenderSetu
 
 // Respond consumes the receiver's choice and produces the ciphertexts.
 func (s *Sender) Respond(choice *ReceiverChoice, rng io.Reader) (*SenderTransfer, error) {
-	if choice == nil || !s.group.ValidElement(choice.PK0) {
-		return nil, fmt.Errorf("%w: invalid PK0", ErrBadMessage)
+	if err := s.checkChoice(choice); err != nil {
+		return nil, err
 	}
 	r, err := randomExponent(s.group, rng)
 	if err != nil {
 		return nil, err
 	}
-	bigR := s.group.Exp(s.group.G, r)
+	return s.respond(choice, r)
+}
+
+func (s *Sender) checkChoice(choice *ReceiverChoice) error {
+	if choice == nil || !s.group.ValidElement(choice.PK0) {
+		return fmt.Errorf("%w: invalid PK0", ErrBadMessage)
+	}
+	return nil
+}
+
+// respond computes the transfer from a pre-drawn ephemeral exponent. The
+// batch path samples every instance's exponent serially (keeping the rng
+// stream deterministic) and then runs the exponentiation-heavy remainder
+// of the instances in parallel through this method.
+func (s *Sender) respond(choice *ReceiverChoice, r *big.Int) (*SenderTransfer, error) {
+	bigR := s.group.ExpG(r)
 
 	// PK_i = C_i / PK_0, so PK_i^r = C_i^r * (PK_0^r)^{-1}.
 	pk0r := s.group.Exp(choice.PK0, r)
@@ -124,25 +139,39 @@ type Receiver struct {
 // NewReceiver prepares the receiver's choice of index sigma among n
 // messages, given the sender's setup.
 func NewReceiver(group *Group, n, sigma int, setup *SenderSetup, rng io.Reader) (*Receiver, *ReceiverChoice, error) {
-	if n < 2 {
-		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
-	}
-	if sigma < 0 || sigma >= n {
-		return nil, nil, fmt.Errorf("%w: sigma=%d n=%d", ErrBadIndex, sigma, n)
-	}
-	if setup == nil || len(setup.Cs) != n-1 {
-		return nil, nil, fmt.Errorf("%w: setup must carry %d constraints", ErrBadMessage, n-1)
-	}
-	for _, c := range setup.Cs {
-		if !group.ValidElement(c) {
-			return nil, nil, fmt.Errorf("%w: invalid constraint element", ErrBadMessage)
-		}
+	if err := checkReceiverArgs(group, n, sigma, setup); err != nil {
+		return nil, nil, err
 	}
 	x, err := randomExponent(group, rng)
 	if err != nil {
 		return nil, nil, err
 	}
-	gx := group.Exp(group.G, x)
+	return newReceiverWithSecret(group, n, sigma, setup, x)
+}
+
+func checkReceiverArgs(group *Group, n, sigma int, setup *SenderSetup) error {
+	if n < 2 {
+		return fmt.Errorf("ot: need at least 2 messages, got %d", n)
+	}
+	if sigma < 0 || sigma >= n {
+		return fmt.Errorf("%w: sigma=%d n=%d", ErrBadIndex, sigma, n)
+	}
+	if setup == nil || len(setup.Cs) != n-1 {
+		return fmt.Errorf("%w: setup must carry %d constraints", ErrBadMessage, n-1)
+	}
+	for _, c := range setup.Cs {
+		if !group.ValidElement(c) {
+			return fmt.Errorf("%w: invalid constraint element", ErrBadMessage)
+		}
+	}
+	return nil
+}
+
+// newReceiverWithSecret computes the choice from a pre-drawn secret
+// exponent; arguments must already be validated. The batch path samples
+// secrets serially and parallelizes these exponentiations.
+func newReceiverWithSecret(group *Group, n, sigma int, setup *SenderSetup, x *big.Int) (*Receiver, *ReceiverChoice, error) {
+	gx := group.ExpG(x)
 	pk0 := gx
 	if sigma > 0 {
 		// PK_0 = C_sigma / g^x so that PK_sigma = C_sigma / PK_0 = g^x.
@@ -215,11 +244,21 @@ func randomExponent(group *Group, rng io.Reader) (*big.Int, error) {
 // squaring a uniform element of Z_p^* (squares form the subgroup for a
 // safe prime).
 func randomElement(group *Group, rng io.Reader) (*big.Int, error) {
+	x, err := randomElementRaw(group, rng)
+	if err != nil {
+		return nil, err
+	}
+	return group.Mul(x, x), nil
+}
+
+// randomElementRaw draws the uniform pre-square value behind
+// randomElement. The batch constructor draws these serially (deterministic
+// rng stream) and performs the squarings in parallel.
+func randomElementRaw(group *Group, rng io.Reader) (*big.Int, error) {
 	pm1 := new(big.Int).Sub(group.P, big.NewInt(1))
 	x, err := rand.Int(rng, pm1)
 	if err != nil {
 		return nil, fmt.Errorf("ot: sample element: %w", err)
 	}
-	x.Add(x, big.NewInt(1))
-	return group.Mul(x, x), nil
+	return x.Add(x, big.NewInt(1)), nil
 }

@@ -1,0 +1,180 @@
+package ot
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+// detReader is a deterministic byte stream (SHA-256 in counter mode) so two
+// protocol runs can consume identical randomness.
+type detReader struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+func newDetReader(seed string) *detReader {
+	return &detReader{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (d *detReader) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		h := sha256.New()
+		h.Write(d.seed[:])
+		var c [8]byte
+		binary.BigEndian.PutUint64(c[:], d.counter)
+		d.counter++
+		h.Write(c[:])
+		d.buf = h.Sum(d.buf)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// TestExpGMatchesExp checks the fixed-base window table against generic
+// exponentiation across random and edge-case exponents.
+func TestExpGMatchesExp(t *testing.T) {
+	g := Group512Test()
+	exps := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(15),
+		big.NewInt(16),
+		new(big.Int).Sub(g.Q, big.NewInt(1)),
+		new(big.Int).Set(g.Q),
+		new(big.Int).Add(g.Q, g.Q), // beyond the table width: fallback path
+	}
+	for i := 0; i < 32; i++ {
+		e, err := rand.Int(rand.Reader, g.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	for _, e := range exps {
+		want := g.Exp(g.G, e)
+		if got := g.ExpG(e); got.Cmp(want) != 0 {
+			t.Fatalf("ExpG(%v) = %v, want %v", e, got, want)
+		}
+	}
+}
+
+// TestKofNParallelRoundTrip runs the batch transfer across worker counts,
+// checking the recovered messages at each degree.
+func TestKofNParallelRoundTrip(t *testing.T) {
+	group := Group512Test()
+	msgs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("message-%02d", i))
+	}
+	indices := []int{6, 0, 3}
+	for _, par := range []int{0, 1, 2, 4, 8} {
+		got, err := TransferKofNParallel(group, msgs, indices, par, rand.Reader)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for j, idx := range indices {
+			if !bytes.Equal(got[j], msgs[idx]) {
+				t.Fatalf("par=%d: recovered[%d] = %q, want %q", par, j, got[j], msgs[idx])
+			}
+		}
+	}
+}
+
+// TestKofNParallelDeterministic checks that every protocol message is
+// bit-identical across parallelism degrees when the rng stream is fixed:
+// randomness is drawn serially, only the exponentiations fan out.
+func TestKofNParallelDeterministic(t *testing.T) {
+	group := Group512Test()
+	msgs := make([][]byte, 6)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("payload-%02d", i))
+	}
+	indices := []int{4, 1}
+
+	type trace struct {
+		setups    []*SenderSetup
+		choices   []*ReceiverChoice
+		transfers []*SenderTransfer
+	}
+	runOnce := func(par int) trace {
+		rng := newDetReader("kofn-determinism")
+		sender, setup, err := NewBatchSenderParallel(group, msgs, len(indices), par, rng)
+		if err != nil {
+			t.Fatalf("par=%d sender: %v", par, err)
+		}
+		receiver, choice, err := NewBatchReceiverParallel(group, len(msgs), indices, setup, par, rng)
+		if err != nil {
+			t.Fatalf("par=%d receiver: %v", par, err)
+		}
+		tr, err := sender.Respond(choice, rng)
+		if err != nil {
+			t.Fatalf("par=%d respond: %v", par, err)
+		}
+		out, err := receiver.Recover(tr)
+		if err != nil {
+			t.Fatalf("par=%d recover: %v", par, err)
+		}
+		for j, idx := range indices {
+			if !bytes.Equal(out[j], msgs[idx]) {
+				t.Fatalf("par=%d: wrong message %d", par, j)
+			}
+		}
+		return trace{setups: setup.Setups, choices: choice.Choices, transfers: tr.Transfers}
+	}
+
+	base := runOnce(1)
+	for _, par := range []int{2, 4, 0} {
+		got := runOnce(par)
+		for i := range base.setups {
+			for j := range base.setups[i].Cs {
+				if base.setups[i].Cs[j].Cmp(got.setups[i].Cs[j]) != 0 {
+					t.Fatalf("par=%d: setup %d constraint %d differs", par, i, j)
+				}
+			}
+		}
+		for i := range base.choices {
+			if base.choices[i].PK0.Cmp(got.choices[i].PK0) != 0 {
+				t.Fatalf("par=%d: choice %d differs", par, i)
+			}
+		}
+		for i := range base.transfers {
+			if base.transfers[i].R.Cmp(got.transfers[i].R) != 0 {
+				t.Fatalf("par=%d: transfer %d R differs", par, i)
+			}
+			for j := range base.transfers[i].Cts {
+				if !bytes.Equal(base.transfers[i].Cts[j], got.transfers[i].Cts[j]) {
+					t.Fatalf("par=%d: transfer %d ciphertext %d differs", par, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRespondBadChoiceParallel checks that a malformed instance inside
+// a batched choice fails cleanly (no hang, no partial success) on the
+// parallel path.
+func TestBatchRespondBadChoiceParallel(t *testing.T) {
+	group := Group512Test()
+	msgs := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc"), []byte("dd")}
+	indices := []int{0, 2}
+	sender, setup, err := NewBatchSenderParallel(group, msgs, len(indices), 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, choice, err := NewBatchReceiverParallel(group, len(msgs), indices, setup, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice.Choices[1] = &ReceiverChoice{PK0: new(big.Int)} // zero is invalid
+	if _, err := sender.Respond(choice, rand.Reader); err == nil {
+		t.Fatal("want error for invalid PK0 in batch")
+	}
+}

@@ -99,13 +99,18 @@ func (p *Poly) Coeffs() []*big.Int {
 	return out
 }
 
-// Eval evaluates p at x by Horner's rule.
+// Eval evaluates p at x by Horner's rule with a single in-place
+// accumulator: one Mul/Add/Mod per coefficient, no per-step allocation.
 func (p *Poly) Eval(x *big.Int) *big.Int {
 	acc := new(big.Int)
+	if len(p.coeffs) == 0 {
+		return acc
+	}
+	m := p.f.Modulus()
 	for i := len(p.coeffs) - 1; i >= 0; i-- {
 		acc.Mul(acc, x)
 		acc.Add(acc, p.coeffs[i])
-		acc = p.f.Reduce(acc)
+		acc.Mod(acc, m)
 	}
 	return acc
 }
@@ -263,16 +268,27 @@ func InterpolateAtZero(f *field.Field, points []Point) (*big.Int, error) {
 	if len(points) == 0 {
 		return nil, ErrEmptyInput
 	}
-	acc := new(big.Int)
+	// All basis scratch is allocated once and reused across terms; the
+	// inner products run on raw big.Int ops against a single modulus copy.
+	m := f.Modulus()
+	var (
+		acc = new(big.Int)
+		num = new(big.Int)
+		den = new(big.Int)
+		tmp = new(big.Int)
+	)
 	for j := range points {
-		num := f.One()
-		den := f.One()
+		num.SetInt64(1)
+		den.SetInt64(1)
 		for i := range points {
 			if i == j {
 				continue
 			}
-			num = f.Mul(num, points[i].X)
-			den = f.Mul(den, f.Sub(points[i].X, points[j].X))
+			num.Mul(num, points[i].X)
+			num.Mod(num, m)
+			tmp.Sub(points[i].X, points[j].X)
+			den.Mul(den, tmp)
+			den.Mod(den, m)
 		}
 		invDen, err := f.Inv(den)
 		if err != nil {
@@ -281,8 +297,11 @@ func InterpolateAtZero(f *field.Field, points []Point) (*big.Int, error) {
 			}
 			return nil, err
 		}
-		term := f.Mul(points[j].Y, f.Mul(num, invDen))
-		acc.Add(acc, term)
+		tmp.Mul(num, invDen)
+		tmp.Mod(tmp, m)
+		tmp.Mul(tmp, points[j].Y)
+		tmp.Mod(tmp, m)
+		acc.Add(acc, tmp)
 	}
-	return f.Reduce(acc), nil
+	return acc.Mod(acc, m), nil
 }

@@ -27,6 +27,11 @@ type Params struct {
 	Group *ot.Group
 	// FracBits is the fixed-point precision (default 24).
 	FracBits uint
+	// Parallelism bounds each endpoint's local worker pool (<= 0 selects
+	// GOMAXPROCS, 1 forces the serial path). Local performance knob only:
+	// it is not part of the Spec, and protocol messages are bit-identical
+	// at any degree given the same randomness stream.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
@@ -181,6 +186,8 @@ type Alice struct {
 	ram, raw, rb *big.Int
 	clear        *ClearShare
 
+	parallelism int
+
 	round  Round
 	sender *ompe.Sender
 }
@@ -220,14 +227,15 @@ func NewAlice(wA []float64, bA float64, params Params, rng io.Reader) (*Alice, e
 		return nil, err
 	}
 	a := &Alice{
-		spec:  spec,
-		codec: codec,
-		wA:    append([]float64(nil), wA...),
-		mA:    mA,
-		ram:   ram,
-		raw:   raw,
-		rb:    rb,
-		round: RoundCentroid,
+		spec:        spec,
+		codec:       codec,
+		wA:          append([]float64(nil), wA...),
+		mA:          mA,
+		ram:         ram,
+		raw:         raw,
+		rb:          rb,
+		parallelism: params.Parallelism,
+		round:       RoundCentroid,
 	}
 	return a, nil
 }
@@ -255,6 +263,7 @@ func (a *Alice) HandleRequest(round Round, req *ompe.EvalRequest, rng io.Reader)
 	if err != nil {
 		return nil, err
 	}
+	params.Parallelism = a.parallelism
 	eval, opts, err := a.buildRound(round)
 	if err != nil {
 		return nil, err
@@ -389,6 +398,8 @@ type Bob struct {
 
 	normM2, normW2 float64
 
+	parallelism int
+
 	round    Round
 	receiver *ompe.Receiver
 	x1, x2   *big.Int
@@ -438,6 +449,11 @@ func (b *Bob) ClearShare() *ClearShare {
 	return &ClearShare{NormM2: b.normM2, NormW2: b.normW2}
 }
 
+// SetParallelism bounds Bob's local worker pool (<= 0 selects GOMAXPROCS,
+// 1 forces the serial path). Purely local: it does not change any protocol
+// message given the same randomness stream.
+func (b *Bob) SetParallelism(n int) { b.parallelism = n }
+
 // StartRound opens the OMPE receiver for the given round and returns the
 // evaluation request.
 func (b *Bob) StartRound(round Round, rng io.Reader) (*ompe.EvalRequest, error) {
@@ -470,6 +486,7 @@ func (b *Bob) StartRound(round Round, rng io.Reader) (*ompe.EvalRequest, error) 
 	if err != nil {
 		return nil, err
 	}
+	params.Parallelism = b.parallelism
 	receiver, req, err := ompe.NewReceiver(params, input, rng)
 	if err != nil {
 		return nil, err
@@ -531,6 +548,7 @@ func EvaluatePrivate(wA []float64, bA float64, wB []float64, bB float64, params 
 	if err != nil {
 		return nil, err
 	}
+	bob.SetParallelism(params.Parallelism)
 	if err := alice.HandleClearShare(bob.ClearShare()); err != nil {
 		return nil, err
 	}

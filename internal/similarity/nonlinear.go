@@ -86,6 +86,8 @@ type KernelAlice struct {
 	clear        *KernelClearShare
 	areaScale    *AreaScale
 
+	parallelism int
+
 	round      Round
 	round2Seen int
 	sender     *ompe.Sender
@@ -137,14 +139,15 @@ func NewKernelAlice(model *svm.Model, params Params, rng io.Reader) (*KernelAlic
 		return nil, err
 	}
 	return &KernelAlice{
-		spec:  spec,
-		codec: codec,
-		model: model,
-		mA:    mA,
-		ram:   ram,
-		raw:   raw,
-		rb:    rb,
-		round: RoundCentroid,
+		spec:        spec,
+		codec:       codec,
+		model:       model,
+		mA:          mA,
+		ram:         ram,
+		raw:         raw,
+		rb:          rb,
+		parallelism: params.Parallelism,
+		round:       RoundCentroid,
 	}, nil
 }
 
@@ -255,6 +258,7 @@ func (a *KernelAlice) HandleRequest(round Round, req *ompe.EvalRequest, rng io.R
 	if err != nil {
 		return nil, err
 	}
+	params.Parallelism = a.parallelism
 	sender, err := ompe.NewSender(params, eval, opts...)
 	if err != nil {
 		return nil, err
@@ -480,6 +484,8 @@ type KernelBob struct {
 	clear     *KernelClearShare
 	areaScale *AreaScale
 
+	parallelism int
+
 	round     Round
 	round2Idx int
 	receiver  *ompe.Receiver
@@ -563,6 +569,11 @@ func NewKernelBob(spec KernelSpec, model *svm.Model) (*KernelBob, error) {
 // ClearShare returns Bob's cleartext values.
 func (b *KernelBob) ClearShare() *KernelClearShare { return b.clear }
 
+// SetParallelism bounds Bob's local worker pool (<= 0 selects GOMAXPROCS,
+// 1 forces the serial path). Purely local: it does not change any protocol
+// message given the same randomness stream.
+func (b *KernelBob) SetParallelism(n int) { b.parallelism = n }
+
 // SetAreaScale stores Alice's announced area scale (needed to decode).
 func (b *KernelBob) SetAreaScale(s *AreaScale) error {
 	if s == nil || s.C3Exp < 1 || s.C3Exp > 16 {
@@ -613,6 +624,7 @@ func (b *KernelBob) StartRound(round Round, rng io.Reader) (*ompe.EvalRequest, e
 	if err != nil {
 		return nil, err
 	}
+	params.Parallelism = b.parallelism
 	receiver, req, err := ompe.NewReceiver(params, input, rng)
 	if err != nil {
 		return nil, err
@@ -676,6 +688,7 @@ func EvaluatePrivateKernel(modelA, modelB *svm.Model, params Params, rng io.Read
 	if err != nil {
 		return nil, err
 	}
+	bob.SetParallelism(params.Parallelism)
 	if err := alice.HandleClearShare(bob.ClearShare()); err != nil {
 		return nil, err
 	}
