@@ -1,6 +1,7 @@
 # Tier-1 gate (see DESIGN.md §7): vet + build + race-clean tests + a
-# one-shot smoke run of the parallelism sweeps.
-.PHONY: check vet build test bench-smoke bench
+# one-shot smoke run of the parallelism sweeps. fuzz-smoke runs the fuzz
+# targets briefly (CI runs it as a separate job).
+.PHONY: check vet build test bench-smoke bench fuzz-smoke
 
 check: vet build test bench-smoke
 
@@ -18,3 +19,7 @@ bench-smoke:
 
 bench:
 	go test -run='^$$' -bench=. -benchmem ./...
+
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzConnRecv -fuzztime=10s ./internal/transport
+	go test -run='^$$' -fuzz=FuzzFromBytes -fuzztime=10s ./internal/field

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
@@ -44,25 +45,38 @@ func run(args []string) error {
 		n      = fs.Int("n", 5, "number of test samples to classify")
 		seed   = fs.Uint64("seed", 2, "synthetic data seed (client side)")
 		fast   = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
+
+		timeout     = fs.Duration("timeout", transport.DefaultDialTimeout, "per-attempt dial timeout")
+		retries     = fs.Int("retries", transport.DefaultMaxAttempts, "total dial attempts (exponential backoff + jitter between them)")
+		msgDeadline = fs.Duration("msg-deadline", transport.DefaultMessageDeadline, "per-message deadline; 0 disables")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	opts := transport.Options{
+		DialTimeout:     *timeout,
+		MessageDeadline: *msgDeadline,
+		MaxAttempts:     *retries,
+	}
+	if *msgDeadline <= 0 {
+		opts.MessageDeadline = transport.NoDeadline
+	}
 	switch mode {
 	case "classify":
-		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast)
+		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, opts)
 	case "similarity":
-		return runSimilarity(*addr, *dsName, *seed)
+		return runSimilarity(*addr, *dsName, *seed, opts)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 }
 
-func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool) error {
+func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, opts transport.Options) error {
+	ctx := context.Background()
 	var classifyFn func([]float64) (int, error)
 	var spec classifySpec
 	if fast {
-		client, err := transport.DialClassifyFast(addr, 30*time.Second, rand.Reader)
+		client, err := transport.DialClassifyFastContext(ctx, addr, opts, rand.Reader)
 		if err != nil {
 			return err
 		}
@@ -73,7 +87,7 @@ func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool) 
 		classifyFn = client.Classify
 		fmt.Printf("connected (fast session): base phase complete\n")
 	} else {
-		client, err := transport.DialClassify(addr, 10*time.Second, rand.Reader)
+		client, err := transport.DialClassifyContext(ctx, addr, opts, rand.Reader)
 		if err != nil {
 			return err
 		}
@@ -129,7 +143,7 @@ func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool) 
 	return nil
 }
 
-func runSimilarity(addr, dsName string, seed uint64) error {
+func runSimilarity(addr, dsName string, seed uint64, opts transport.Options) error {
 	ds, err := dataset.SpecByName(dsName)
 	if err != nil {
 		return err
@@ -148,7 +162,7 @@ func runSimilarity(addr, dsName string, seed uint64) error {
 	}
 	fmt.Printf("trained own linear model on %s (%d support vectors)\n", train.Name, model.NumSupportVectors())
 	start := time.Now()
-	res, err := transport.DialSimilarity(addr, w, model.Bias, 10*time.Second, rand.Reader)
+	res, err := transport.DialSimilarityContext(context.Background(), addr, w, model.Bias, opts, rand.Reader)
 	if err != nil {
 		return err
 	}

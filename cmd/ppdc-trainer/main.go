@@ -6,15 +6,25 @@
 // Usage:
 //
 //	ppdc-trainer [-addr :7707] [-dataset diabetes] [-kernel linear|poly] \
-//	             [-data file.libsvm] [-group 2048] [-seed 1]
+//	             [-data file.libsvm] [-group 2048] [-seed 1] \
+//	             [-max-sessions 0] [-msg-deadline 2m] [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM the server drains: it stops accepting, lets in-flight
+// sessions finish for up to -drain-timeout, then force-closes stragglers.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
@@ -43,6 +53,10 @@ func run(args []string) error {
 		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
 		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
 		loadModel  = fs.String("load-model", "", "serve a previously saved model instead of training")
+
+		maxSessions  = fs.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited); extra clients are rejected")
+		msgDeadline  = fs.Duration("msg-deadline", transport.DefaultMessageDeadline, "per-message deadline; 0 disables")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +125,12 @@ func run(args []string) error {
 		return err
 	}
 	srv := transport.NewServer(trainer)
+	srv.MaxSessions = *maxSessions
+	if *msgDeadline <= 0 {
+		srv.MessageDeadline = transport.NoDeadline
+	} else {
+		srv.MessageDeadline = *msgDeadline
+	}
 	if model.Kernel.Kind == svm.KernelLinear {
 		w, err := model.LinearWeights()
 		if err != nil {
@@ -124,7 +144,36 @@ func run(args []string) error {
 		return err
 	}
 	log.Printf("serving privacy-preserving classification on %s (OT group %s)", ln.Addr(), group.Name())
-	return srv.Serve(ln)
+
+	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
+	// sessions finish for up to -drain-timeout, force-close the rest.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var draining atomic.Bool
+	drained := make(chan error, 1)
+	go func() {
+		sig, ok := <-sigCh
+		if !ok {
+			return
+		}
+		log.Printf("%v: draining sessions for up to %v", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		draining.Store(true)
+		drained <- srv.Shutdown(ctx)
+	}()
+	err = srv.Serve(ln)
+	if draining.Load() {
+		// Signal-triggered shutdown: Serve returning net.ErrClosed is the
+		// clean path; report only a failed drain.
+		if shutdownErr := <-drained; shutdownErr != nil && !errors.Is(shutdownErr, net.ErrClosed) {
+			return fmt.Errorf("drain: %w", shutdownErr)
+		}
+		log.Printf("drained; bye")
+		return nil
+	}
+	return err
 }
 
 func loadTraining(dsName, dataFile string, seed uint64) (*dataset.Dataset, dataset.Spec, error) {

@@ -1,9 +1,10 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"net"
+	"math/big"
 	"time"
 
 	"repro/internal/classify"
@@ -21,13 +22,19 @@ type ClassifyClient struct {
 }
 
 // DialClassify connects to a trainer server over TCP and performs the
-// handshake.
+// handshake, retrying the dial with the default backoff policy.
 func DialClassify(addr string, timeout time.Duration, rng io.Reader) (*ClassifyClient, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialClassifyContext(context.Background(), addr, Options{DialTimeout: timeout}, rng)
+}
+
+// DialClassifyContext dials with retry/backoff per opts and performs the
+// handshake under ctx.
+func DialClassifyContext(ctx context.Context, addr string, opts Options, rng io.Reader) (*ClassifyClient, error) {
+	nc, err := dialRetry(ctx, addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
-	cc, err := NewClassifyClient(nc, rng)
+	cc, err := NewClassifyClientContext(ctx, nc, opts, rng)
 	if err != nil {
 		_ = nc.Close()
 		return nil, err
@@ -35,18 +42,30 @@ func DialClassify(addr string, timeout time.Duration, rng io.Reader) (*ClassifyC
 	return cc, nil
 }
 
-// NewClassifyClient performs the handshake on an established stream.
+// NewClassifyClient performs the handshake on an established stream with
+// default options.
 func NewClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*ClassifyClient, error) {
+	return NewClassifyClientContext(context.Background(), rw, Options{}, rng)
+}
+
+// NewClassifyClientContext performs the handshake on an established
+// stream, bounding each message by opts.MessageDeadline and the whole
+// handshake by ctx.
+func NewClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*ClassifyClient, error) {
 	conn := NewConn(rw)
-	conn.SetMessageDeadline(2 * time.Minute)
-	if err := conn.Send(&Hello{Service: "classify"}); err != nil {
-		return nil, err
-	}
-	spec, err := Recv[*classify.Spec](conn)
-	if err != nil {
-		return nil, err
-	}
-	client, err := classify.NewClient(*spec)
+	conn.SetMessageDeadline(opts.messageDeadline())
+	var client *classify.Client
+	err := conn.RunContext(ctx, func() error {
+		if err := conn.Send(&Hello{Service: "classify"}); err != nil {
+			return err
+		}
+		spec, err := Recv[*classify.Spec](conn)
+		if err != nil {
+			return err
+		}
+		client, err = classify.NewClient(*spec)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -58,29 +77,39 @@ func (c *ClassifyClient) Spec() classify.Spec { return c.client.Spec() }
 
 // Classify runs one private classification round trip.
 func (c *ClassifyClient) Classify(sample []float64) (int, error) {
+	return c.ClassifyContext(context.Background(), sample)
+}
+
+// ClassifyContext runs one private classification round trip, abandoning
+// the session if ctx is canceled mid-exchange.
+func (c *ClassifyClient) ClassifyContext(ctx context.Context, sample []float64) (int, error) {
 	receiver, req, err := c.client.NewSession(sample, c.rand)
 	if err != nil {
 		return 0, err
 	}
-	if err := c.conn.Send(req); err != nil {
-		return 0, err
-	}
-	setup, err := Recv[*batchSetup](c.conn)
-	if err != nil {
-		return 0, err
-	}
-	choice, err := receiver.HandleSetup(setup, c.rand)
-	if err != nil {
-		return 0, err
-	}
-	if err := c.conn.Send(choice); err != nil {
-		return 0, err
-	}
-	tr, err := Recv[*batchTransfer](c.conn)
-	if err != nil {
-		return 0, err
-	}
-	result, err := receiver.Finish(tr)
+	var result *big.Int
+	err = c.conn.RunContext(ctx, func() error {
+		if err := c.conn.Send(req); err != nil {
+			return err
+		}
+		setup, err := Recv[*batchSetup](c.conn)
+		if err != nil {
+			return err
+		}
+		choice, err := receiver.HandleSetup(setup, c.rand)
+		if err != nil {
+			return err
+		}
+		if err := c.conn.Send(choice); err != nil {
+			return err
+		}
+		tr, err := Recv[*batchTransfer](c.conn)
+		if err != nil {
+			return err
+		}
+		result, err = receiver.Finish(tr)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -96,28 +125,56 @@ func (c *ClassifyClient) Close() error {
 // EvaluateSimilarity runs a full linear similarity evaluation as Bob
 // against a server hosting model A, using Bob's own model (wB, bB).
 func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.Reader) (*similarity.Result, error) {
+	return EvaluateSimilarityContext(context.Background(), rw, wB, bB, Options{}, rng)
+}
+
+// EvaluateSimilarityContext is EvaluateSimilarity with per-message
+// deadlines from opts and cancellation via ctx.
+func EvaluateSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, wB []float64, bB float64, opts Options, rng io.Reader) (*similarity.Result, error) {
 	conn := NewConn(rw)
-	conn.SetMessageDeadline(2 * time.Minute)
+	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
-	if err := conn.Send(&Hello{Service: "similarity-linear"}); err != nil {
-		return nil, err
-	}
-	spec, err := Recv[*similarity.Spec](conn)
+	var out *similarity.Result
+	err := conn.RunContext(ctx, func() error {
+		if err := conn.Send(&Hello{Service: "similarity-linear"}); err != nil {
+			return err
+		}
+		spec, err := Recv[*similarity.Spec](conn)
+		if err != nil {
+			return err
+		}
+		bob, err := similarity.NewBob(*spec, wB, bB)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(bob.ClearShare()); err != nil {
+			return err
+		}
+		rounds := []similarity.Round{similarity.RoundCentroid, similarity.RoundNormal, similarity.RoundArea}
+		out, err = runBobRounds(conn, rounds, bob.StartRound, bob.HandleSetup, bob.FinishRound, rng)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	bob, err := similarity.NewBob(*spec, wB, bB)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(bob.ClearShare()); err != nil {
-		return nil, err
-	}
-	for _, round := range []similarity.Round{similarity.RoundCentroid, similarity.RoundNormal, similarity.RoundArea} {
+	return out, nil
+}
+
+// runBobRounds drives Bob's per-round OMPE exchange for both the linear
+// and kernelized similarity protocols; the final round yields the result.
+func runBobRounds(
+	conn *Conn,
+	rounds []similarity.Round,
+	start func(similarity.Round, io.Reader) (*evalRequest, error),
+	handle func(similarity.Round, *batchSetup, io.Reader) (*batchChoice, error),
+	finish func(similarity.Round, *batchTransfer) (*similarity.Result, error),
+	rng io.Reader,
+) (*similarity.Result, error) {
+	for _, round := range rounds {
 		if err := conn.Send(&RoundHeader{Round: round}); err != nil {
 			return nil, err
 		}
-		req, err := bob.StartRound(round, rng)
+		req, err := start(round, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +185,7 @@ func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.
 		if err != nil {
 			return nil, err
 		}
-		choice, err := bob.HandleSetup(round, setup, rng)
+		choice, err := handle(round, setup, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +196,7 @@ func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.
 		if err != nil {
 			return nil, err
 		}
-		result, err := bob.FinishRound(round, tr)
+		result, err := finish(round, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -154,79 +211,66 @@ func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.
 // as Bob against a server hosting a polynomial-kernel model, using Bob's
 // own model.
 func EvaluateKernelSimilarity(rw io.ReadWriteCloser, modelB *svm.Model, rng io.Reader) (*similarity.Result, error) {
-	conn := NewConn(rw)
-	conn.SetMessageDeadline(2 * time.Minute)
-	defer func() { _ = conn.Close() }()
-	if err := conn.Send(&Hello{Service: "similarity-kernel"}); err != nil {
-		return nil, err
-	}
-	spec, err := Recv[*similarity.KernelSpec](conn)
-	if err != nil {
-		return nil, err
-	}
-	bob, err := similarity.NewKernelBob(*spec, modelB)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(bob.ClearShare()); err != nil {
-		return nil, err
-	}
-	scale, err := Recv[*similarity.AreaScale](conn)
-	if err != nil {
-		return nil, err
-	}
-	if err := bob.SetAreaScale(scale); err != nil {
-		return nil, err
-	}
-	rounds := []similarity.Round{similarity.RoundCentroid}
-	for t := 0; t < len(modelB.SupportVectors); t++ {
-		rounds = append(rounds, similarity.RoundNormal)
-	}
-	rounds = append(rounds, similarity.RoundArea)
-	for _, round := range rounds {
-		if err := conn.Send(&RoundHeader{Round: round}); err != nil {
-			return nil, err
-		}
-		req, err := bob.StartRound(round, rng)
-		if err != nil {
-			return nil, err
-		}
-		if err := conn.Send(req); err != nil {
-			return nil, err
-		}
-		setup, err := Recv[*batchSetup](conn)
-		if err != nil {
-			return nil, err
-		}
-		choice, err := bob.HandleSetup(round, setup, rng)
-		if err != nil {
-			return nil, err
-		}
-		if err := conn.Send(choice); err != nil {
-			return nil, err
-		}
-		tr, err := Recv[*batchTransfer](conn)
-		if err != nil {
-			return nil, err
-		}
-		result, err := bob.FinishRound(round, tr)
-		if err != nil {
-			return nil, err
-		}
-		if round == similarity.RoundArea {
-			return result, nil
-		}
-	}
-	return nil, fmt.Errorf("transport: kernel similarity protocol did not complete")
+	return EvaluateKernelSimilarityContext(context.Background(), rw, modelB, Options{}, rng)
 }
 
-// DialSimilarity runs a similarity evaluation against a TCP server.
-func DialSimilarity(addr string, wB []float64, bB float64, timeout time.Duration, rng io.Reader) (*similarity.Result, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+// EvaluateKernelSimilarityContext is EvaluateKernelSimilarity with
+// per-message deadlines from opts and cancellation via ctx.
+func EvaluateKernelSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, modelB *svm.Model, opts Options, rng io.Reader) (*similarity.Result, error) {
+	conn := NewConn(rw)
+	conn.SetMessageDeadline(opts.messageDeadline())
+	defer func() { _ = conn.Close() }()
+	var out *similarity.Result
+	err := conn.RunContext(ctx, func() error {
+		if err := conn.Send(&Hello{Service: "similarity-kernel"}); err != nil {
+			return err
+		}
+		spec, err := Recv[*similarity.KernelSpec](conn)
+		if err != nil {
+			return err
+		}
+		bob, err := similarity.NewKernelBob(*spec, modelB)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(bob.ClearShare()); err != nil {
+			return err
+		}
+		scale, err := Recv[*similarity.AreaScale](conn)
+		if err != nil {
+			return err
+		}
+		if err := bob.SetAreaScale(scale); err != nil {
+			return err
+		}
+		rounds := []similarity.Round{similarity.RoundCentroid}
+		for t := 0; t < len(modelB.SupportVectors); t++ {
+			rounds = append(rounds, similarity.RoundNormal)
+		}
+		rounds = append(rounds, similarity.RoundArea)
+		out, err = runBobRounds(conn, rounds, bob.StartRound, bob.HandleSetup, bob.FinishRound, rng)
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
-	return EvaluateSimilarity(nc, wB, bB, rng)
+	return out, nil
+}
+
+// DialSimilarity runs a similarity evaluation against a TCP server,
+// retrying the dial with the default backoff policy.
+func DialSimilarity(addr string, wB []float64, bB float64, timeout time.Duration, rng io.Reader) (*similarity.Result, error) {
+	return DialSimilarityContext(context.Background(), addr, wB, bB, Options{DialTimeout: timeout}, rng)
+}
+
+// DialSimilarityContext dials with retry/backoff per opts and runs the
+// evaluation under ctx.
+func DialSimilarityContext(ctx context.Context, addr string, wB []float64, bB float64, opts Options, rng io.Reader) (*similarity.Result, error) {
+	nc, err := dialRetry(ctx, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateSimilarityContext(ctx, nc, wB, bB, opts, rng)
 }
 
 // FastClassifyClient drives the IKNP fast classification session over a
@@ -238,45 +282,63 @@ type FastClassifyClient struct {
 }
 
 // NewFastClassifyClient performs the handshake and base phase on an
-// established stream.
+// established stream with default options.
 func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyClient, error) {
+	return NewFastClassifyClientContext(context.Background(), rw, Options{}, rng)
+}
+
+// NewFastClassifyClientContext performs the handshake and base phase on
+// an established stream under ctx and opts.
+func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*FastClassifyClient, error) {
 	conn := NewConn(rw)
-	conn.SetMessageDeadline(2 * time.Minute)
-	if err := conn.Send(&Hello{Service: "classify-fast"}); err != nil {
-		return nil, err
-	}
-	spec, err := Recv[*classify.Spec](conn)
+	conn.SetMessageDeadline(opts.messageDeadline())
+	var session *classify.FastClient
+	err := conn.RunContext(ctx, func() error {
+		if err := conn.Send(&Hello{Service: "classify-fast"}); err != nil {
+			return err
+		}
+		spec, err := Recv[*classify.Spec](conn)
+		if err != nil {
+			return err
+		}
+		var setup *ot.IKNPBaseSetup
+		session, setup, err = classify.NewFastClient(*spec, rng)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(setup); err != nil {
+			return err
+		}
+		choice, err := Recv[*ot.IKNPBaseChoice](conn)
+		if err != nil {
+			return err
+		}
+		baseTr, err := session.FinishBase(choice, rng)
+		if err != nil {
+			return err
+		}
+		return conn.Send(baseTr)
+	})
 	if err != nil {
-		return nil, err
-	}
-	session, setup, err := classify.NewFastClient(*spec, rng)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(setup); err != nil {
-		return nil, err
-	}
-	choice, err := Recv[*ot.IKNPBaseChoice](conn)
-	if err != nil {
-		return nil, err
-	}
-	baseTr, err := session.FinishBase(choice, rng)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(baseTr); err != nil {
 		return nil, err
 	}
 	return &FastClassifyClient{conn: conn, session: session, rand: rng}, nil
 }
 
-// DialClassifyFast connects over TCP and runs the base phase.
+// DialClassifyFast connects over TCP and runs the base phase, retrying
+// the dial with the default backoff policy.
 func DialClassifyFast(addr string, timeout time.Duration, rng io.Reader) (*FastClassifyClient, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialClassifyFastContext(context.Background(), addr, Options{DialTimeout: timeout}, rng)
+}
+
+// DialClassifyFastContext dials with retry/backoff per opts and runs the
+// base phase under ctx.
+func DialClassifyFastContext(ctx context.Context, addr string, opts Options, rng io.Reader) (*FastClassifyClient, error) {
+	nc, err := dialRetry(ctx, addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
-	fc, err := NewFastClassifyClient(nc, rng)
+	fc, err := NewFastClassifyClientContext(ctx, nc, opts, rng)
 	if err != nil {
 		_ = nc.Close()
 		return nil, err
@@ -286,14 +348,23 @@ func DialClassifyFast(addr string, timeout time.Duration, rng io.Reader) (*FastC
 
 // Classify runs one two-message fast query.
 func (c *FastClassifyClient) Classify(sample []float64) (int, error) {
+	return c.ClassifyContext(context.Background(), sample)
+}
+
+// ClassifyContext runs one two-message fast query under ctx.
+func (c *FastClassifyClient) ClassifyContext(ctx context.Context, sample []float64) (int, error) {
 	query, req, err := c.session.NewQuery(sample, c.rand)
 	if err != nil {
 		return 0, err
 	}
-	if err := c.conn.Send(req); err != nil {
-		return 0, err
-	}
-	resp, err := Recv[*ompe.FastResponse](c.conn)
+	var resp *ompe.FastResponse
+	err = c.conn.RunContext(ctx, func() error {
+		if err := c.conn.Send(req); err != nil {
+			return err
+		}
+		resp, err = Recv[*ompe.FastResponse](c.conn)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -307,11 +378,17 @@ func (c *FastClassifyClient) Close() error {
 }
 
 // DialKernelSimilarity runs a kernelized similarity evaluation against a
-// TCP server.
+// TCP server, retrying the dial with the default backoff policy.
 func DialKernelSimilarity(addr string, modelB *svm.Model, timeout time.Duration, rng io.Reader) (*similarity.Result, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialKernelSimilarityContext(context.Background(), addr, modelB, Options{DialTimeout: timeout}, rng)
+}
+
+// DialKernelSimilarityContext dials with retry/backoff per opts and runs
+// the evaluation under ctx.
+func DialKernelSimilarityContext(ctx context.Context, addr string, modelB *svm.Model, opts Options, rng io.Reader) (*similarity.Result, error) {
+	nc, err := dialRetry(ctx, addr, opts)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
-	return EvaluateKernelSimilarity(nc, modelB, rng)
+	return EvaluateKernelSimilarityContext(ctx, nc, modelB, opts, rng)
 }

@@ -8,10 +8,12 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -71,6 +73,25 @@ type Done struct{}
 // ErrRemote wraps an error reported by the peer.
 var ErrRemote = errors.New("transport: remote error")
 
+// ErrTimeout wraps any send/receive that failed because a message
+// deadline passed: errors.Is(err, ErrTimeout) distinguishes "the network
+// went quiet" from protocol failures.
+var ErrTimeout = errors.New("transport: deadline exceeded")
+
+// ErrCanceled wraps failures caused by context cancellation.
+var ErrCanceled = errors.New("transport: canceled")
+
+// wrapIO classifies a raw stream error: deadline expiries (from net.Conn
+// deadlines or deadline-aware wrappers) gain the ErrTimeout mark so
+// callers can branch on timeout-vs-protocol failure.
+func wrapIO(op string, err error) error {
+	var nerr interface{ Timeout() bool }
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &nerr) && nerr.Timeout()) {
+		return fmt.Errorf("transport: %s: %w: %v", op, ErrTimeout, err)
+	}
+	return fmt.Errorf("transport: %s: %w", op, err)
+}
+
 // Conn is a typed, framed protocol connection.
 type Conn struct {
 	rw  io.ReadWriteCloser
@@ -111,7 +132,7 @@ func (c *Conn) arm() {
 func (c *Conn) Send(v any) error {
 	c.arm()
 	if err := c.enc.Encode(&envelope{Payload: v}); err != nil {
-		return fmt.Errorf("transport: send: %w", err)
+		return wrapIO("send", err)
 	}
 	return nil
 }
@@ -127,7 +148,7 @@ func (c *Conn) recvAny() (any, error) {
 	c.arm()
 	var env envelope
 	if err := c.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("transport: recv: %w", err)
+		return nil, wrapIO("recv", err)
 	}
 	if env.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, env.Err)
@@ -137,6 +158,42 @@ func (c *Conn) recvAny() (any, error) {
 
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.rw.Close() }
+
+// RunContext runs one blocking exchange (fn issues Send/Recv calls on c)
+// under ctx. On cancellation the connection's deadline is forced into the
+// past — or, for streams without deadlines, the stream is closed — so the
+// blocked operation fails promptly; the returned error then carries
+// ErrCanceled and ctx.Err(). A canceled session must be abandoned: the
+// connection is no longer in a usable protocol state.
+func (c *Conn) RunContext(ctx context.Context, fn func() error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return fn()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			if d, ok := c.rw.(deadliner); ok {
+				_ = d.SetDeadline(time.Unix(1, 0))
+			} else {
+				_ = c.rw.Close()
+			}
+		case <-stop:
+		}
+	}()
+	err := fn()
+	close(stop)
+	<-watcherDone
+	if ctxErr := ctx.Err(); ctxErr != nil && err != nil {
+		return fmt.Errorf("%w: %w (%v)", ErrCanceled, ctxErr, err)
+	}
+	return err
+}
 
 // Recv receives the next message and asserts its type.
 func Recv[T any](c *Conn) (T, error) {

@@ -1,0 +1,68 @@
+package transport_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// byteStream adapts a byte slice to the io.ReadWriteCloser surface Conn
+// wraps: reads drain the buffer, writes are discarded.
+type byteStream struct {
+	r *bytes.Reader
+}
+
+func (s *byteStream) Read(p []byte) (int, error)  { return s.r.Read(p) }
+func (s *byteStream) Write(p []byte) (int, error) { return len(p), nil }
+func (s *byteStream) Close() error                { return nil }
+
+// encodeEnvelope produces the wire bytes of a well-formed message, used
+// to seed the corpus so mutations start from valid gob framing.
+func encodeEnvelope(tb testing.TB, v any) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	conn := transport.NewConn(nopCloser{&buf})
+	if err := conn.Send(v); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+type nopCloser struct{ io.ReadWriter }
+
+func (nopCloser) Close() error { return nil }
+
+// FuzzConnRecv feeds arbitrary byte streams into the typed receive path:
+// malformed, truncated, or hostile gob envelopes must produce an error,
+// never a panic or a silently wrong payload. (Same pattern as
+// internal/field's FuzzFromBytes.)
+func FuzzConnRecv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	valid := encodeEnvelope(f, &transport.Hello{Service: "classify"})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])          // truncated mid-message
+	f.Add(append(valid, valid[:8]...))   // trailing garbage after a frame
+	f.Add(encodeEnvelope(f, &transport.Done{}))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return // gob length prefixes beyond this add nothing but time
+		}
+		conn := transport.NewConn(&byteStream{r: bytes.NewReader(input)})
+		// Drain every frame the stream yields; each must decode cleanly
+		// or error. The loop is bounded: every iteration either consumes
+		// input or errors out.
+		for i := 0; i < 16; i++ {
+			v, err := transport.Recv[*transport.Hello](conn)
+			if err != nil {
+				return
+			}
+			if v == nil {
+				t.Fatal("Recv returned nil payload without error")
+			}
+		}
+	})
+}

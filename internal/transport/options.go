@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultMessageDeadline bounds each message exchange.
+	DefaultMessageDeadline = 2 * time.Minute
+	// DefaultDialTimeout bounds each individual dial attempt.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultMaxAttempts is the total number of dial attempts.
+	DefaultMaxAttempts = 3
+	// DefaultBackoffBase is the delay before the first retry; subsequent
+	// delays double up to DefaultBackoffMax.
+	DefaultBackoffBase = 100 * time.Millisecond
+	// DefaultBackoffMax caps the retry delay.
+	DefaultBackoffMax = 5 * time.Second
+)
+
+// NoDeadline disables the per-message deadline when assigned to
+// Options.MessageDeadline (a zero value selects the default instead).
+const NoDeadline = time.Duration(-1)
+
+// Options configures dialing and session behavior for the protocol
+// clients. The zero value selects the defaults above.
+type Options struct {
+	// DialTimeout bounds each individual dial attempt.
+	DialTimeout time.Duration
+
+	// MessageDeadline bounds every message exchange of the session on
+	// deadline-capable transports. Zero selects DefaultMessageDeadline;
+	// NoDeadline (any negative value) disables it.
+	MessageDeadline time.Duration
+
+	// MaxAttempts is the total number of dial attempts (1 = no retry).
+	// Zero selects DefaultMaxAttempts.
+	MaxAttempts int
+
+	// BackoffBase is the delay before the first retry. Each subsequent
+	// delay doubles, capped at BackoffMax, and is jittered uniformly down
+	// to half its nominal value so synchronized clients spread out.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// JitterSeed, when non-zero, makes the backoff jitter deterministic
+	// (for tests). Zero draws from a process-wide seeded source.
+	JitterSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.MessageDeadline == 0 {
+		o.MessageDeadline = DefaultMessageDeadline
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	return o
+}
+
+// messageDeadline resolves the effective per-message deadline (0 = none).
+func (o Options) messageDeadline() time.Duration {
+	o = o.withDefaults()
+	if o.MessageDeadline < 0 {
+		return 0
+	}
+	return o.MessageDeadline
+}
+
+// jitterRand is the process-wide jitter source for callers that don't pin
+// a seed. math/rand (not crypto) is deliberate: backoff jitter needs
+// spread, not unpredictability.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = mrand.New(mrand.NewSource(1))
+)
+
+// backoffDelay returns the jittered delay before retry number `retry`
+// (1-based): base·2^(retry-1) capped at max, then scaled uniformly into
+// [1/2, 1] of its nominal value.
+func backoffDelay(retry int, o Options, rng *mrand.Rand) time.Duration {
+	d := o.BackoffBase
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= o.BackoffMax {
+			d = o.BackoffMax
+			break
+		}
+	}
+	if d > o.BackoffMax {
+		d = o.BackoffMax
+	}
+	var frac float64
+	if rng != nil {
+		frac = rng.Float64()
+	} else {
+		jitterMu.Lock()
+		frac = jitterRand.Float64()
+		jitterMu.Unlock()
+	}
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// dialRetry dials addr with per-attempt timeouts and exponential backoff
+// between attempts, honoring ctx throughout.
+func dialRetry(ctx context.Context, addr string, o Options) (net.Conn, error) {
+	o = o.withDefaults()
+	var rng *mrand.Rand
+	if o.JitterSeed != 0 {
+		rng = mrand.New(mrand.NewSource(o.JitterSeed))
+	}
+	var dialer net.Dialer
+	var lastErr error
+	for attempt := 1; attempt <= o.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			delay := backoffDelay(attempt-1, o, rng)
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
+			}
+		}
+		attemptCtx, cancel := context.WithTimeout(ctx, o.DialTimeout)
+		nc, err := dialer.DialContext(attemptCtx, "tcp", addr)
+		cancel()
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: %d attempt(s) failed: %w", addr, o.MaxAttempts, lastErr)
+}

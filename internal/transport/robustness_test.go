@@ -1,0 +1,442 @@
+package transport_test
+
+// Robustness tests for the deadline/backoff options, graceful shutdown,
+// the MaxSessions cap, and session-slot recycling after mid-protocol
+// client failures.
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/faultnet"
+	"repro/internal/ot"
+	"repro/internal/transport"
+)
+
+// newTrainer builds a small linear trainer for robustness tests.
+func newTrainer(t *testing.T, seed uint64) (*classify.Trainer, []float64) {
+	t.Helper()
+	model, test := trainLinear(t, seed)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainer, test.X[0]
+}
+
+// TestSessionSlotFreedOnMidOTDisconnect: a client that vanishes after
+// receiving BatchSetup but before sending its choice must not pin its
+// session slot — with MaxSessions=1, a subsequent client gets served.
+func TestSessionSlotFreedOnMidOTDisconnect(t *testing.T) {
+	trainer, sample := newTrainer(t, 41)
+	srv := quietServer(t, trainer)
+	srv.MaxSessions = 1
+
+	// Client A: drive the protocol by hand up to mid-OT, then vanish.
+	serverSideA, clientSideA := net.Pipe()
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		srv.ServeConn(serverSideA)
+	}()
+	connA := transport.NewConn(clientSideA)
+	if err := connA.Send(&transport.Hello{Service: "classify"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := transport.Recv[*classify.Spec](connA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientA, err := classify.NewClient(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, req, err := clientA.NewSession(sample, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := connA.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.Recv[*ot.BatchSetup](connA); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-OT: the server has sent BatchSetup and waits for BatchChoice.
+	if err := connA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-doneA:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server session did not end after mid-OT disconnect")
+	}
+	if n := srv.ActiveSessions(); n != 0 {
+		t.Fatalf("disconnected session still counted: %d active", n)
+	}
+
+	// Client B must now be admitted and served correctly.
+	serverSideB, clientSideB := net.Pipe()
+	doneB := make(chan struct{})
+	go func() {
+		defer close(doneB)
+		srv.ServeConn(serverSideB)
+	}()
+	cc, err := transport.NewClassifyClient(clientSideB, rand.Reader)
+	if err != nil {
+		t.Fatalf("client B rejected after A's slot should have freed: %v", err)
+	}
+	if _, err := cc.Classify(sample); err != nil {
+		t.Fatalf("client B classify: %v", err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-doneB:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server session B did not end")
+	}
+}
+
+// TestMaxSessionsRejects: with the single slot occupied, the next client
+// is rejected with a remote busy error instead of queueing silently.
+func TestMaxSessionsRejects(t *testing.T) {
+	trainer, sample := newTrainer(t, 42)
+	srv := quietServer(t, trainer)
+	srv.MaxSessions = 1
+
+	serverSideA, clientSideA := net.Pipe()
+	go srv.ServeConn(serverSideA)
+	ccA, err := transport.NewClassifyClient(clientSideA, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ccA.Close() }()
+	if _, err := ccA.Classify(sample); err != nil {
+		t.Fatal(err)
+	}
+
+	serverSideB, clientSideB := net.Pipe()
+	doneB := make(chan struct{})
+	go func() {
+		defer close(doneB)
+		srv.ServeConn(serverSideB)
+	}()
+	_, err = transport.NewClassifyClient(clientSideB, rand.Reader)
+	if err == nil {
+		t.Fatal("second client should be rejected at capacity 1")
+	}
+	if !errors.Is(err, transport.ErrRemote) || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("want remote busy error, got %v", err)
+	}
+	select {
+	case <-doneB:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rejected session did not end")
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown with a generous context lets an
+// in-flight session finish, then rejects newcomers.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	trainer, sample := newTrainer(t, 43)
+	srv := quietServer(t, trainer)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	cc, err := transport.DialClassify(ln.Addr().String(), 5*time.Second, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to close the listener and enter draining.
+	time.Sleep(100 * time.Millisecond)
+
+	// The in-flight session still completes during the drain.
+	if _, err := cc.Classify(sample); err != nil {
+		t.Fatalf("in-flight classify during drain: %v", err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown did not complete after sessions drained")
+	}
+
+	// New connections are refused (listener is gone).
+	if _, err := transport.DialClassify(ln.Addr().String(), 300*time.Millisecond, rand.Reader); err == nil {
+		t.Fatal("dial after shutdown should fail")
+	}
+}
+
+// TestShutdownForceClosesStragglers: when the drain context expires, the
+// remaining sessions are force-closed and Shutdown reports ctx.Err().
+func TestShutdownForceClosesStragglers(t *testing.T) {
+	trainer, _ := newTrainer(t, 44)
+	srv := quietServer(t, trainer)
+
+	// A session that will never finish: the client connects and goes
+	// silent (no deadline pressure server-side for this test).
+	srv.MessageDeadline = transport.NoDeadline
+	serverSide, clientSide := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() {
+		defer close(sessionDone)
+		srv.ServeConn(serverSide)
+	}()
+	conn := transport.NewConn(clientSide)
+	if err := conn.Send(&transport.Hello{Service: "classify"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.Recv[*classify.Spec](conn); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from bounded shutdown, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("bounded shutdown took %v", elapsed)
+	}
+	select {
+	case <-sessionDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("straggler session survived forced shutdown")
+	}
+	_ = conn.Close()
+}
+
+// TestMessageDeadlineTable: the deadline knob across its whole range —
+// zero (default applies), tiny (must fail fast with ErrTimeout),
+// generous, and disabled.
+func TestMessageDeadlineTable(t *testing.T) {
+	trainer, sample := newTrainer(t, 45)
+	cases := []struct {
+		name     string
+		deadline time.Duration
+		latency  time.Duration // injected per-op latency on the client side
+		wantErr  bool
+	}{
+		{name: "zero-selects-default", deadline: 0, wantErr: false},
+		{name: "tiny-fails-fast", deadline: time.Millisecond, latency: 25 * time.Millisecond, wantErr: true},
+		{name: "generous-succeeds", deadline: 30 * time.Second, latency: time.Millisecond, wantErr: false},
+		{name: "disabled-succeeds", deadline: transport.NoDeadline, wantErr: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := quietServer(t, trainer)
+			serverSide, clientSide := net.Pipe()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				srv.ServeConn(serverSide)
+			}()
+			rw := faultnet.Wrap(clientSide, faultnet.Profile{Latency: tc.latency})
+			opts := transport.Options{MessageDeadline: tc.deadline}
+
+			result := make(chan error, 1)
+			start := time.Now()
+			go func() {
+				cc, err := transport.NewClassifyClientContext(context.Background(), rw, opts, rand.Reader)
+				if err != nil {
+					result <- err
+					return
+				}
+				if _, err := cc.Classify(sample); err != nil {
+					result <- err
+					return
+				}
+				result <- cc.Close()
+			}()
+			var err error
+			select {
+			case err = <-result:
+			case <-time.After(30 * time.Second):
+				t.Fatal("round trip hung")
+			}
+			elapsed := time.Since(start)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("tiny deadline should have failed")
+				}
+				if !errors.Is(err, transport.ErrTimeout) {
+					t.Fatalf("want ErrTimeout, got %v", err)
+				}
+				if elapsed > 5*time.Second {
+					t.Fatalf("tiny deadline took %v to fail", elapsed)
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			_ = rw.Close()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("server session did not end")
+			}
+		})
+	}
+}
+
+// TestContextCancelMidRoundTrip: a context canceled while the exchange is
+// blocked (peer gone silent, no message deadline armed) must abandon the
+// session promptly with ErrCanceled carrying the context cause.
+func TestContextCancelMidRoundTrip(t *testing.T) {
+	trainer, sample := newTrainer(t, 46)
+	srv := quietServer(t, trainer)
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+
+	// Stall the client's view of the network after the handshake bytes;
+	// with deadlines disabled only the context can unblock it.
+	rw := faultnet.Wrap(clientSide, faultnet.Profile{StallAfter: 500})
+	opts := transport.Options{MessageDeadline: transport.NoDeadline}
+	cc, err := transport.NewClassifyClientContext(context.Background(), rw, opts, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cc.ClassifyContext(ctx, sample)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled round trip should fail")
+	}
+	if !errors.Is(err, transport.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should be the context's deadline, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	_ = rw.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server session did not end")
+	}
+}
+
+// TestDialRetryExhausts: a dead address fails after the configured number
+// of attempts, and the error says so.
+func TestDialRetryExhausts(t *testing.T) {
+	opts := transport.Options{
+		DialTimeout: 200 * time.Millisecond,
+		MaxAttempts: 3,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		JitterSeed:  99,
+	}
+	start := time.Now()
+	_, err := transport.DialClassifyContext(context.Background(), "127.0.0.1:1", opts, rand.Reader)
+	if err == nil {
+		t.Fatal("dial to dead port should fail")
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Fatalf("error should report attempt count: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry loop took %v", elapsed)
+	}
+}
+
+// TestDialRetryRecovers: a listener that appears between attempts is
+// reached by a later attempt — the point of retrying at all.
+func TestDialRetryRecovers(t *testing.T) {
+	trainer, sample := newTrainer(t, 47)
+	srv := quietServer(t, trainer)
+
+	// Reserve an address, then free it so the first attempt fails.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring the server up shortly after the first attempt will have
+	// failed.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the test will fail on dial below
+		}
+		_ = srv.Serve(ln)
+	}()
+	defer func() { _ = srv.Close() }()
+
+	opts := transport.Options{
+		DialTimeout: time.Second,
+		MaxAttempts: 10,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+		JitterSeed:  7,
+	}
+	cc, err := transport.DialClassifyContext(context.Background(), addr, opts, rand.Reader)
+	if err != nil {
+		t.Fatalf("retrying dial never reached the late server: %v", err)
+	}
+	defer func() { _ = cc.Close() }()
+	if _, err := cc.Classify(sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetryHonorsContext: cancellation during the backoff wait stops
+// the retry loop immediately.
+func TestDialRetryHonorsContext(t *testing.T) {
+	opts := transport.Options{
+		DialTimeout: 200 * time.Millisecond,
+		MaxAttempts: 50,
+		BackoffBase: 500 * time.Millisecond,
+		BackoffMax:  500 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := transport.DialClassifyContext(ctx, "127.0.0.1:1", opts, rand.Reader)
+	if err == nil {
+		t.Fatal("canceled dial should fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context cause, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled retry loop ran %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -42,27 +43,40 @@ type Server struct {
 	kernelSimParams  similarity.Params
 	kernelSimEnabled bool
 
-	// MessageDeadline bounds each message exchange (default 2 minutes).
+	// MessageDeadline bounds each message exchange (default
+	// DefaultMessageDeadline; set to NoDeadline to disable).
 	MessageDeadline time.Duration
+	// MaxSessions caps concurrent sessions; connections beyond the cap
+	// are rejected with ErrServerBusy. Zero means unlimited.
+	MaxSessions int
 	// Logf logs session-level events (default log.Printf; set to a no-op
 	// for quiet operation).
 	Logf func(format string, args ...any)
 	// Rand is the entropy source (default crypto/rand.Reader).
 	Rand io.Reader
 
-	mu     sync.Mutex
-	wg     sync.WaitGroup
-	ln     net.Listener
-	closed bool
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	ln       net.Listener
+	closed   bool
+	sessions map[io.Closer]struct{}
 }
+
+// ErrServerBusy is reported to clients rejected by the MaxSessions cap.
+var ErrServerBusy = errors.New("server at capacity")
+
+// ErrShuttingDown is reported to clients that connect while the server
+// drains.
+var ErrShuttingDown = errors.New("server shutting down")
 
 // NewServer builds a server around a classification trainer.
 func NewServer(trainer *classify.Trainer) *Server {
 	return &Server{
 		trainer:         trainer,
-		MessageDeadline: 2 * time.Minute,
+		MessageDeadline: DefaultMessageDeadline,
 		Logf:            log.Printf,
 		Rand:            rand.Reader,
+		sessions:        make(map[io.Closer]struct{}),
 	}
 }
 
@@ -96,26 +110,79 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
+		go s.serveConn(conn)
 	}
 }
 
-// Close stops accepting and waits for in-flight sessions.
+// register admits a new session, enforcing the drain state and the
+// MaxSessions cap. The session waitgroup counts admitted sessions only,
+// and additions happen under the same lock that Close/Shutdown use to
+// flip the drain flag, so the Add/Wait race is excluded by construction.
+func (s *Server) register(rw io.ReadWriteCloser) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	if s.MaxSessions > 0 && len(s.sessions) >= s.MaxSessions {
+		return ErrServerBusy
+	}
+	s.sessions[rw] = struct{}{}
+	s.wg.Add(1)
+	return nil
+}
+
+func (s *Server) deregister(rw io.ReadWriteCloser) {
+	s.mu.Lock()
+	delete(s.sessions, rw)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// ActiveSessions reports the number of sessions currently being served.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close stops accepting and waits for in-flight sessions to drain, with
+// no bound on the wait. Use Shutdown to bound it.
 func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown gracefully stops the server: it closes the listener, rejects
+// new sessions with ErrShuttingDown, and waits for in-flight sessions to
+// finish. If ctx expires first, the remaining sessions' connections are
+// force-closed (their peers see a stream error) and ctx.Err() is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
 	s.mu.Unlock()
-	var err error
+	var lnErr error
 	if ln != nil {
-		err = ln.Close()
+		lnErr = ln.Close()
 	}
-	s.wg.Wait()
-	return err
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lnErr
+	case <-ctx.Done():
+		s.mu.Lock()
+		for rw := range s.sessions {
+			_ = rw.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // ServeConn runs one session on an established byte stream (exported so
@@ -126,7 +193,23 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) {
 
 func (s *Server) serveConn(rw io.ReadWriteCloser) {
 	conn := NewConn(rw)
-	conn.SetMessageDeadline(s.MessageDeadline)
+	deadline := s.MessageDeadline
+	if deadline < 0 {
+		deadline = 0
+	}
+	conn.SetMessageDeadline(deadline)
+	if err := s.register(rw); err != nil {
+		// Drain the client's Hello first (over synchronous in-memory
+		// pipes, writing before reading would deadlock both sides), then
+		// answer it with the rejection; the client's handshake Recv
+		// surfaces it as ErrRemote.
+		s.logf("transport: reject session: %v", err)
+		_, _ = Recv[*Hello](conn)
+		_ = conn.SendErr(err)
+		_ = conn.Close()
+		return
+	}
+	defer s.deregister(rw)
 	defer func() {
 		if err := conn.Close(); err != nil && s.Logf != nil {
 			s.Logf("transport: close session: %v", err)

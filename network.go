@@ -1,12 +1,39 @@
 package ppdc
 
 import (
+	"context"
 	"io"
 	"net"
 	"time"
 
 	"repro/internal/transport"
 )
+
+// DialOptions configures dial retry/backoff and per-message deadlines for
+// the network clients. The zero value selects the defaults documented in
+// the transport package (10s dial attempts, 3 attempts with exponential
+// backoff + jitter, 2-minute message deadline).
+type DialOptions = transport.Options
+
+// Typed transport errors, for callers that branch on failure modes.
+var (
+	// ErrRemote marks a failure reported by the peer.
+	ErrRemote = transport.ErrRemote
+	// ErrTimeout marks a message exchange that exceeded its deadline.
+	ErrTimeout = transport.ErrTimeout
+	// ErrCanceled marks a session abandoned by context cancellation.
+	ErrCanceled = transport.ErrCanceled
+	// ErrServerBusy is reported (via ErrRemote) to clients rejected by a
+	// server's MaxSessions cap.
+	ErrServerBusy = transport.ErrServerBusy
+	// ErrShuttingDown is reported (via ErrRemote) to clients that connect
+	// while the server drains.
+	ErrShuttingDown = transport.ErrShuttingDown
+)
+
+// NoDeadline disables the per-message deadline when assigned to
+// DialOptions.MessageDeadline or Server.MessageDeadline.
+const NoDeadline = transport.NoDeadline
 
 // Server hosts a trainer's protocol endpoints over real connections:
 // privacy-preserving classification and, when enabled, linear similarity
@@ -57,4 +84,28 @@ type FastNetworkClient = transport.FastClassifyClient
 // fast session's base phase.
 func DialClassifyFast(addr string, timeout time.Duration, rng io.Reader) (*FastNetworkClient, error) {
 	return transport.DialClassifyFast(addr, timeout, rng)
+}
+
+// DialClassifyContext is DialClassify with retry/backoff and deadlines
+// from opts, and the handshake bounded by ctx.
+func DialClassifyContext(ctx context.Context, addr string, opts DialOptions, rng io.Reader) (*NetworkClient, error) {
+	return transport.DialClassifyContext(ctx, addr, opts, rng)
+}
+
+// DialClassifyFastContext is DialClassifyFast with retry/backoff and
+// deadlines from opts, and the base phase bounded by ctx.
+func DialClassifyFastContext(ctx context.Context, addr string, opts DialOptions, rng io.Reader) (*FastNetworkClient, error) {
+	return transport.DialClassifyFastContext(ctx, addr, opts, rng)
+}
+
+// DialSimilarityContext is DialSimilarity with retry/backoff and
+// deadlines from opts, and the whole evaluation bounded by ctx.
+func DialSimilarityContext(ctx context.Context, addr string, wB []float64, bB float64, opts DialOptions, rng io.Reader) (*SimilarityResult, error) {
+	return transport.DialSimilarityContext(ctx, addr, wB, bB, opts, rng)
+}
+
+// DialKernelSimilarityContext is DialKernelSimilarity with retry/backoff
+// and deadlines from opts, and the whole evaluation bounded by ctx.
+func DialKernelSimilarityContext(ctx context.Context, addr string, modelB *Model, opts DialOptions, rng io.Reader) (*SimilarityResult, error) {
+	return transport.DialKernelSimilarityContext(ctx, addr, modelB, opts, rng)
 }
