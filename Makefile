@@ -1,7 +1,8 @@
 # Tier-1 gate (see DESIGN.md §7): vet + build + race-clean tests + a
 # one-shot smoke run of the parallelism sweeps. fuzz-smoke runs the fuzz
 # targets briefly (CI runs it as a separate job).
-.PHONY: check vet build test bench-smoke bench fuzz-smoke
+.PHONY: check vet build test bench-smoke bench fuzz-smoke \
+	lint cover bench-json tidy-check
 
 check: vet build test bench-smoke
 
@@ -23,3 +24,23 @@ bench:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzConnRecv -fuzztime=10s ./internal/transport
 	go test -run='^$$' -fuzz=FuzzFromBytes -fuzztime=10s ./internal/field
+
+# lint runs golangci-lint (config in .golangci.yml). CI installs it via
+# the official action; locally it needs the binary on PATH.
+lint:
+	golangci-lint run ./...
+
+# cover writes the profile plus an HTML report and prints the total.
+cover:
+	go test -coverprofile=coverage.out -covermode=atomic ./...
+	go tool cover -html=coverage.out -o coverage.html
+	go tool cover -func=coverage.out | tail -1
+
+# bench-json emits the schema-stable BENCH_*.json document on the pinned
+# workload the CI regression gate compares against bench_baseline.json.
+# Flag changes here must be mirrored into a regenerated baseline.
+bench-json:
+	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json bench
+
+tidy-check:
+	go mod tidy -diff

@@ -6,11 +6,12 @@
 //	ppdc-bench [flags] <experiment>
 //
 // where <experiment> is one of: table1, table2, fig5, fig6, fig7, fig8,
-// fig9, fig10, all.
+// fig9, fig10, bench, compare, all.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,13 +39,19 @@ func run(args []string) error {
 		fullScale = fs.Bool("full", false, "use the paper's full test-set sizes")
 		csvPath   = fs.String("csv", "", "also write the experiment's series to a CSV file (single experiments only)")
 		par       = fs.Int("parallelism", 0, "worker pool bound per endpoint (0 = all cores, 1 = serial)")
+		jsonOut   = fs.Bool("json", false, "bench: emit the machine-readable BENCH_<name>.json document")
+		outPath   = fs.String("out", "", "bench: write the JSON document here instead of BENCH_<name>.json")
+		queries   = fs.Int("queries", 8, "bench: classify round trips to measure")
+		basePath  = fs.String("baseline", "bench_baseline.json", "compare: committed baseline document")
+		curPath   = fs.String("current", "", "compare: freshly produced BENCH_*.json document")
+		maxReg    = fs.Float64("max-regress", 0.20, "compare: maximum tolerated throughput regression (fraction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need one experiment: table1, table2, fig5, fig6, fig7, fig8, fig8x, fig9, fig10, ablation, all")
+		return fmt.Errorf("need one experiment: table1, table2, fig5, fig6, fig7, fig8, fig8x, fig9, fig10, ablation, bench, compare, all")
 	}
 	g, err := ot.GroupByName(*group)
 	if err != nil {
@@ -82,6 +89,10 @@ func run(args []string) error {
 		return runFig8x(opts)
 	case "ablation":
 		return runAblations(opts)
+	case "bench":
+		return runBench(opts, *queries, *jsonOut, *outPath)
+	case "compare":
+		return runCompare(*basePath, *curPath, *maxReg)
 	case "all":
 		for _, f := range []func(experiments.Options) error{
 			runTable1, runFig5, runFig6, runFig7, runFig8, runFig9, runTable2, runFig10,
@@ -362,6 +373,79 @@ func runAblations(opts experiments.Options) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// runBench measures instrumented classify round trips and either prints
+// a human-readable phase breakdown or, with -json, writes the
+// schema-stable BENCH_<name>.json document the CI regression gate
+// consumes.
+func runBench(opts experiments.Options, queries int, jsonOut bool, outPath string) error {
+	doc, err := experiments.BenchClassifyRoundTrip(opts, queries)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if outPath == "" {
+			outPath = fmt.Sprintf("BENCH_%s.json", doc.Name)
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: %.2f qps over %d queries (document written to %s)\n",
+			doc.ThroughputQPS, doc.Queries, outPath)
+		return nil
+	}
+	fmt.Printf("Bench: %s (%s, group %s, seed %d)\n", doc.Name, doc.Config.Dataset, doc.Config.Group, doc.Config.Seed)
+	fmt.Printf("throughput: %.2f queries/s (%d queries in %v)\n",
+		doc.ThroughputQPS, doc.Queries, time.Duration(doc.WallNS).Round(time.Millisecond))
+	fmt.Printf("wire: %d B in / %d B out, %d msgs in / %d msgs out, %d OT instances\n",
+		doc.BytesIn, doc.BytesOut, doc.MsgsIn, doc.MsgsOut, doc.OTInstances)
+	w := newTable("phase\tcount\ttotal\tmean")
+	for _, name := range experiments.BenchPhaseNames() {
+		p := doc.Phases[name]
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\n", name, p.Count,
+			time.Duration(p.TotalNS).Round(time.Microsecond),
+			time.Duration(p.MeanNS).Round(time.Microsecond))
+	}
+	return w.Flush()
+}
+
+// runCompare gates a fresh bench document against the committed
+// baseline, exiting nonzero on a throughput regression beyond maxReg.
+func runCompare(basePath, curPath string, maxReg float64) error {
+	if curPath == "" {
+		return fmt.Errorf("compare needs -current pointing at a BENCH_*.json document")
+	}
+	baseline, err := readBenchDoc(basePath)
+	if err != nil {
+		return err
+	}
+	current, err := readBenchDoc(curPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.CompareBench(baseline, current, maxReg); err != nil {
+		return err
+	}
+	fmt.Printf("bench compare: ok (%.2f qps vs baseline %.2f qps, gate %.0f%%)\n",
+		current.ThroughputQPS, baseline.ThroughputQPS, 100*maxReg)
+	return nil
+}
+
+func readBenchDoc(path string) (*experiments.BenchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc experiments.BenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }
 
 func runFig8x(opts experiments.Options) error {

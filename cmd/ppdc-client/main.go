@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/transport"
 )
@@ -49,9 +50,20 @@ func run(args []string) error {
 		timeout     = fs.Duration("timeout", transport.DefaultDialTimeout, "per-attempt dial timeout")
 		retries     = fs.Int("retries", transport.DefaultMaxAttempts, "total dial attempts (exponential backoff + jitter between them)")
 		msgDeadline = fs.Duration("msg-deadline", transport.DefaultMessageDeadline, "per-message deadline; 0 disables")
+		metricsAddr = fs.String("metrics-addr", "", "serve plain-text /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		maddr, msrv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		defer func() { _ = msrv.Close() }()
+		fmt.Printf("metrics and pprof on http://%s/metrics\n", maddr)
 	}
 	opts := transport.Options{
 		DialTimeout:     *timeout,

@@ -7,7 +7,8 @@
 //
 //	ppdc-trainer [-addr :7707] [-dataset diabetes] [-kernel linear|poly] \
 //	             [-data file.libsvm] [-group 2048] [-seed 1] \
-//	             [-max-sessions 0] [-msg-deadline 2m] [-drain-timeout 30s]
+//	             [-max-sessions 0] [-msg-deadline 2m] [-drain-timeout 30s] \
+//	             [-metrics-addr 127.0.0.1:7708]
 //
 // On SIGINT/SIGTERM the server drains: it stops accepting, lets in-flight
 // sessions finish for up to -drain-timeout, then force-closes stragglers.
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/similarity"
 	"repro/internal/svm"
@@ -57,9 +59,20 @@ func run(args []string) error {
 		maxSessions  = fs.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited); extra clients are rejected")
 		msgDeadline  = fs.Duration("msg-deadline", transport.DefaultMessageDeadline, "per-message deadline; 0 disables")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+		metricsAddr  = fs.String("metrics-addr", "", "serve plain-text /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		maddr, msrv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		defer func() { _ = msrv.Close() }()
+		log.Printf("metrics and pprof on http://%s/metrics", maddr)
 	}
 	group, err := ot.GroupByName(*groupName)
 	if err != nil {
@@ -182,7 +195,7 @@ func loadTraining(dsName, dataFile string, seed uint64) (*dataset.Dataset, datas
 		if err != nil {
 			return nil, dataset.Spec{}, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		d, err := dataset.ParseLIBSVM(f, dataFile, 0)
 		if err != nil {
 			return nil, dataset.Spec{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs"
 	"repro/internal/svm"
 )
 
@@ -26,6 +27,7 @@ func Classify(t *Trainer, sample []float64, rng io.Reader) (int, error) {
 // ClassifyWith reuses an existing client (amortizing spec/codec setup over
 // many samples, as a real client would).
 func ClassifyWith(t *Trainer, client *Client, sample []float64, rng io.Reader) (int, error) {
+	span := obs.Start(obs.PhaseClassifyRoundTrip)
 	sender, err := t.NewSession()
 	if err != nil {
 		return 0, err
@@ -50,7 +52,14 @@ func ClassifyWith(t *Trainer, client *Client, sample []float64, rng io.Reader) (
 	if err != nil {
 		return 0, err
 	}
-	return client.Interpret(result)
+	label, err := client.Interpret(result)
+	if err != nil {
+		return 0, err
+	}
+	// Completed round trips only: failures abort before the span ends.
+	span.End()
+	obs.Add(obs.CtrClassifyQueries, 1)
+	return label, nil
 }
 
 // ClassifyBatch classifies a set of samples, returning the predicted

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/svm"
+	"repro/internal/transport"
+)
+
+// BenchSchemaVersion identifies the BENCH_*.json document layout. Bump it
+// only for breaking changes; the CI bench gate refuses to compare
+// documents with different schema versions.
+const BenchSchemaVersion = 1
+
+// BenchPhase is one protocol phase's aggregate over a bench run.
+type BenchPhase struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+}
+
+// BenchConfig pins the workload so baselines compare like with like.
+type BenchConfig struct {
+	Dataset     string `json:"dataset"`
+	Group       string `json:"group"`
+	Seed        uint64 `json:"seed"`
+	Parallelism int    `json:"parallelism"`
+}
+
+// BenchDoc is the schema-stable BENCH_*.json document emitted by
+// `ppdc-bench -json`: end-to-end throughput plus the per-phase and
+// wire-volume breakdown the paper's §VI reports per protocol stage.
+type BenchDoc struct {
+	Schema        int                   `json:"schema"`
+	Name          string                `json:"name"`
+	Config        BenchConfig           `json:"config"`
+	Queries       int                   `json:"queries"`
+	WallNS        int64                 `json:"wall_ns"`
+	ThroughputQPS float64               `json:"throughput_qps"`
+	BytesIn       int64                 `json:"bytes_in"`
+	BytesOut      int64                 `json:"bytes_out"`
+	MsgsIn        int64                 `json:"msgs_in"`
+	MsgsOut       int64                 `json:"msgs_out"`
+	OTInstances   int64                 `json:"ot_instances"`
+	Phases        map[string]BenchPhase `json:"phases"`
+}
+
+// benchPhases lists the classify-path phases a round-trip bench must
+// surface (the acceptance bar for the instrumentation being wired end to
+// end).
+var benchPhases = []string{
+	obs.PhaseReceiverMask,
+	obs.PhaseReceiverDecoy,
+	obs.PhaseReceiverInterpolate,
+	obs.PhaseSenderMask,
+	obs.PhaseOTSenderSetup,
+	obs.PhaseOTSenderRespond,
+	obs.PhaseOTReceiverChoice,
+	obs.PhaseOTReceiverRecover,
+	obs.PhaseClassifyRoundTrip,
+}
+
+// BenchPhaseNames returns the classify-path phase names in report order.
+func BenchPhaseNames() []string {
+	names := make([]string, len(benchPhases))
+	copy(names, benchPhases)
+	return names
+}
+
+// BenchClassifyRoundTrip runs `queries` private classifications over an
+// in-memory net.Pipe transport (real server, real client, real envelope
+// encoding) under a fresh metrics registry, and distills the registry
+// snapshot into a BenchDoc.
+//
+// It swaps the process-default recorder for the duration of the run and
+// restores it afterwards, so it must not race with other instrumented
+// work in the same process.
+func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
+	opts = opts.withDefaults()
+	if queries < 1 {
+		queries = 1
+	}
+	const dsName = "diabetes"
+	spec, err := dataset.SpecByName(dsName)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := dataset.Generate(spec, dataset.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model, err := svm.Train(train.X, train.Y, svm.Config{Kernel: svm.Linear(), C: spec.LinC})
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+
+	reg := obs.NewRegistry()
+	prev := obs.SwapDefault(reg)
+	defer obs.SetDefault(prev)
+
+	srv := transport.NewServer(trainer)
+	srv.Logf = nil
+	srv.Rand = opts.Rand
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	cc, err := transport.NewClassifyClient(clientSide, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := cc.Classify(test.X[i%test.Len()]); err != nil {
+			_ = cc.Close()
+			return nil, fmt.Errorf("bench query %d: %w", i, err)
+		}
+	}
+	wall := time.Since(start)
+	if err := cc.Close(); err != nil {
+		return nil, err
+	}
+	<-done
+
+	snap := reg.Snapshot()
+	doc := &BenchDoc{
+		Schema: BenchSchemaVersion,
+		Name:   "classify_roundtrip",
+		Config: BenchConfig{
+			Dataset:     dsName,
+			Group:       opts.Group.Name(),
+			Seed:        opts.Seed,
+			Parallelism: opts.Parallelism,
+		},
+		Queries:       queries,
+		WallNS:        int64(wall),
+		ThroughputQPS: float64(queries) / wall.Seconds(),
+		BytesIn:       snap.Counters[obs.CtrBytesIn],
+		BytesOut:      snap.Counters[obs.CtrBytesOut],
+		MsgsIn:        snap.Counters[obs.CtrMsgsIn],
+		MsgsOut:       snap.Counters[obs.CtrMsgsOut],
+		OTInstances:   snap.Counters[obs.CtrOTInstances],
+		Phases:        map[string]BenchPhase{},
+	}
+	for _, name := range benchPhases {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: phase %s missing from snapshot (instrumentation gap)", name)
+		}
+		doc.Phases[name] = BenchPhase{Count: h.Count, TotalNS: h.Sum, MeanNS: h.Mean()}
+	}
+	return doc, nil
+}
+
+// CompareBench gates a current bench run against a committed baseline:
+// it fails when classify round-trip throughput regressed by more than
+// maxRegress (e.g. 0.20 for 20%), and refuses apples-to-oranges
+// comparisons (different schema, workload name, or config).
+func CompareBench(baseline, current *BenchDoc, maxRegress float64) error {
+	if baseline == nil || current == nil {
+		return fmt.Errorf("bench compare: nil document")
+	}
+	if baseline.Schema != current.Schema {
+		return fmt.Errorf("bench compare: schema %d vs %d", baseline.Schema, current.Schema)
+	}
+	if baseline.Name != current.Name {
+		return fmt.Errorf("bench compare: workload %q vs %q", baseline.Name, current.Name)
+	}
+	if baseline.Config != current.Config {
+		return fmt.Errorf("bench compare: config mismatch (%+v vs %+v)", baseline.Config, current.Config)
+	}
+	if baseline.ThroughputQPS <= 0 {
+		return fmt.Errorf("bench compare: baseline throughput %.3f qps is not positive", baseline.ThroughputQPS)
+	}
+	floor := baseline.ThroughputQPS * (1 - maxRegress)
+	if current.ThroughputQPS < floor {
+		return fmt.Errorf("bench compare: throughput regressed %.1f%% (%.2f -> %.2f qps, floor %.2f)",
+			100*(1-current.ThroughputQPS/baseline.ThroughputQPS),
+			baseline.ThroughputQPS, current.ThroughputQPS, floor)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBenchClassifyRoundTrip is the acceptance test for the observability
+// wiring: a real transport round trip must produce nonzero timings for
+// every protocol phase and nonzero wire volume.
+func TestBenchClassifyRoundTrip(t *testing.T) {
+	doc, err := BenchClassifyRoundTrip(Options{Seed: 1, Quick: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != BenchSchemaVersion {
+		t.Errorf("schema = %d, want %d", doc.Schema, BenchSchemaVersion)
+	}
+	if doc.Queries != 2 {
+		t.Errorf("queries = %d, want 2", doc.Queries)
+	}
+	if doc.ThroughputQPS <= 0 || doc.WallNS <= 0 {
+		t.Errorf("throughput %.3f qps over %dns, want both > 0", doc.ThroughputQPS, doc.WallNS)
+	}
+	if doc.BytesIn <= 0 || doc.BytesOut <= 0 || doc.MsgsIn <= 0 || doc.MsgsOut <= 0 {
+		t.Errorf("wire volume not counted: %+v", doc)
+	}
+	if doc.OTInstances <= 0 {
+		t.Errorf("ot instances = %d, want > 0", doc.OTInstances)
+	}
+	for name, p := range doc.Phases {
+		if p.Count <= 0 || p.TotalNS <= 0 {
+			t.Errorf("phase %s: count=%d total=%dns, want both > 0", name, p.Count, p.TotalNS)
+		}
+	}
+	if _, ok := doc.Phases[obs.PhaseClassifyRoundTrip]; !ok {
+		t.Error("round-trip phase missing")
+	}
+	// The default recorder must be restored after the bench run.
+	if obs.Enabled() {
+		t.Error("bench run left a recorder installed")
+	}
+
+	// The document must round-trip through its JSON schema.
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != doc.Config || back.Queries != doc.Queries {
+		t.Errorf("JSON round trip lost fields: %+v vs %+v", back, doc)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := &BenchDoc{
+		Schema: BenchSchemaVersion, Name: "classify_roundtrip",
+		Config:        BenchConfig{Dataset: "diabetes", Group: "512", Seed: 1},
+		ThroughputQPS: 100,
+	}
+	clone := func(qps float64) *BenchDoc {
+		d := *base
+		d.ThroughputQPS = qps
+		return &d
+	}
+	if err := CompareBench(base, clone(95), 0.20); err != nil {
+		t.Errorf("5%% regression rejected: %v", err)
+	}
+	if err := CompareBench(base, clone(130), 0.20); err != nil {
+		t.Errorf("improvement rejected: %v", err)
+	}
+	if err := CompareBench(base, clone(70), 0.20); err == nil {
+		t.Error("30% regression passed the 20% gate")
+	} else if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected gate error: %v", err)
+	}
+	other := clone(100)
+	other.Config.Group = "1024"
+	if err := CompareBench(base, other, 0.20); err == nil {
+		t.Error("config mismatch passed the gate")
+	}
+	stale := clone(100)
+	stale.Schema = BenchSchemaVersion + 1
+	if err := CompareBench(base, stale, 0.20); err == nil {
+		t.Error("schema mismatch passed the gate")
+	}
+}

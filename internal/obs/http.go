@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry as plain text at any path it is mounted on.
+func (g *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = g.Snapshot().WriteText(w)
+	})
+}
+
+// NewMux builds the diagnostics mux: /metrics (plain-text registry dump)
+// plus the standard net/http/pprof endpoints under /debug/pprof/. The
+// pprof handlers are mounted explicitly rather than via the package's
+// DefaultServeMux side effect, so importing obs never pollutes a caller's
+// default mux.
+func NewMux(g *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", g.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics binds addr and serves /metrics and /debug/pprof/ in a
+// background goroutine, returning the bound listener address (useful with
+// ":0") and the server for shutdown. Serve errors after a successful bind
+// are dropped: diagnostics must never take the protocol process down.
+func ServeMetrics(addr string, g *Registry) (net.Addr, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           NewMux(g),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv, nil
+}

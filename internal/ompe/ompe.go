@@ -35,6 +35,7 @@ import (
 	"math/big"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/parallel"
 	"repro/internal/poly"
@@ -257,6 +258,7 @@ func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup,
 	// Fresh masking polynomial h with h(0)=0 and degree D, so it cancels
 	// at the interpolation point and drowns P's coefficients everywhere
 	// else (§IV-A.1).
+	maskSpan := obs.Start(obs.PhaseSenderMask)
 	h, err := poly.Random(f, rng, s.params.ComposedDegree(), f.Zero())
 	if err != nil {
 		return nil, err
@@ -266,6 +268,7 @@ func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup,
 	if err != nil {
 		return nil, err
 	}
+	maskSpan.End()
 
 	batch, setup, err := ot.NewBatchSenderParallel(s.params.Group, msgs, s.params.GenuineCount(), s.params.Parallelism, rng)
 	if err != nil {
@@ -368,6 +371,7 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 	}
 
 	// Cover polynomials: g_i(0) = α_i, random elsewhere (§IV-A.2).
+	maskSpan := obs.Start(obs.PhaseReceiverMask)
 	covers := make([]*poly.Poly, len(input))
 	for i := range input {
 		g, err := poly.Random(f, rng, params.MaskDegree, input[i])
@@ -376,7 +380,9 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 		}
 		covers[i] = g
 	}
+	maskSpan.End()
 
+	decoySpan := obs.Start(obs.PhaseReceiverDecoy)
 	total := params.TotalPairs()
 	points, err := distinctNonZero(f, total, rng)
 	if err != nil {
@@ -420,6 +426,7 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 		}
 		return nil
 	})
+	decoySpan.End()
 
 	r := &Receiver{
 		params:  params,
@@ -455,6 +462,7 @@ func (r *Receiver) Finish(tr *ot.BatchTransfer) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
+	interpSpan := obs.Start(obs.PhaseReceiverInterpolate)
 	f := r.params.Field
 	pts := make([]poly.Point, len(raw))
 	for i, b := range raw {
@@ -468,6 +476,7 @@ func (r *Receiver) Finish(tr *ot.BatchTransfer) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
+	interpSpan.End()
 	r.state = receiverDone
 	return result, nil
 }

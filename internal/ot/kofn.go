@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/big"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -49,6 +50,8 @@ func NewBatchSender(group *Group, msgs [][]byte, k int, rng io.Reader) (*BatchSe
 // NewBatchSenderParallel is NewBatchSender with an explicit worker count
 // (<= 0 selects GOMAXPROCS, 1 forces the serial path).
 func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
+	span := obs.Start(obs.PhaseOTSenderSetup)
+	defer span.End()
 	if k < 1 || k > len(msgs) {
 		return nil, nil, fmt.Errorf("ot: invalid k=%d for n=%d", k, len(msgs))
 	}
@@ -93,11 +96,14 @@ func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng
 		setups[i] = setup
 		return nil
 	})
+	obs.Add(obs.CtrOTInstances, int64(k))
 	return &BatchSender{senders: senders, par: parallelism}, &BatchSetup{Setups: setups}, nil
 }
 
 // Respond consumes the receiver's batched choice.
 func (bs *BatchSender) Respond(choice *BatchChoice, rng io.Reader) (*BatchTransfer, error) {
+	span := obs.Start(obs.PhaseOTSenderRespond)
+	defer span.End()
 	if choice == nil || len(choice.Choices) != len(bs.senders) {
 		return nil, fmt.Errorf("%w: want %d choices", ErrBadMessage, len(bs.senders))
 	}
@@ -145,6 +151,8 @@ func NewBatchReceiver(group *Group, n int, indices []int, setup *BatchSetup, rng
 // NewBatchReceiverParallel is NewBatchReceiver with an explicit worker
 // count (<= 0 selects GOMAXPROCS, 1 forces the serial path).
 func NewBatchReceiverParallel(group *Group, n int, indices []int, setup *BatchSetup, parallelism int, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
+	span := obs.Start(obs.PhaseOTReceiverChoice)
+	defer span.End()
 	if setup == nil || len(setup.Setups) != len(indices) {
 		return nil, nil, fmt.Errorf("%w: setup count must equal k", ErrBadMessage)
 	}
@@ -187,6 +195,8 @@ func NewBatchReceiverParallel(group *Group, n int, indices []int, setup *BatchSe
 
 // Recover decrypts the k chosen messages, in choice order.
 func (br *BatchReceiver) Recover(tr *BatchTransfer) ([][]byte, error) {
+	span := obs.Start(obs.PhaseOTReceiverRecover)
+	defer span.End()
 	if tr == nil || len(tr.Transfers) != len(br.receivers) {
 		return nil, fmt.Errorf("%w: want %d transfers", ErrBadMessage, len(br.receivers))
 	}

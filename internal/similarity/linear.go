@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/fixedpoint"
+	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 )
@@ -204,6 +205,7 @@ func NewAlice(wA []float64, bA float64, params Params, rng io.Reader) (*Alice, e
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan := obs.Start(obs.PhaseSimBoundary)
 	pts, err := LinearBoundaryPoints(wA, bA, spec.Metric)
 	if err != nil {
 		return nil, err
@@ -212,6 +214,7 @@ func NewAlice(wA []float64, bA float64, params Params, rng io.Reader) (*Alice, e
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan.End()
 	f := codec.Field()
 	bound := new(big.Int).Lsh(big.NewInt(1), uint(spec.AmplifierBits))
 	ram, err := f.RandBounded(rng, bound)
@@ -259,6 +262,8 @@ func (a *Alice) HandleRequest(round Round, req *ompe.EvalRequest, rng io.Reader)
 	if round != a.round {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, a.round)
 	}
+	span := obs.Start(obs.PhaseOfSimilarityRound(int(round)))
+	defer span.End()
 	params, err := a.spec.ompeParams(round)
 	if err != nil {
 		return nil, err
@@ -291,6 +296,7 @@ func (a *Alice) HandleChoice(round Round, choice *ot.BatchChoice, rng io.Reader)
 	}
 	a.sender = nil
 	a.round++
+	obs.Add(obs.CtrSimilarityRounds, 1)
 	return tr, nil
 }
 
@@ -415,6 +421,7 @@ func NewBob(spec Spec, wB []float64, bB float64) (*Bob, error) {
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan := obs.Start(obs.PhaseSimBoundary)
 	pts, err := LinearBoundaryPoints(wB, bB, spec.Metric)
 	if err != nil {
 		return nil, err
@@ -423,6 +430,7 @@ func NewBob(spec Spec, wB []float64, bB float64) (*Bob, error) {
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan.End()
 	normM2, normW2 := 0.0, 0.0
 	for _, v := range mB {
 		normM2 += v * v

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/fixedpoint"
+	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/svm"
@@ -116,6 +117,7 @@ func NewKernelAlice(model *svm.Model, params Params, rng io.Reader) (*KernelAlic
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan := obs.Start(obs.PhaseSimBoundary)
 	pts, err := KernelBoundaryPoints(model, spec.Metric)
 	if err != nil {
 		return nil, err
@@ -124,6 +126,7 @@ func NewKernelAlice(model *svm.Model, params Params, rng io.Reader) (*KernelAlic
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan.End()
 	f := codec.Field()
 	bound := new(big.Int).Lsh(big.NewInt(1), uint(spec.AmplifierBits))
 	ram, err := f.RandBounded(rng, bound)
@@ -250,6 +253,8 @@ func (a *KernelAlice) HandleRequest(round Round, req *ompe.EvalRequest, rng io.R
 	if round != a.round {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrRound, round, a.round)
 	}
+	span := obs.Start(obs.PhaseOfSimilarityRound(int(round)))
+	defer span.End()
 	eval, opts, degree, err := a.buildRound(round)
 	if err != nil {
 		return nil, err
@@ -281,6 +286,7 @@ func (a *KernelAlice) HandleChoice(round Round, choice *ot.BatchChoice, rng io.R
 		return nil, err
 	}
 	a.sender = nil
+	obs.Add(obs.CtrSimilarityRounds, 1)
 	if round == RoundNormal {
 		a.round2Seen++
 		if a.clear == nil || a.round2Seen < a.clear.NumSupport {
@@ -513,6 +519,7 @@ func NewKernelBob(spec KernelSpec, model *svm.Model) (*KernelBob, error) {
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan := obs.Start(obs.PhaseSimBoundary)
 	pts, err := KernelBoundaryPoints(model, spec.Metric)
 	if err != nil {
 		return nil, err
@@ -521,6 +528,7 @@ func NewKernelBob(spec KernelSpec, model *svm.Model) (*KernelBob, error) {
 	if err != nil {
 		return nil, err
 	}
+	boundarySpan.End()
 	f := codec.Field()
 	encAlpha := make([]*big.Int, len(model.AlphaY))
 	alphaSum := new(big.Int)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/similarity"
@@ -83,6 +84,7 @@ func (c *ClassifyClient) Classify(sample []float64) (int, error) {
 // ClassifyContext runs one private classification round trip, abandoning
 // the session if ctx is canceled mid-exchange.
 func (c *ClassifyClient) ClassifyContext(ctx context.Context, sample []float64) (int, error) {
+	span := obs.Start(obs.PhaseClassifyRoundTrip)
 	receiver, req, err := c.client.NewSession(sample, c.rand)
 	if err != nil {
 		return 0, err
@@ -113,7 +115,13 @@ func (c *ClassifyClient) ClassifyContext(ctx context.Context, sample []float64) 
 	if err != nil {
 		return 0, err
 	}
-	return c.client.Interpret(result)
+	label, err := c.client.Interpret(result)
+	if err != nil {
+		return 0, err
+	}
+	span.End()
+	obs.Add(obs.CtrClassifyQueries, 1)
+	return label, nil
 }
 
 // Close ends the session cleanly.
@@ -353,6 +361,7 @@ func (c *FastClassifyClient) Classify(sample []float64) (int, error) {
 
 // ClassifyContext runs one two-message fast query under ctx.
 func (c *FastClassifyClient) ClassifyContext(ctx context.Context, sample []float64) (int, error) {
+	span := obs.Start(obs.PhaseClassifyRoundTrip)
 	query, req, err := c.session.NewQuery(sample, c.rand)
 	if err != nil {
 		return 0, err
@@ -368,7 +377,13 @@ func (c *FastClassifyClient) ClassifyContext(ctx context.Context, sample []float
 	if err != nil {
 		return 0, err
 	}
-	return query.Finish(resp)
+	label, err := query.Finish(resp)
+	if err != nil {
+		return 0, err
+	}
+	span.End()
+	obs.Add(obs.CtrClassifyQueries, 1)
+	return label, nil
 }
 
 // Close ends the session cleanly.

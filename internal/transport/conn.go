@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/similarity"
@@ -108,9 +109,56 @@ type deadliner interface {
 	SetDeadline(time.Time) error
 }
 
+// countingStream counts wire bytes at the transport envelope. Counting
+// happens per Read/Write call (one recorder call each), so the disabled
+// path costs a single no-op interface call per syscall-sized chunk.
+type countingStream struct {
+	rw io.ReadWriteCloser
+}
+
+func (cs countingStream) Read(p []byte) (int, error) {
+	n, err := cs.rw.Read(p)
+	if n > 0 {
+		obs.Add(obs.CtrBytesIn, int64(n))
+	}
+	return n, err
+}
+
+func (cs countingStream) Write(p []byte) (int, error) {
+	n, err := cs.rw.Write(p)
+	if n > 0 {
+		obs.Add(obs.CtrBytesOut, int64(n))
+	}
+	return n, err
+}
+
+func (cs countingStream) Close() error { return cs.rw.Close() }
+
+// deadlineCountingStream additionally forwards the deadline surface, so
+// wrapping never hides a transport's deadline capability (RunContext
+// falls back to Close-on-cancel only for genuinely deadline-less
+// streams).
+type deadlineCountingStream struct {
+	countingStream
+}
+
+func (cs deadlineCountingStream) SetDeadline(t time.Time) error {
+	return cs.rw.(deadliner).SetDeadline(t)
+}
+
+// countStream wraps rw with byte counting while preserving its deadline
+// capability exactly.
+func countStream(rw io.ReadWriteCloser) io.ReadWriteCloser {
+	if _, ok := rw.(deadliner); ok {
+		return deadlineCountingStream{countingStream{rw}}
+	}
+	return countingStream{rw}
+}
+
 // NewConn wraps a byte stream in the typed message layer.
 func NewConn(rw io.ReadWriteCloser) *Conn {
 	registerTypes()
+	rw = countStream(rw)
 	return &Conn{rw: rw, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
 }
 
@@ -134,6 +182,7 @@ func (c *Conn) Send(v any) error {
 	if err := c.enc.Encode(&envelope{Payload: v}); err != nil {
 		return wrapIO("send", err)
 	}
+	obs.Add(obs.CtrMsgsOut, 1)
 	return nil
 }
 
@@ -150,6 +199,7 @@ func (c *Conn) recvAny() (any, error) {
 	if err := c.dec.Decode(&env); err != nil {
 		return nil, wrapIO("recv", err)
 	}
+	obs.Add(obs.CtrMsgsIn, 1)
 	if env.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, env.Err)
 	}

@@ -44,8 +44,8 @@ func FuzzConnRecv(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	valid := encodeEnvelope(f, &transport.Hello{Service: "classify"})
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])          // truncated mid-message
-	f.Add(append(valid, valid[:8]...))   // trailing garbage after a frame
+	f.Add(valid[:len(valid)/2])        // truncated mid-message
+	f.Add(append(valid, valid[:8]...)) // trailing garbage after a frame
 	f.Add(encodeEnvelope(f, &transport.Done{}))
 	f.Fuzz(func(t *testing.T, input []byte) {
 		if len(input) > 1<<16 {

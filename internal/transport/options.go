@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Defaults for Options fields left zero.
@@ -128,6 +130,7 @@ func dialRetry(ctx context.Context, addr string, o Options) (net.Conn, error) {
 	var lastErr error
 	for attempt := 1; attempt <= o.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			obs.Add(obs.CtrDialRetries, 1)
 			delay := backoffDelay(attempt-1, o, rng)
 			t := time.NewTimer(delay)
 			select {

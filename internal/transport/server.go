@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/similarity"
@@ -122,19 +123,24 @@ func (s *Server) register(rw io.ReadWriteCloser) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		obs.Add(obs.CtrSessionsRejected, 1)
 		return ErrShuttingDown
 	}
 	if s.MaxSessions > 0 && len(s.sessions) >= s.MaxSessions {
+		obs.Add(obs.CtrSessionsRejected, 1)
 		return ErrServerBusy
 	}
 	s.sessions[rw] = struct{}{}
 	s.wg.Add(1)
+	obs.Add(obs.CtrSessionsServed, 1)
+	obs.Set(obs.GaugeSessionsActive, int64(len(s.sessions)))
 	return nil
 }
 
 func (s *Server) deregister(rw io.ReadWriteCloser) {
 	s.mu.Lock()
 	delete(s.sessions, rw)
+	obs.Set(obs.GaugeSessionsActive, int64(len(s.sessions)))
 	s.mu.Unlock()
 	s.wg.Done()
 }
@@ -176,6 +182,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return lnErr
 	case <-ctx.Done():
 		s.mu.Lock()
+		obs.Add(obs.CtrSessionsDrained, int64(len(s.sessions)))
 		for rw := range s.sessions {
 			_ = rw.Close()
 		}
