@@ -2,7 +2,7 @@
 # one-shot smoke run of the parallelism sweeps. fuzz-smoke runs the fuzz
 # targets briefly (CI runs it as a separate job).
 .PHONY: check vet build test bench-smoke bench fuzz-smoke \
-	lint cover bench-json tidy-check
+	lint cover bench-json bench-json-batch bench-update tidy-check
 
 check: vet build test bench-smoke
 
@@ -41,6 +41,23 @@ cover:
 # Flag changes here must be mirrored into a regenerated baseline.
 bench-json:
 	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json bench
+
+# bench-json-batch emits the batched fast-session workload document on the
+# pinned config (same dataset/group/seed as the serial baseline; batch=64,
+# inflight=2). CI compares it against the committed
+# BENCH_classify_batch.json with the same 20% gate.
+bench-json-batch:
+	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 128 -batch 64 -inflight 2 \
+		-json -out BENCH_classify_batch.current.json bench
+
+# bench-update regenerates both committed baselines in place with the
+# exact pinned flags (deterministic workload; wall times reflect the
+# machine it runs on). Run it when a change legitimately moves protocol
+# cost, then commit the refreshed documents.
+bench-update:
+	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json -out bench_baseline.json bench
+	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 128 -batch 64 -inflight 2 \
+		-json -out BENCH_classify_batch.json bench
 
 tidy-check:
 	go mod tidy -diff

@@ -42,6 +42,8 @@ func run(args []string) error {
 		jsonOut   = fs.Bool("json", false, "bench: emit the machine-readable BENCH_<name>.json document")
 		outPath   = fs.String("out", "", "bench: write the JSON document here instead of BENCH_<name>.json")
 		queries   = fs.Int("queries", 8, "bench: classify round trips to measure")
+		batch     = fs.Int("batch", 0, "bench: samples per batched request (0 = serial round-trip workload)")
+		inflight  = fs.Int("inflight", 1, "bench: batches kept in flight on the connection (with -batch)")
 		basePath  = fs.String("baseline", "bench_baseline.json", "compare: committed baseline document")
 		curPath   = fs.String("current", "", "compare: freshly produced BENCH_*.json document")
 		maxReg    = fs.Float64("max-regress", 0.20, "compare: maximum tolerated throughput regression (fraction)")
@@ -90,7 +92,7 @@ func run(args []string) error {
 	case "ablation":
 		return runAblations(opts)
 	case "bench":
-		return runBench(opts, *queries, *jsonOut, *outPath)
+		return runBench(opts, *queries, *batch, *inflight, *jsonOut, *outPath)
 	case "compare":
 		return runCompare(*basePath, *curPath, *maxReg)
 	case "all":
@@ -375,12 +377,21 @@ func runAblations(opts experiments.Options) error {
 	return nil
 }
 
-// runBench measures instrumented classify round trips and either prints
-// a human-readable phase breakdown or, with -json, writes the
-// schema-stable BENCH_<name>.json document the CI regression gate
-// consumes.
-func runBench(opts experiments.Options, queries int, jsonOut bool, outPath string) error {
-	doc, err := experiments.BenchClassifyRoundTrip(opts, queries)
+// runBench measures instrumented classify round trips — serial with
+// -batch 0, or the batched fast-session pipeline with -batch B and
+// -inflight K — and either prints a human-readable phase breakdown or,
+// with -json, writes the schema-stable BENCH_<name>.json document the CI
+// regression gate consumes.
+func runBench(opts experiments.Options, queries, batch, inflight int, jsonOut bool, outPath string) error {
+	var doc *experiments.BenchDoc
+	var err error
+	phaseNames := experiments.BenchPhaseNames()
+	if batch > 0 {
+		doc, err = experiments.BenchClassifyBatch(opts, queries, batch, inflight)
+		phaseNames = experiments.BatchBenchPhaseNames()
+	} else {
+		doc, err = experiments.BenchClassifyRoundTrip(opts, queries)
+	}
 	if err != nil {
 		return err
 	}
@@ -400,12 +411,15 @@ func runBench(opts experiments.Options, queries int, jsonOut bool, outPath strin
 		return nil
 	}
 	fmt.Printf("Bench: %s (%s, group %s, seed %d)\n", doc.Name, doc.Config.Dataset, doc.Config.Group, doc.Config.Seed)
+	if doc.Config.BatchSize > 0 {
+		fmt.Printf("batching: %d samples per request, %d batches in flight\n", doc.Config.BatchSize, doc.Config.Inflight)
+	}
 	fmt.Printf("throughput: %.2f queries/s (%d queries in %v)\n",
 		doc.ThroughputQPS, doc.Queries, time.Duration(doc.WallNS).Round(time.Millisecond))
 	fmt.Printf("wire: %d B in / %d B out, %d msgs in / %d msgs out, %d OT instances\n",
 		doc.BytesIn, doc.BytesOut, doc.MsgsIn, doc.MsgsOut, doc.OTInstances)
 	w := newTable("phase\tcount\ttotal\tmean")
-	for _, name := range experiments.BenchPhaseNames() {
+	for _, name := range phaseNames {
 		p := doc.Phases[name]
 		fmt.Fprintf(w, "%s\t%d\t%v\t%v\n", name, p.Count,
 			time.Duration(p.TotalNS).Round(time.Microsecond),

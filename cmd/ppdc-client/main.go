@@ -3,6 +3,7 @@
 //
 //	ppdc-client classify -addr host:7707 -sample "0.1,-0.3,..."
 //	ppdc-client classify -addr host:7707 -dataset diabetes -n 20
+//	ppdc-client classify -addr host:7707 -fast -batch 64 -inflight 4 -n 256
 //	ppdc-client similarity -addr host:7707 -dataset diabetes -seed 2
 //
 // In classify mode the client's samples never leave the process in the
@@ -45,7 +46,9 @@ func run(args []string) error {
 		dsName = fs.String("dataset", "diabetes", "synthetic dataset for test samples / own model")
 		n      = fs.Int("n", 5, "number of test samples to classify")
 		seed   = fs.Uint64("seed", 2, "synthetic data seed (client side)")
-		fast   = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
+		fast     = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
+		batch    = fs.Int("batch", 0, "samples per batched request (0 = one request per sample)")
+		inflight = fs.Int("inflight", 1, "batches kept in flight on the connection (with -batch and -fast)")
 
 		timeout     = fs.Duration("timeout", transport.DefaultDialTimeout, "per-attempt dial timeout")
 		retries     = fs.Int("retries", transport.DefaultMaxAttempts, "total dial attempts (exponential backoff + jitter between them)")
@@ -75,7 +78,16 @@ func run(args []string) error {
 	}
 	switch mode {
 	case "classify":
-		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, opts)
+		if *batch < 0 {
+			return fmt.Errorf("-batch must be >= 0")
+		}
+		if *inflight < 1 {
+			return fmt.Errorf("-inflight must be >= 1")
+		}
+		if *inflight > 1 && (*batch == 0 || !*fast) {
+			return fmt.Errorf("-inflight > 1 needs -fast and -batch > 0 (pipelining rides the fast-session stream framing)")
+		}
+		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, *batch, *inflight, opts)
 	case "similarity":
 		return runSimilarity(*addr, *dsName, *seed, opts)
 	default:
@@ -83,9 +95,10 @@ func run(args []string) error {
 	}
 }
 
-func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, opts transport.Options) error {
+func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, batch, inflight int, opts transport.Options) error {
 	ctx := context.Background()
 	var classifyFn func([]float64) (int, error)
+	var batchFn func([][]float64) ([]int, error)
 	var spec classifySpec
 	if fast {
 		client, err := transport.DialClassifyFastContext(ctx, addr, opts, rand.Reader)
@@ -97,6 +110,11 @@ func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, 
 		// plain service just for display would be wasteful, so derive the
 		// shape from the first query instead.
 		classifyFn = client.Classify
+		if batch > 0 {
+			batchFn = func(samples [][]float64) ([]int, error) {
+				return client.ClassifyPipelined(ctx, samples, batch, inflight)
+			}
+		}
 		fmt.Printf("connected (fast session): base phase complete\n")
 	} else {
 		client, err := transport.DialClassifyContext(ctx, addr, opts, rand.Reader)
@@ -107,6 +125,20 @@ func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, 
 		s := client.Spec()
 		spec = classifySpec{kind: s.Kernel.Kind.String(), dim: s.Dim, group: s.GroupName}
 		classifyFn = client.Classify
+		if batch > 0 {
+			batchFn = func(samples [][]float64) ([]int, error) {
+				labels := make([]int, 0, len(samples))
+				for lo := 0; lo < len(samples); lo += batch {
+					hi := min(lo+batch, len(samples))
+					part, err := client.ClassifyBatch(samples[lo:hi])
+					if err != nil {
+						return nil, err
+					}
+					labels = append(labels, part...)
+				}
+				return labels, nil
+			}
+		}
 		fmt.Printf("connected: %s kernel, %d dims, OT group %s\n", spec.kind, spec.dim, spec.group)
 	}
 
@@ -139,15 +171,28 @@ func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, 
 	}
 	correct := 0
 	start := time.Now()
-	for i := 0; i < n; i++ {
-		label, err := classifyFn(test.X[i])
+	if batchFn != nil {
+		labels, err := batchFn(test.X[:n])
 		if err != nil {
 			return err
 		}
-		if label == test.Y[i] {
-			correct++
+		for i, label := range labels {
+			if label == test.Y[i] {
+				correct++
+			}
+			fmt.Printf("sample %2d: predicted %+d, true %+d\n", i, label, test.Y[i])
 		}
-		fmt.Printf("sample %2d: predicted %+d, true %+d\n", i, label, test.Y[i])
+	} else {
+		for i := 0; i < n; i++ {
+			label, err := classifyFn(test.X[i])
+			if err != nil {
+				return err
+			}
+			if label == test.Y[i] {
+				correct++
+			}
+			fmt.Printf("sample %2d: predicted %+d, true %+d\n", i, label, test.Y[i])
+		}
 	}
 	fmt.Printf("accuracy %d/%d in %v (%v/query)\n",
 		correct, n, time.Since(start).Round(time.Millisecond),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/field"
 	"repro/internal/ompe"
 	"repro/internal/ot"
 )
@@ -57,6 +58,7 @@ func (t *Trainer) NewFastSession(setup *ot.IKNPBaseSetup, rng io.Reader) (*FastT
 	if err != nil {
 		return nil, nil, err
 	}
+	params.Parallelism = t.params.Parallelism
 	session, choice, err := ompe.NewSessionSenderBase(params, t.eval, setup, rng)
 	if err != nil {
 		return nil, nil, err
@@ -100,6 +102,70 @@ func (fq *FastQuery) Finish(resp *ompe.FastResponse) (int, error) {
 		return 0, err
 	}
 	return fq.client.Interpret(value)
+}
+
+// FastBatch is one in-flight batched query on a fast client: B samples,
+// one message pair, one OT-extension round.
+type FastBatch struct {
+	client *Client
+	b      *ompe.SessionBatch
+}
+
+// NewBatch opens one batched classification query covering all samples,
+// returning the single request message. Batches (like queries) may overlap
+// in flight as long as responses return in request order.
+func (fc *FastClient) NewBatch(samples [][]float64, rng io.Reader) (*FastBatch, *ompe.FastBatchRequest, error) {
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("classify: empty batch")
+	}
+	inputs := make([]field.Vec, len(samples))
+	for i, sample := range samples {
+		input, err := fc.client.EncodeSample(sample)
+		if err != nil {
+			return nil, nil, fmt.Errorf("classify: batch sample %d: %w", i, err)
+		}
+		inputs[i] = input
+	}
+	b, req, err := fc.session.NewBatch(inputs, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FastBatch{client: fc.client, b: b}, req, nil
+}
+
+// HandleBatch answers one batched query on the trainer side.
+func (ft *FastTrainer) HandleBatch(req *ompe.FastBatchRequest, rng io.Reader) (*ompe.FastBatchResponse, error) {
+	return ft.session.HandleBatch(req, rng)
+}
+
+// Finish completes a batch, returning the ±1 labels in sample order.
+func (fb *FastBatch) Finish(resp *ompe.FastBatchResponse) ([]int, error) {
+	values, err := fb.b.Finish(resp)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(values))
+	for i, v := range values {
+		label, err := fb.client.Interpret(v)
+		if err != nil {
+			return nil, fmt.Errorf("classify: batch sample %d: %w", i, err)
+		}
+		labels[i] = label
+	}
+	return labels, nil
+}
+
+// ClassifyFastBatch runs one complete batched classification in memory.
+func ClassifyFastBatch(ft *FastTrainer, fc *FastClient, samples [][]float64, rng io.Reader) ([]int, error) {
+	batch, req, err := fc.NewBatch(samples, rng)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ft.HandleBatch(req, rng)
+	if err != nil {
+		return nil, fmt.Errorf("classify: fast batch: %w", err)
+	}
+	return batch.Finish(resp)
 }
 
 // NewFastPair runs the base phase in memory and returns a paired session

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -25,11 +26,15 @@ type BenchPhase struct {
 }
 
 // BenchConfig pins the workload so baselines compare like with like.
+// BatchSize and Inflight are zero for the serial round-trip workload, so
+// documents produced before batching existed still compare equal.
 type BenchConfig struct {
 	Dataset     string `json:"dataset"`
 	Group       string `json:"group"`
 	Seed        uint64 `json:"seed"`
 	Parallelism int    `json:"parallelism"`
+	BatchSize   int    `json:"batch_size,omitempty"`
+	Inflight    int    `json:"inflight,omitempty"`
 }
 
 // BenchDoc is the schema-stable BENCH_*.json document emitted by
@@ -155,6 +160,127 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 		Phases:        map[string]BenchPhase{},
 	}
 	for _, name := range benchPhases {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: phase %s missing from snapshot (instrumentation gap)", name)
+		}
+		doc.Phases[name] = BenchPhase{Count: h.Count, TotalNS: h.Sum, MeanNS: h.Mean()}
+	}
+	return doc, nil
+}
+
+// batchBenchPhases lists the phases the batched fast-session workload
+// must surface. The fast path runs no per-query public-key OT, so the
+// Naor–Pinkas phase set does not apply; what matters per batch is the
+// sender's masked evaluations, the receiver's Lagrange recovery, and the
+// end-to-end batch round trip.
+var batchBenchPhases = []string{
+	obs.PhaseSenderMask,
+	obs.PhaseReceiverInterpolate,
+	obs.PhaseClassifyBatch,
+}
+
+// BatchBenchPhaseNames returns the batch-workload phase names in report
+// order.
+func BatchBenchPhaseNames() []string {
+	names := make([]string, len(batchBenchPhases))
+	copy(names, batchBenchPhases)
+	return names
+}
+
+// BenchClassifyBatch measures the batched fast-session serving path:
+// `queries` samples pushed through ClassifyPipelined in batches of
+// batchSize with up to inflight batches on the wire, over the same
+// net.Pipe transport and workload pin as BenchClassifyRoundTrip. The
+// clock starts after the IKNP base handshake, mirroring the serial
+// bench's post-handshake start, so throughput_qps is directly comparable
+// between the two documents; wire counters cover the whole connection
+// including the (amortized) handshake.
+func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchDoc, error) {
+	opts = opts.withDefaults()
+	if queries < 1 {
+		queries = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	const dsName = "diabetes"
+	spec, err := dataset.SpecByName(dsName)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := dataset.Generate(spec, dataset.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model, err := svm.Train(train.X, train.Y, svm.Config{Kernel: svm.Linear(), C: spec.LinC})
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	samples := make([][]float64, queries)
+	for i := range samples {
+		samples[i] = test.X[i%test.Len()]
+	}
+
+	reg := obs.NewRegistry()
+	prev := obs.SwapDefault(reg)
+	defer obs.SetDefault(prev)
+
+	srv := transport.NewServer(trainer)
+	srv.Logf = nil
+	srv.Rand = opts.Rand
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	fc, err := transport.NewFastClassifyClient(clientSide, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	if _, err := fc.ClassifyPipelined(context.Background(), samples, batchSize, inflight); err != nil {
+		_ = fc.Close()
+		return nil, fmt.Errorf("bench batch run: %w", err)
+	}
+	wall := time.Since(start)
+	if err := fc.Close(); err != nil {
+		return nil, err
+	}
+	<-done
+
+	snap := reg.Snapshot()
+	doc := &BenchDoc{
+		Schema: BenchSchemaVersion,
+		Name:   "classify_batch",
+		Config: BenchConfig{
+			Dataset:     dsName,
+			Group:       opts.Group.Name(),
+			Seed:        opts.Seed,
+			Parallelism: opts.Parallelism,
+			BatchSize:   batchSize,
+			Inflight:    inflight,
+		},
+		Queries:       queries,
+		WallNS:        int64(wall),
+		ThroughputQPS: float64(queries) / wall.Seconds(),
+		BytesIn:       snap.Counters[obs.CtrBytesIn],
+		BytesOut:      snap.Counters[obs.CtrBytesOut],
+		MsgsIn:        snap.Counters[obs.CtrMsgsIn],
+		MsgsOut:       snap.Counters[obs.CtrMsgsOut],
+		OTInstances:   snap.Counters[obs.CtrOTInstances],
+		Phases:        map[string]BenchPhase{},
+	}
+	for _, name := range batchBenchPhases {
 		h, ok := snap.Histograms[name]
 		if !ok {
 			return nil, fmt.Errorf("bench: phase %s missing from snapshot (instrumentation gap)", name)

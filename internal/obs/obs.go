@@ -143,6 +143,9 @@ const (
 	// PhaseClassifyRoundTrip times one complete private classification
 	// (request construction through label interpretation).
 	PhaseClassifyRoundTrip = "classify.roundtrip_ns"
+	// PhaseClassifyBatch times one complete batched classification round
+	// trip (B samples, one message pair).
+	PhaseClassifyBatch = "classify.batch_ns"
 
 	// PhaseSimBoundary times boundary-point solving + centroid
 	// computation when a similarity endpoint is built (§V-A geometry).
@@ -180,6 +183,9 @@ const (
 	CtrOTInstances = "ot.np_instances"
 	// CtrClassifyQueries counts completed private classifications.
 	CtrClassifyQueries = "classify.queries"
+	// CtrClassifyBatches counts completed batched classifications (each
+	// batch also adds its sample count to CtrClassifyQueries).
+	CtrClassifyBatches = "classify.batches"
 	// CtrSimilarityRounds counts completed similarity OMPE rounds.
 	CtrSimilarityRounds = "similarity.rounds"
 )
@@ -188,6 +194,16 @@ const (
 const (
 	// GaugeSessionsActive is the server's current in-flight session count.
 	GaugeSessionsActive = "transport.sessions_active"
+)
+
+// Magnitude histogram names (raw values, not nanoseconds).
+const (
+	// HistBatchSize records the sample count of each batched
+	// classification served.
+	HistBatchSize = "classify.batch_size"
+	// HistInflightDepth records, at each pipelined send, how many batches
+	// the client then has in flight on the connection.
+	HistInflightDepth = "transport.inflight_depth"
 )
 
 // PhaseOfSimilarityRound maps a similarity round index (1=centroid,

@@ -447,20 +447,122 @@ func TestSessionMatchesPlaintext(t *testing.T) {
 	}
 }
 
-// TestSessionSequentialEnforced: a second query before Finish must fail.
-func TestSessionSequentialEnforced(t *testing.T) {
+// TestSessionInFlightQueries: two queries opened before either response
+// must both complete, provided responses come back in FIFO order (the
+// transport's single-worker sessions guarantee exactly that).
+func TestSessionInFlightQueries(t *testing.T) {
 	f := field.Default()
 	params := testParams(t, 1)
 	eval := buildLinear(t, f, 2)
-	_, receiver, err := NewSession(params, eval, rand.Reader)
+	sender, receiver, err := NewSession(params, eval, rand.Reader)
 	if err != nil {
 		t.Fatal(err)
 	}
-	input := field.Vec{f.FromInt64(1), f.FromInt64(2)}
-	if _, _, err := receiver.NewQuery(input, rand.Reader); err != nil {
+	inputs := []field.Vec{
+		{f.FromInt64(1), f.FromInt64(2)},
+		{f.FromInt64(3), f.FromInt64(4)},
+	}
+	q1, req1, err := receiver.NewQuery(inputs[0], rand.Reader)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := receiver.NewQuery(input, rand.Reader); err == nil {
-		t.Fatal("second in-flight query should fail")
+	q2, req2, err := receiver.NewQuery(inputs[1], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1, err := sender.HandleQuery(req1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := sender.HandleQuery(req2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range []struct {
+		q    *SessionQuery
+		resp *FastResponse
+	}{{q1, resp1}, {q2, resp2}} {
+		got, err := pair.q.Finish(pair.resp)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got.Sign() == 0 {
+			t.Fatalf("query %d: zero recovery", i)
+		}
+	}
+}
+
+// TestSessionBatch: a batched query recovers every sample's amp·P(α),
+// matching what direct evaluation says up to the per-sample amplifier.
+func TestSessionBatch(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	sender, receiver, err := NewSession(params, eval, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]field.Vec, 5)
+	for i := range inputs {
+		inputs[i] = field.Vec{f.FromInt64(int64(i + 1)), f.FromInt64(int64(2*i + 1))}
+	}
+	batch, req, err := receiver.NewBatch(inputs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != len(inputs) {
+		t.Fatalf("batch length %d, want %d", batch.Len(), len(inputs))
+	}
+	resp, err := sender.HandleBatch(req, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batch.Finish(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(DefaultAmplifierBits)+1)
+	for i, input := range inputs {
+		direct, err := eval.Eval(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Sign() == 0 {
+			continue
+		}
+		inv, err := f.Inv(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amp := f.Mul(got[i], inv)
+		if amp.Sign() <= 0 || amp.Cmp(bound) > 0 {
+			t.Fatalf("sample %d: implied amplifier %v out of range", i, amp)
+		}
+	}
+}
+
+// TestSessionBatchValidation: malformed batches must be rejected.
+func TestSessionBatchValidation(t *testing.T) {
+	f := field.Default()
+	params := testParams(t, 1)
+	eval := buildLinear(t, f, 2)
+	sender, receiver, err := NewSession(params, eval, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := receiver.NewBatch(nil, rand.Reader); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, err := sender.HandleBatch(nil, rand.Reader); err == nil {
+		t.Fatal("nil batch request should fail")
+	}
+	input := field.Vec{f.FromInt64(1), f.FromInt64(2)}
+	_, req, err := receiver.NewBatch([]field.Vec{input, input}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Evals = req.Evals[:1]
+	if _, err := sender.HandleBatch(req, rand.Reader); err == nil {
+		t.Fatal("eval/OT count mismatch should fail")
 	}
 }

@@ -1,12 +1,12 @@
 package ompe
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math/big"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/poly"
 )
@@ -17,14 +17,14 @@ import (
 // of per-query Naor–Pinkas. Two messages per query instead of four, and
 // no public-key operations on the query path.
 //
-// Queries are strictly sequential within a session (the extension
-// endpoints advance lockstep batch state), matching the transport layer's
-// session model. Privacy is unchanged: fresh masking polynomial and
-// amplifier per query, fresh covers and genuine positions per query, and
-// the extension hides the genuine indices exactly as the base OT does.
-
-// ErrSessionBusy reports an out-of-order query on a session.
-var ErrSessionBusy = errors.New("ompe: session has a query in flight")
+// Several queries (or batches) may be in flight per session — each holds
+// its own per-batch extension state — as long as the sender answers them
+// in the order they were opened: the extension endpoints advance lockstep
+// batch counters, so responses must come back FIFO. A single connection
+// with a single server worker gives exactly that ordering. Privacy is
+// unchanged: fresh masking polynomial and amplifier per query, fresh
+// covers and genuine positions per query, and the extension hides the
+// genuine indices exactly as the base OT does.
 
 // FastRequest is the receiver's single per-query message.
 type FastRequest struct {
@@ -48,7 +48,6 @@ type SessionSender struct {
 type SessionReceiver struct {
 	params Params
 	iknp   *ot.IKNPReceiver
-	inQ    bool
 }
 
 // NewSessionReceiverBase starts a session from the receiver side,
@@ -120,9 +119,6 @@ type SessionQuery struct {
 
 // NewQuery opens a fast query for one input vector.
 func (sr *SessionReceiver) NewQuery(input field.Vec, rng io.Reader) (*SessionQuery, *FastRequest, error) {
-	if sr.inQ {
-		return nil, nil, ErrSessionBusy
-	}
 	// Reuse the standard receiver's cover/decoy construction; only the
 	// transfer mechanism differs.
 	recv, req, err := NewReceiver(sr.params, input, rng)
@@ -133,7 +129,6 @@ func (sr *SessionReceiver) NewQuery(input field.Vec, rng io.Reader) (*SessionQue
 	if err != nil {
 		return nil, nil, err
 	}
-	sr.inQ = true
 	q := &SessionQuery{
 		sr:     sr,
 		points: recv.points,
@@ -181,15 +176,138 @@ func (q *SessionQuery) Finish(resp *FastResponse) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := q.sr.params.Field
+	return interpolateTransferred(q.sr.params.Field, raw, q.points, q.index)
+}
+
+// interpolateTransferred decodes one query's transferred field elements
+// and recovers amp·P(α) by Lagrange interpolation at zero.
+func interpolateTransferred(f *field.Field, raw [][]byte, points []*big.Int, index []int) (*big.Int, error) {
 	pts := make([]poly.Point, len(raw))
 	for i, b := range raw {
 		y, err := f.FromBytes(b)
 		if err != nil {
 			return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
 		}
-		pts[i] = poly.Point{X: q.points[q.index[i]], Y: y}
+		pts[i] = poly.Point{X: points[index[i]], Y: y}
 	}
-	q.sr.inQ = false
 	return poly.InterpolateAtZero(f, pts)
+}
+
+// Batched fast queries: B samples ride one message pair. The receiver
+// builds B independent cover/decoy constructions (serial randomness, so
+// wire bytes stay deterministic under a fixed rng at any parallelism) and
+// opens one k-of-n transfer per sample over a single IKNP extension round.
+// The sender draws B fresh (mask, amplifier) pairs — per-sample masks are
+// independent, so each sample's privacy argument is exactly the
+// single-query one; batching shares only the (index-hiding) extension.
+
+// FastBatchRequest is the receiver's single message for B samples.
+type FastBatchRequest struct {
+	Evals []*EvalRequest
+	OT    *ot.ExtKofNBatchRequest
+}
+
+// FastBatchResponse is the sender's single message for B samples.
+type FastBatchResponse struct {
+	OT *ot.ExtKofNBatchResponse
+}
+
+// SessionBatch is one in-flight batched query on the receiver side.
+type SessionBatch struct {
+	sr     *SessionReceiver
+	points [][]*big.Int
+	index  [][]int
+	ext    *ot.ExtKofNBatchQuery
+}
+
+// Len returns the number of samples in the batch.
+func (b *SessionBatch) Len() int { return len(b.index) }
+
+// NewBatch opens one batched query covering all inputs.
+func (sr *SessionReceiver) NewBatch(inputs []field.Vec, rng io.Reader) (*SessionBatch, *FastBatchRequest, error) {
+	if len(inputs) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	evals := make([]*EvalRequest, len(inputs))
+	points := make([][]*big.Int, len(inputs))
+	genuine := make([][]int, len(inputs))
+	for i, input := range inputs {
+		recv, req, err := NewReceiver(sr.params, input, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ompe: batch sample %d: %w", i, err)
+		}
+		evals[i] = req
+		points[i] = recv.points
+		genuine[i] = recv.genuine
+	}
+	ext, otReq, err := ot.NewExtKofNBatchQuery(sr.iknp, sr.params.TotalPairs(), genuine)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := &SessionBatch{sr: sr, points: points, index: genuine, ext: ext}
+	return b, &FastBatchRequest{Evals: evals, OT: otReq}, nil
+}
+
+// HandleBatch answers one batched query. Randomness (per-sample mask,
+// amplifier, and transfer keys) is drawn serially in sample order; only
+// the pure-arithmetic masked evaluations fan out across the worker pool.
+func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*FastBatchResponse, error) {
+	if req == nil || req.OT == nil || len(req.Evals) == 0 {
+		return nil, fmt.Errorf("%w: nil fast batch request", ErrBadRequest)
+	}
+	if len(req.Evals) != req.OT.B {
+		return nil, fmt.Errorf("%w: %d eval requests for OT batch of %d", ErrBadRequest, len(req.Evals), req.OT.B)
+	}
+	f := ss.params.Field
+	span := obs.Start(obs.PhaseSenderMask)
+	msgs := make([][][]byte, len(req.Evals))
+	for i, eval := range req.Evals {
+		if eval == nil {
+			return nil, fmt.Errorf("%w: nil eval request %d", ErrBadRequest, i)
+		}
+		if err := validateEvalRequest(ss.params, ss.eval.NumVars(), eval); err != nil {
+			return nil, fmt.Errorf("ompe: batch sample %d: %w", i, err)
+		}
+		h, err := poly.Random(f, rng, ss.params.ComposedDegree(), f.Zero())
+		if err != nil {
+			return nil, err
+		}
+		amp, err := sampleAmplifier(rng, ss.params.amplifierBitsOrDefault())
+		if err != nil {
+			return nil, err
+		}
+		sample, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), eval, ss.params.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		msgs[i] = sample
+	}
+	span.End()
+	otResp, err := ot.ExtKofNBatchRespond(ss.iknp, req.OT, msgs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &FastBatchResponse{OT: otResp}, nil
+}
+
+// Finish recovers every sample's amp·P(α), in batch order.
+func (b *SessionBatch) Finish(resp *FastBatchResponse) ([]*big.Int, error) {
+	if resp == nil || resp.OT == nil {
+		return nil, fmt.Errorf("%w: nil fast batch response", ErrBadRequest)
+	}
+	raw, err := b.ext.Recover(resp.OT)
+	if err != nil {
+		return nil, err
+	}
+	span := obs.Start(obs.PhaseReceiverInterpolate)
+	defer span.End()
+	out := make([]*big.Int, len(raw))
+	for i := range raw {
+		v, err := interpolateTransferred(b.sr.params.Field, raw[i], b.points[i], b.index[i])
+		if err != nil {
+			return nil, fmt.Errorf("ompe: batch sample %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }

@@ -142,7 +142,7 @@ func BenchmarkIKNPBatch1of2(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		msg, err := receiver.Extend(choices)
+		ext, msg, err := receiver.Extend(choices)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkIKNPBatch1of2(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := receiver.Recover(resp); err != nil {
+		if _, err := ext.Recover(resp); err != nil {
 			b.Fatal(err)
 		}
 	}

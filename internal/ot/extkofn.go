@@ -1,7 +1,6 @@
 package ot
 
 import (
-	"crypto/rand"
 	"fmt"
 	"io"
 )
@@ -14,9 +13,11 @@ import (
 // through extended 1-of-2 transfers (k·⌈log₂ n⌉ of them, batched into one
 // IKNP extension round).
 //
-// One query is in flight at a time per session (the IKNP endpoints keep
-// lockstep batch state), matching the transport layer's sequential
-// session model.
+// Several queries may be in flight per session (each holds its own
+// IKNPExtension state), as long as the sender answers them in Extend
+// order — its lockstep batch counter must advance in the receiver's
+// sequence. The batched variant goes further: one Extend call covers all
+// B samples of a ExtKofNBatch, amortizing the extension round itself.
 
 // ExtKofNRequest is the receiver's per-query message.
 type ExtKofNRequest struct {
@@ -34,49 +35,119 @@ type ExtKofNResponse struct {
 
 // ExtKofNQuery is the receiver's in-flight query state.
 type ExtKofNQuery struct {
-	iknp    *IKNPReceiver
+	ext     *IKNPExtension
 	indices []int
 	n       int
 	depth   int
 }
 
-// NewExtKofNQuery opens one k-of-n transfer for the given distinct
-// indices, producing the request message.
-func NewExtKofNQuery(r *IKNPReceiver, n int, indices []int) (*ExtKofNQuery, *ExtKofNRequest, error) {
+// checkKofNIndices validates one sample's index set for a k-of-n query.
+func checkKofNIndices(n int, indices []int) error {
 	if n < 2 {
-		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
+		return fmt.Errorf("ot: need at least 2 messages, got %d", n)
 	}
 	if len(indices) == 0 || len(indices) > n {
-		return nil, nil, fmt.Errorf("ot: invalid k=%d for n=%d", len(indices), n)
+		return fmt.Errorf("ot: invalid k=%d for n=%d", len(indices), n)
 	}
 	seen := make(map[int]bool, len(indices))
 	for _, idx := range indices {
 		if idx < 0 || idx >= n {
-			return nil, nil, fmt.Errorf("%w: %d", ErrBadIndex, idx)
+			return fmt.Errorf("%w: %d", ErrBadIndex, idx)
 		}
 		if seen[idx] {
-			return nil, nil, fmt.Errorf("%w: %d", ErrDuplicateIndex, idx)
+			return fmt.Errorf("%w: %d", ErrDuplicateIndex, idx)
 		}
 		seen[idx] = true
 	}
-	depth := treeDepth(n)
-	choices := make([]int, len(indices)*depth)
-	for i, idx := range indices {
+	return nil
+}
+
+// appendPathChoices appends the ⌈log₂ n⌉ bit-path choices of every index.
+func appendPathChoices(choices []int, indices []int, depth int) []int {
+	for _, idx := range indices {
 		for j := 0; j < depth; j++ {
-			choices[i*depth+j] = (idx >> j) & 1
+			choices = append(choices, (idx>>j)&1)
 		}
 	}
-	msg, err := r.Extend(choices)
+	return choices
+}
+
+// NewExtKofNQuery opens one k-of-n transfer for the given distinct
+// indices, producing the request message.
+func NewExtKofNQuery(r *IKNPReceiver, n int, indices []int) (*ExtKofNQuery, *ExtKofNRequest, error) {
+	if err := checkKofNIndices(n, indices); err != nil {
+		return nil, nil, err
+	}
+	depth := treeDepth(n)
+	choices := appendPathChoices(make([]int, 0, len(indices)*depth), indices, depth)
+	ext, msg, err := r.Extend(choices)
 	if err != nil {
 		return nil, nil, err
 	}
 	q := &ExtKofNQuery{
-		iknp:    r,
+		ext:     ext,
 		indices: append([]int(nil), indices...),
 		n:       n,
 		depth:   depth,
 	}
 	return q, &ExtKofNRequest{IKNP: msg, K: len(indices), N: n}, nil
+}
+
+// drawTreeKeys draws fresh key pairs for k instances of depth levels from
+// rng, appending the halves to x0/x1 in (instance, level) order. Keys are
+// drawn in a fixed serial order so a deterministic rng yields identical
+// wire bytes run to run.
+func drawTreeKeys(rng io.Reader, k, depth int, x0, x1 [][]byte) ([][][2][]byte, [][]byte, [][]byte, error) {
+	keys := make([][][2][]byte, k)
+	for i := 0; i < k; i++ {
+		keys[i] = make([][2][]byte, depth)
+		for j := 0; j < depth; j++ {
+			for b := 0; b < 2; b++ {
+				key := make([]byte, treeKeyLen)
+				if _, err := io.ReadFull(rng, key); err != nil {
+					return nil, nil, nil, err
+				}
+				keys[i][j][b] = key
+			}
+			x0 = append(x0, keys[i][j][0])
+			x1 = append(x1, keys[i][j][1])
+		}
+	}
+	return keys, x0, x1, nil
+}
+
+// encryptInstances builds the k×n ciphertext matrix of one sample: message
+// m is encrypted under instance i's key path for index m.
+func encryptInstances(keys [][][2][]byte, msgs [][]byte, depth int) [][][]byte {
+	k := len(keys)
+	n := len(msgs)
+	cts := make([][][]byte, k)
+	path := make([][]byte, depth)
+	for i := 0; i < k; i++ {
+		cts[i] = make([][]byte, n)
+		for m := 0; m < n; m++ {
+			for j := 0; j < depth; j++ {
+				path[j] = keys[i][j][(m>>j)&1]
+			}
+			pad := treePadFromKeys(path, m, len(msgs[m]))
+			ct := make([]byte, len(msgs[m]))
+			for p := range ct {
+				ct[p] = msgs[m][p] ^ pad[p]
+			}
+			cts[i][m] = ct
+		}
+	}
+	return cts
+}
+
+// checkUniformLen verifies all messages share one length.
+func checkUniformLen(msgs [][]byte) error {
+	for _, m := range msgs[1:] {
+		if len(m) != len(msgs[0]) {
+			return ErrMessageLen
+		}
+	}
+	return nil
 }
 
 // ExtKofNRespond answers one query: the sender's messages (all the same
@@ -90,10 +161,8 @@ func ExtKofNRespond(s *IKNPSender, req *ExtKofNRequest, msgs [][]byte, rng io.Re
 	if n != req.N || n < 2 {
 		return nil, fmt.Errorf("%w: %d messages for declared n=%d", ErrIKNP, n, req.N)
 	}
-	for _, m := range msgs[1:] {
-		if len(m) != len(msgs[0]) {
-			return nil, ErrMessageLen
-		}
+	if err := checkUniformLen(msgs); err != nil {
+		return nil, err
 	}
 	depth := treeDepth(n)
 	k := req.K
@@ -101,44 +170,42 @@ func ExtKofNRespond(s *IKNPSender, req *ExtKofNRequest, msgs [][]byte, rng io.Re
 		return nil, fmt.Errorf("%w: batch size %d for k=%d depth=%d", ErrIKNP, req.IKNP.M, k, depth)
 	}
 	// Fresh key pairs per (instance, level); x0/x1 feed the extension.
-	keys := make([][][2][]byte, k)
-	x0 := make([][]byte, k*depth)
-	x1 := make([][]byte, k*depth)
-	for i := 0; i < k; i++ {
-		keys[i] = make([][2][]byte, depth)
-		for j := 0; j < depth; j++ {
-			for b := 0; b < 2; b++ {
-				key := make([]byte, treeKeyLen)
-				if _, err := rand.Read(key); err != nil {
-					return nil, err
-				}
-				keys[i][j][b] = key
-			}
-			x0[i*depth+j] = keys[i][j][0]
-			x1[i*depth+j] = keys[i][j][1]
-		}
+	keys, x0, x1, err := drawTreeKeys(rng, k, depth, make([][]byte, 0, k*depth), make([][]byte, 0, k*depth))
+	if err != nil {
+		return nil, err
 	}
 	iknpResp, err := s.Respond(req.IKNP, x0, x1)
 	if err != nil {
 		return nil, err
 	}
-	cts := make([][][]byte, k)
-	for i := 0; i < k; i++ {
-		cts[i] = make([][]byte, n)
-		for m := 0; m < n; m++ {
-			path := make([][]byte, depth)
-			for j := 0; j < depth; j++ {
-				path[j] = keys[i][j][(m>>j)&1]
-			}
-			pad := treePadFromKeys(path, m, len(msgs[m]))
-			ct := make([]byte, len(msgs[m]))
-			for p := range ct {
-				ct[p] = msgs[m][p] ^ pad[p]
-			}
-			cts[i][m] = ct
+	return &ExtKofNResponse{IKNP: iknpResp, Cts: encryptInstances(keys, msgs, depth)}, nil
+}
+
+// recoverSample decrypts one sample's chosen messages from its ciphertext
+// matrix, given that sample's path keys in (instance, level) order.
+func recoverSample(cts [][][]byte, pathKeys [][]byte, indices []int, n, depth int) ([][]byte, error) {
+	out := make([][]byte, len(indices))
+	path := make([][]byte, depth)
+	for i, idx := range indices {
+		if len(cts[i]) != n {
+			return nil, fmt.Errorf("%w: instance %d has %d ciphertexts", ErrIKNP, i, len(cts[i]))
 		}
+		for j := 0; j < depth; j++ {
+			key := pathKeys[i*depth+j]
+			if len(key) != treeKeyLen {
+				return nil, fmt.Errorf("%w: instance %d level %d key length", ErrIKNP, i, j)
+			}
+			path[j] = key
+		}
+		ct := cts[i][idx]
+		pad := treePadFromKeys(path, idx, len(ct))
+		x := make([]byte, len(ct))
+		for p := range ct {
+			x[p] = ct[p] ^ pad[p]
+		}
+		out[i] = x
 	}
-	return &ExtKofNResponse{IKNP: iknpResp, Cts: cts}, nil
+	return out, nil
 }
 
 // Recover decrypts the query's chosen messages, in index order.
@@ -146,30 +213,141 @@ func (q *ExtKofNQuery) Recover(resp *ExtKofNResponse) ([][]byte, error) {
 	if resp == nil || resp.IKNP == nil || len(resp.Cts) != len(q.indices) {
 		return nil, fmt.Errorf("%w: bad response", ErrIKNP)
 	}
-	pathKeys, err := q.iknp.Recover(resp.IKNP)
+	pathKeys, err := q.ext.Recover(resp.IKNP)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]byte, len(q.indices))
-	for i, idx := range q.indices {
-		if len(resp.Cts[i]) != q.n {
-			return nil, fmt.Errorf("%w: instance %d has %d ciphertexts", ErrIKNP, i, len(resp.Cts[i]))
+	return recoverSample(resp.Cts, pathKeys, q.indices, q.n, q.depth)
+}
+
+// Batched k-of-n: one IKNP Extend call covers all B samples' choice bits,
+// so a whole batch of transfers costs a single extension round — B·k·⌈log₂
+// n⌉ extended 1-of-2 transfers in one message pair. Each sample keeps its
+// own fresh tree keys and ciphertext matrix; nothing is shared between
+// samples beyond the (already index-hiding) extension columns, so the
+// per-sample secrecy argument is exactly the single-query one.
+
+// ExtKofNBatchRequest is the receiver's one message for B samples.
+type ExtKofNBatchRequest struct {
+	IKNP *IKNPReceiverMsg
+	// K and N are the per-sample transfer shape; B is the sample count.
+	K, N, B int
+}
+
+// ExtKofNBatchResponse is the sender's one message for B samples.
+type ExtKofNBatchResponse struct {
+	IKNP *IKNPSenderMsg
+	// Cts[b][i][j] is sample b's instance-i encryption of message j.
+	Cts [][][][]byte
+}
+
+// ExtKofNBatchQuery is the receiver's in-flight batch state.
+type ExtKofNBatchQuery struct {
+	ext     *IKNPExtension
+	indices [][]int
+	n       int
+	depth   int
+}
+
+// NewExtKofNBatchQuery opens B k-of-n transfers — one per index set — over
+// a single IKNP extension round. Every sample must select exactly k
+// distinct indices out of the same n.
+func NewExtKofNBatchQuery(r *IKNPReceiver, n int, indices [][]int) (*ExtKofNBatchQuery, *ExtKofNBatchRequest, error) {
+	if len(indices) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty batch", ErrIKNP)
+	}
+	k := len(indices[0])
+	for b, idx := range indices {
+		if len(idx) != k {
+			return nil, nil, fmt.Errorf("%w: sample %d selects %d indices, want %d", ErrIKNP, b, len(idx), k)
 		}
-		path := make([][]byte, q.depth)
-		for j := 0; j < q.depth; j++ {
-			key := pathKeys[i*q.depth+j]
-			if len(key) != treeKeyLen {
-				return nil, fmt.Errorf("%w: instance %d level %d key length", ErrIKNP, i, j)
-			}
-			path[j] = key
+		if err := checkKofNIndices(n, idx); err != nil {
+			return nil, nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
 		}
-		ct := resp.Cts[i][idx]
-		pad := treePadFromKeys(path, idx, len(ct))
-		x := make([]byte, len(ct))
-		for p := range ct {
-			x[p] = ct[p] ^ pad[p]
+	}
+	depth := treeDepth(n)
+	choices := make([]int, 0, len(indices)*k*depth)
+	kept := make([][]int, len(indices))
+	for b, idx := range indices {
+		choices = appendPathChoices(choices, idx, depth)
+		kept[b] = append([]int(nil), idx...)
+	}
+	ext, msg, err := r.Extend(choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &ExtKofNBatchQuery{ext: ext, indices: kept, n: n, depth: depth}
+	return q, &ExtKofNBatchRequest{IKNP: msg, K: k, N: n, B: len(indices)}, nil
+}
+
+// ExtKofNBatchRespond answers one batch: msgs[b] holds sample b's n
+// messages (uniform length within a sample). Fresh tree keys are drawn
+// per sample and all B·k·depth key pairs ride one extension response.
+func ExtKofNBatchRespond(s *IKNPSender, req *ExtKofNBatchRequest, msgs [][][]byte, rng io.Reader) (*ExtKofNBatchResponse, error) {
+	if req == nil || req.IKNP == nil {
+		return nil, fmt.Errorf("%w: nil batch request", ErrIKNP)
+	}
+	if len(msgs) != req.B || req.B < 1 {
+		return nil, fmt.Errorf("%w: %d samples for declared B=%d", ErrIKNP, len(msgs), req.B)
+	}
+	n := req.N
+	k := req.K
+	depth := treeDepth(n)
+	if n < 2 || k < 1 || k > n || req.IKNP.M != req.B*k*depth {
+		return nil, fmt.Errorf("%w: batch size %d for B=%d k=%d depth=%d", ErrIKNP, req.IKNP.M, req.B, k, depth)
+	}
+	for b, sample := range msgs {
+		if len(sample) != n {
+			return nil, fmt.Errorf("%w: sample %d has %d messages for n=%d", ErrIKNP, b, len(sample), n)
 		}
-		out[i] = x
+		if err := checkUniformLen(sample); err != nil {
+			return nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
+		}
+	}
+	perSample := make([][][][2][]byte, 0, req.B)
+	x0 := make([][]byte, 0, req.B*k*depth)
+	x1 := make([][]byte, 0, req.B*k*depth)
+	for b := 0; b < req.B; b++ {
+		keys, nx0, nx1, err := drawTreeKeys(rng, k, depth, x0, x1)
+		if err != nil {
+			return nil, err
+		}
+		x0, x1 = nx0, nx1
+		perSample = append(perSample, keys)
+	}
+	iknpResp, err := s.Respond(req.IKNP, x0, x1)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([][][][]byte, req.B)
+	for b := 0; b < req.B; b++ {
+		cts[b] = encryptInstances(perSample[b], msgs[b], depth)
+	}
+	return &ExtKofNBatchResponse{IKNP: iknpResp, Cts: cts}, nil
+}
+
+// Recover decrypts every sample's chosen messages, in per-sample index
+// order.
+func (q *ExtKofNBatchQuery) Recover(resp *ExtKofNBatchResponse) ([][][]byte, error) {
+	if resp == nil || resp.IKNP == nil || len(resp.Cts) != len(q.indices) {
+		return nil, fmt.Errorf("%w: bad batch response", ErrIKNP)
+	}
+	pathKeys, err := q.ext.Recover(resp.IKNP)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]byte, len(q.indices))
+	stride := 0
+	for b, idx := range q.indices {
+		if len(resp.Cts[b]) != len(idx) {
+			return nil, fmt.Errorf("%w: sample %d has %d instances", ErrIKNP, b, len(resp.Cts[b]))
+		}
+		got, err := recoverSample(resp.Cts[b], pathKeys[stride:stride+len(idx)*q.depth], idx, q.n, q.depth)
+		if err != nil {
+			return nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
+		}
+		out[b] = got
+		stride += len(idx) * q.depth
 	}
 	return out, nil
 }

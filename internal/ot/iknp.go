@@ -1,7 +1,6 @@
 package ot
 
 import (
-	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -54,7 +53,6 @@ type IKNPSenderMsg struct {
 type IKNPSender struct {
 	s     []byte // κ choice bits, packed
 	seeds [][]byte
-	m     int
 	batch uint32 // lockstep batch counter: fresh PRG columns per batch
 
 	baseReceivers []*Receiver // base-phase state, nil once finished
@@ -63,14 +61,23 @@ type IKNPSender struct {
 // IKNPReceiver is the OT-extension receiver: it inputs m choice bits and
 // runs the base phase as a base-OT sender of seed pairs.
 type IKNPReceiver struct {
-	r     []byte // m choice bits, packed
-	m     int
 	seed0 [][]byte
 	seed1 [][]byte
-	t     [][]byte // κ columns of m bits
-	batch uint32   // lockstep batch counter: fresh PRG columns per batch
+	batch uint32 // lockstep batch counter: fresh PRG columns per batch
 
 	baseSenders []*Sender // base-phase state, nil once finished
+}
+
+// IKNPExtension is the receiver-side state of one Extend batch. Each
+// batch's choice bits and PRG columns live here rather than on the
+// receiver, so several batches can be in flight at once: the caller may
+// issue Extend for batch n+1 before recovering batch n, as long as the
+// sender answers batches in Extend order (its lockstep batch counter must
+// advance in the same sequence).
+type IKNPExtension struct {
+	r []byte // m choice bits, packed
+	m int
+	t [][]byte // κ columns of m bits
 }
 
 // Base-phase messages: κ parallel 1-of-2 transfers in which the
@@ -99,10 +106,10 @@ func NewIKNPReceiverBase(group *Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseS
 	for i := 0; i < iknpKappa; i++ {
 		recv.seed0[i] = make([]byte, treeKeyLen)
 		recv.seed1[i] = make([]byte, treeKeyLen)
-		if _, err := rand.Read(recv.seed0[i]); err != nil {
+		if _, err := io.ReadFull(rng, recv.seed0[i]); err != nil {
 			return nil, nil, err
 		}
-		if _, err := rand.Read(recv.seed1[i]); err != nil {
+		if _, err := io.ReadFull(rng, recv.seed1[i]); err != nil {
 			return nil, nil, err
 		}
 		s, setup, err := NewSender(group, [][]byte{recv.seed0[i], recv.seed1[i]}, rng)
@@ -125,7 +132,7 @@ func NewIKNPSenderBase(group *Group, setup *IKNPBaseSetup, rng io.Reader) (*IKNP
 		s:     make([]byte, iknpKappa/8),
 		seeds: make([][]byte, iknpKappa),
 	}
-	if _, err := rand.Read(send.s); err != nil {
+	if _, err := io.ReadFull(rng, send.s); err != nil {
 		return nil, nil, err
 	}
 	send.baseReceivers = make([]*Receiver, iknpKappa)
@@ -197,39 +204,39 @@ func NewIKNP(group *Group, rng io.Reader) (*IKNPSender, *IKNPReceiver, error) {
 }
 
 // Extend prepares the receiver's side of one batch: choice bits r (one per
-// transfer) produce the masked-column message for the sender.
-func (r *IKNPReceiver) Extend(choices []int) (*IKNPReceiverMsg, error) {
+// transfer) produce the masked-column message for the sender and the
+// per-batch state that later recovers the chosen messages.
+func (r *IKNPReceiver) Extend(choices []int) (*IKNPExtension, *IKNPReceiverMsg, error) {
 	m := len(choices)
 	if m == 0 {
-		return nil, fmt.Errorf("%w: empty batch", ErrIKNP)
+		return nil, nil, fmt.Errorf("%w: empty batch", ErrIKNP)
 	}
-	r.m = m
-	r.r = make([]byte, (m+7)/8)
+	ext := &IKNPExtension{m: m, r: make([]byte, (m+7)/8)}
 	for j, c := range choices {
 		if c != 0 && c != 1 {
-			return nil, fmt.Errorf("%w: choice %d at %d", ErrIKNP, c, j)
+			return nil, nil, fmt.Errorf("%w: choice %d at %d", ErrIKNP, c, j)
 		}
 		if c == 1 {
-			setBit(r.r, j)
+			setBit(ext.r, j)
 		}
 	}
 	cols := (m + 7) / 8
 	r.batch++
-	r.t = make([][]byte, iknpKappa)
+	ext.t = make([][]byte, iknpKappa)
 	u := make([][]byte, iknpKappa)
 	for i := 0; i < iknpKappa; i++ {
 		// Fresh pseudorandom columns per batch: reusing a column across
 		// two choice vectors would leak r ⊕ r' and repeat pads.
 		t0 := prg(r.seed0[i], i, r.batch, cols)
 		t1 := prg(r.seed1[i], i, r.batch, cols)
-		r.t[i] = t0
+		ext.t[i] = t0
 		ui := make([]byte, cols)
 		for b := range ui {
-			ui[b] = t0[b] ^ t1[b] ^ r.r[b]
+			ui[b] = t0[b] ^ t1[b] ^ ext.r[b]
 		}
 		u[i] = ui
 	}
-	return &IKNPReceiverMsg{U: u, M: m}, nil
+	return ext, &IKNPReceiverMsg{U: u, M: m}, nil
 }
 
 // Respond consumes the receiver's columns and encrypts the message pairs
@@ -264,7 +271,6 @@ func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSender
 		}
 		q[i] = qi
 	}
-	s.m = m
 	out := &IKNPSenderMsg{Y0: make([][]byte, m), Y1: make([][]byte, m)}
 	rowQ := make([]byte, iknpKappa/8)
 	rowQS := make([]byte, iknpKappa/8)
@@ -296,23 +302,23 @@ func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSender
 }
 
 // Recover decrypts the chosen message of every transfer in the batch.
-func (r *IKNPReceiver) Recover(msg *IKNPSenderMsg) ([][]byte, error) {
-	if msg == nil || len(msg.Y0) != r.m || len(msg.Y1) != r.m {
+func (e *IKNPExtension) Recover(msg *IKNPSenderMsg) ([][]byte, error) {
+	if msg == nil || len(msg.Y0) != e.m || len(msg.Y1) != e.m {
 		return nil, fmt.Errorf("%w: bad ciphertext batch", ErrIKNP)
 	}
-	out := make([][]byte, r.m)
+	out := make([][]byte, e.m)
 	rowT := make([]byte, iknpKappa/8)
-	for j := 0; j < r.m; j++ {
+	for j := 0; j < e.m; j++ {
 		for i := range rowT {
 			rowT[i] = 0
 		}
 		for i := 0; i < iknpKappa; i++ {
-			if getBit(r.t[i], j) == 1 {
+			if getBit(e.t[i], j) == 1 {
 				setBit(rowT, i)
 			}
 		}
 		ct := msg.Y0[j]
-		if getBit(r.r, j) == 1 {
+		if getBit(e.r, j) == 1 {
 			ct = msg.Y1[j]
 		}
 		pad := rowHash(j, rowT, len(ct))

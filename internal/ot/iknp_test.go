@@ -31,7 +31,7 @@ func TestIKNPBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recvMsg, err := receiver.Extend(choices)
+	ext, recvMsg, err := receiver.Extend(choices)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestIKNPBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := receiver.Recover(sendMsg)
+	got, err := ext.Recover(sendMsg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestIKNPNonChosenUnreadable(t *testing.T) {
 	choices := []int{0, 1, 0, 1}
 	x0 := [][]byte{[]byte("zero-msg-0000000"), []byte("zero-msg-1111111"), []byte("zero-msg-2222222"), []byte("zero-msg-3333333")}
 	x1 := [][]byte{[]byte("one-msg-00000000"), []byte("one-msg-11111111"), []byte("one-msg-22222222"), []byte("one-msg-33333333")}
-	recvMsg, err := receiver.Extend(choices)
+	ext, recvMsg, err := receiver.Extend(choices)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestIKNPNonChosenUnreadable(t *testing.T) {
 	// Swap the ciphertext pairs so the receiver decrypts the slot it did
 	// not choose with its own pads.
 	swapped := &ot.IKNPSenderMsg{Y0: sendMsg.Y1, Y1: sendMsg.Y0}
-	leaked, err := receiver.Recover(swapped)
+	leaked, err := ext.Recover(swapped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,13 +102,13 @@ func TestIKNPValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := receiver.Extend(nil); err == nil {
+	if _, _, err := receiver.Extend(nil); err == nil {
 		t.Fatal("empty batch should fail")
 	}
-	if _, err := receiver.Extend([]int{2}); err == nil {
+	if _, _, err := receiver.Extend([]int{2}); err == nil {
 		t.Fatal("non-bit choice should fail")
 	}
-	msg, err := receiver.Extend([]int{0, 1})
+	ext, msg, err := receiver.Extend([]int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestIKNPValidation(t *testing.T) {
 	if _, err := sender.Respond(msg, [][]byte{{1}, {2, 3}}, [][]byte{{1}, {2}}); err == nil {
 		t.Fatal("unequal message lengths should fail")
 	}
-	if _, err := receiver.Recover(nil); err == nil {
+	if _, err := ext.Recover(nil); err == nil {
 		t.Fatal("nil ciphertext batch should fail")
 	}
 }
@@ -139,7 +139,7 @@ func TestIKNPSecondBatch(t *testing.T) {
 		choices := []int{1, 0, 1}
 		x0 := [][]byte{{10}, {20}, {30}}
 		x1 := [][]byte{{11}, {21}, {31}}
-		recvMsg, err := receiver.Extend(choices)
+		ext, recvMsg, err := receiver.Extend(choices)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestIKNPSecondBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := receiver.Recover(sendMsg)
+		got, err := ext.Recover(sendMsg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,5 +256,117 @@ func TestExtKofNNonChosenUnreadable(t *testing.T) {
 	}
 	if bytes.Equal(leaked[0], msgs[5]) {
 		t.Fatal("non-chosen message readable through the path keys")
+	}
+}
+
+func TestExtKofNBatch(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	indices := [][]int{{5, 0, 3}, {1, 2, 4}, {0, 1, 5}, {3, 4, 2}}
+	msgs := make([][][]byte, len(indices))
+	for b := range msgs {
+		msgs[b] = make([][]byte, n)
+		for i := range msgs[b] {
+			msgs[b][i] = make([]byte, 32)
+			if _, err := rand.Read(msgs[b][i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q, req, err := ot.NewExtKofNBatchQuery(receiver, n, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ot.ExtKofNBatchRespond(sender, req, msgs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Recover(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, idx := range indices {
+		for i, sel := range idx {
+			if !bytes.Equal(got[b][i], msgs[b][sel]) {
+				t.Fatalf("sample %d index %d wrong", b, sel)
+			}
+		}
+	}
+}
+
+// TestExtKofNInFlight: two queries opened before either response arrives —
+// the per-batch extension state must not be clobbered by the second
+// Extend, as long as responses come back in FIFO order.
+func TestExtKofNInFlight(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 4)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i * 7), byte(i * 13)}
+	}
+	q1, req1, err := ot.NewExtKofNQuery(receiver, len(msgs), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, req2, err := ot.NewExtKofNQuery(receiver, len(msgs), []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1, err := ot.ExtKofNRespond(sender, req1, msgs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := ot.ExtKofNRespond(sender, req2, msgs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := q1.Recover(resp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := q2.Recover(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1[0], msgs[2]) {
+		t.Fatal("first in-flight query corrupted")
+	}
+	if !bytes.Equal(got2[0], msgs[1]) || !bytes.Equal(got2[1], msgs[3]) {
+		t.Fatal("second in-flight query corrupted")
+	}
+}
+
+func TestExtKofNBatchValidation(t *testing.T) {
+	g := ot.Group512Test()
+	sender, receiver, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ot.NewExtKofNBatchQuery(receiver, 4, nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, _, err := ot.NewExtKofNBatchQuery(receiver, 4, [][]int{{0, 1}, {2}}); err == nil {
+		t.Fatal("ragged index sets should fail")
+	}
+	if _, _, err := ot.NewExtKofNBatchQuery(receiver, 4, [][]int{{0, 0}}); err == nil {
+		t.Fatal("duplicate indices should fail")
+	}
+	_, req, err := ot.NewExtKofNBatchQuery(receiver, 4, [][]int{{0, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := [][][]byte{{{1}, {2}, {3}, {4}}, {{5}, {6}, {7}, {8}}}
+	if _, err := ot.ExtKofNBatchRespond(sender, req, msgs[:1], rand.Reader); err == nil {
+		t.Fatal("sample-count mismatch should fail")
+	}
+	if _, err := ot.ExtKofNBatchRespond(sender, nil, msgs, rand.Reader); err == nil {
+		t.Fatal("nil request should fail")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -253,6 +254,185 @@ func TestChaosServerSideFaults(t *testing.T) {
 			case <-serverDone:
 			case <-time.After(15 * time.Second):
 				t.Fatal("server session did not end")
+			}
+		})
+	}
+}
+
+// meterConn counts bytes in each direction, so fast-path chaos offsets
+// can be measured rather than hardcoded: the IKNP base handshake is two
+// orders of magnitude larger than the slow-path handshake and its size
+// varies with group-element encodings.
+type meterConn struct {
+	net.Conn
+	wrote atomic.Int64
+	read  atomic.Int64
+}
+
+func (m *meterConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	m.wrote.Add(int64(n))
+	return n, err
+}
+
+func (m *meterConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	m.read.Add(int64(n))
+	return n, err
+}
+
+// measureFastBatch runs one clean fast-session batch and reports the
+// client's written/read byte counts at the end of the base handshake and
+// at the end of the batch exchange.
+func measureFastBatch(t *testing.T, trainer *classify.Trainer, samples [][]float64) (hsWrote, hsRead, totalWrote, totalRead int64) {
+	t.Helper()
+	srv := quietServer(t, trainer)
+	serverSide, clientSide := net.Pipe()
+	m := &meterConn{Conn: clientSide}
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		srv.ServeConn(serverSide)
+	}()
+	fc, err := transport.NewFastClassifyClientContext(t.Context(), m, chaosOpts, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsWrote, hsRead = m.wrote.Load(), m.read.Load()
+	if _, err := fc.ClassifyBatchContext(t.Context(), samples); err != nil {
+		t.Fatal(err)
+	}
+	totalWrote, totalRead = m.wrote.Load(), m.read.Load()
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-serverDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("measuring run: server session did not end")
+	}
+	return hsWrote, hsRead, totalWrote, totalRead
+}
+
+// TestChaosClassifyFastBatch drives the fast-session batch round trip
+// through the fault matrix. Fault offsets are derived from a measured
+// clean run: "handshake" faults land inside the IKNP base phase,
+// "mid-batch" faults land inside the batch request/response exchange. A
+// mid-batch hard fault must free the server's session slot and surface a
+// typed error.
+func TestChaosClassifyFastBatch(t *testing.T) {
+	model, test := trainLinear(t, 75)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := test.X[:4]
+	want, err := classify.ClassifyBatch(trainer, samples, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsWrote, hsRead, totalWrote, totalRead := measureFastBatch(t, trainer, samples)
+	if hsWrote < 256 || hsRead < 256 || totalWrote <= hsWrote || totalRead <= hsRead {
+		t.Fatalf("implausible measurement: hs=(%d,%d) total=(%d,%d)", hsWrote, hsRead, totalWrote, totalRead)
+	}
+	midWrote := hsWrote + (totalWrote-hsWrote)/2
+	midRead := hsRead + (totalRead-hsRead)/2
+
+	hardTimeout := []error{transport.ErrTimeout}
+	injected := []error{faultnet.ErrInjected}
+	reset := []error{faultnet.ErrReset, faultnet.ErrClosed}
+	cases := []chaosCase{
+		{name: "latency", profile: faultnet.Profile{Latency: 2 * time.Millisecond, Jitter: time.Millisecond, Seed: 42}, wantOK: true},
+		{name: "partial-writes", profile: faultnet.Profile{ChunkWrites: 7}, wantOK: true},
+		{name: "write-error-handshake", profile: faultnet.Profile{FailWriteAfter: hsWrote / 2}, wantErr: injected},
+		{name: "write-error-mid-batch", profile: faultnet.Profile{FailWriteAfter: midWrote}, wantErr: injected},
+		{name: "read-error-handshake", profile: faultnet.Profile{FailReadAfter: hsRead / 2}, wantErr: injected},
+		{name: "read-error-mid-batch", profile: faultnet.Profile{FailReadAfter: midRead}, wantErr: injected},
+		{name: "reset-handshake", profile: faultnet.Profile{ResetAfter: hsWrote / 2}, wantErr: reset},
+		{name: "reset-mid-batch", profile: faultnet.Profile{ResetAfter: midWrote}, wantErr: reset},
+		{name: "stall-handshake", profile: faultnet.Profile{StallAfter: hsWrote / 2}, wantErr: hardTimeout},
+		{name: "stall-mid-batch", profile: faultnet.Profile{StallAfter: midWrote}, wantErr: hardTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := quietServer(t, trainer)
+			srv.MessageDeadline = chaosOpts.MessageDeadline
+			runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
+				fc, err := transport.NewFastClassifyClientContext(t.Context(), rw, chaosOpts, rand.Reader)
+				if err != nil {
+					return err
+				}
+				got, err := fc.ClassifyBatchContext(t.Context(), samples)
+				if err != nil {
+					return err
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("silent wrong answer: sample %d got %d, want %d", i, got[i], want[i])
+					}
+				}
+				return fc.Close()
+			})
+			// Hard or benign, the session must be fully deregistered once
+			// the server goroutine ends — a mid-batch fault must not leak
+			// the slot (runChaos already joined serverDone).
+			if n := srv.ActiveSessions(); n != 0 {
+				t.Fatalf("%d session slots still held", n)
+			}
+		})
+	}
+}
+
+// TestChaosClassifyPipelined drives the pipelined client (several batches
+// in flight) through the mid-batch hard faults: typed errors, no hangs,
+// freed session slots.
+func TestChaosClassifyPipelined(t *testing.T) {
+	model, test := trainLinear(t, 76)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := test.X[:12]
+	want, err := classify.ClassifyBatch(trainer, samples, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsWrote, hsRead, totalWrote, totalRead := measureFastBatch(t, trainer, samples[:3])
+	_ = hsRead
+	midWrote := hsWrote + (totalWrote - hsWrote)
+	midRead := totalRead
+
+	injected := []error{faultnet.ErrInjected}
+	reset := []error{faultnet.ErrReset, faultnet.ErrClosed}
+	cases := []chaosCase{
+		{name: "latency", profile: faultnet.Profile{Latency: time.Millisecond, Jitter: time.Millisecond, Seed: 7}, wantOK: true},
+		{name: "write-error-mid-pipeline", profile: faultnet.Profile{FailWriteAfter: midWrote}, wantErr: injected},
+		{name: "read-error-mid-pipeline", profile: faultnet.Profile{FailReadAfter: midRead}, wantErr: injected},
+		{name: "reset-mid-pipeline", profile: faultnet.Profile{ResetAfter: midWrote}, wantErr: reset},
+		{name: "stall-mid-pipeline", profile: faultnet.Profile{StallAfter: midWrote}, wantErr: []error{transport.ErrTimeout}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := quietServer(t, trainer)
+			srv.MessageDeadline = chaosOpts.MessageDeadline
+			runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
+				fc, err := transport.NewFastClassifyClientContext(t.Context(), rw, chaosOpts, rand.Reader)
+				if err != nil {
+					return err
+				}
+				got, err := fc.ClassifyPipelined(t.Context(), samples, 3, 2)
+				if err != nil {
+					return err
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("silent wrong answer: sample %d got %d, want %d", i, got[i], want[i])
+					}
+				}
+				return fc.Close()
+			})
+			if n := srv.ActiveSessions(); n != 0 {
+				t.Fatalf("%d session slots still held", n)
 			}
 		})
 	}

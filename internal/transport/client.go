@@ -407,3 +407,192 @@ func DialKernelSimilarityContext(ctx context.Context, addr string, modelB *svm.M
 	}
 	return EvaluateKernelSimilarityContext(ctx, nc, modelB, opts, rng)
 }
+
+// ClassifyBatch runs B one-shot classifications in a single four-message
+// exchange (amortizing round trips; the per-sample crypto is unchanged).
+func (c *ClassifyClient) ClassifyBatch(samples [][]float64) ([]int, error) {
+	return c.ClassifyBatchContext(context.Background(), samples)
+}
+
+// ClassifyBatchContext is ClassifyBatch under ctx.
+func (c *ClassifyClient) ClassifyBatchContext(ctx context.Context, samples [][]float64) ([]int, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("transport: empty batch")
+	}
+	span := obs.Start(obs.PhaseClassifyBatch)
+	receivers := make([]*ompe.Receiver, len(samples))
+	req := &ClassifyBatchRequest{Evals: make([]*ompe.EvalRequest, len(samples))}
+	for i, sample := range samples {
+		receiver, eval, err := c.client.NewSession(sample, c.rand)
+		if err != nil {
+			return nil, fmt.Errorf("transport: batch sample %d: %w", i, err)
+		}
+		receivers[i] = receiver
+		req.Evals[i] = eval
+	}
+	results := make([]*big.Int, len(samples))
+	err := c.conn.RunContext(ctx, func() error {
+		if err := c.conn.Send(req); err != nil {
+			return err
+		}
+		setups, err := Recv[*ClassifyBatchSetups](c.conn)
+		if err != nil {
+			return err
+		}
+		if len(setups.Setups) != len(samples) {
+			return fmt.Errorf("transport: %d setups for %d samples", len(setups.Setups), len(samples))
+		}
+		choices := &ClassifyBatchChoices{Choices: make([]*batchChoice, len(samples))}
+		for i, setup := range setups.Setups {
+			choice, err := receivers[i].HandleSetup(setup, c.rand)
+			if err != nil {
+				return err
+			}
+			choices.Choices[i] = choice
+		}
+		if err := c.conn.Send(choices); err != nil {
+			return err
+		}
+		transfers, err := Recv[*ClassifyBatchTransfers](c.conn)
+		if err != nil {
+			return err
+		}
+		if len(transfers.Transfers) != len(samples) {
+			return fmt.Errorf("transport: %d transfers for %d samples", len(transfers.Transfers), len(samples))
+		}
+		for i, tr := range transfers.Transfers {
+			results[i], err = receivers[i].Finish(tr)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(results))
+	for i, result := range results {
+		label, err := c.client.Interpret(result)
+		if err != nil {
+			return nil, err
+		}
+		labels[i] = label
+	}
+	span.End()
+	obs.Add(obs.CtrClassifyBatches, 1)
+	obs.Add(obs.CtrClassifyQueries, int64(len(samples)))
+	obs.Observe(obs.HistBatchSize, int64(len(samples)))
+	return labels, nil
+}
+
+// ClassifyBatch runs B fast-path classifications in one message pair: all
+// B samples' choice bits ride a single OT-extension round.
+func (c *FastClassifyClient) ClassifyBatch(samples [][]float64) ([]int, error) {
+	return c.ClassifyBatchContext(context.Background(), samples)
+}
+
+// ClassifyBatchContext is ClassifyBatch under ctx.
+func (c *FastClassifyClient) ClassifyBatchContext(ctx context.Context, samples [][]float64) ([]int, error) {
+	span := obs.Start(obs.PhaseClassifyBatch)
+	batch, req, err := c.session.NewBatch(samples, c.rand)
+	if err != nil {
+		return nil, err
+	}
+	var resp *ompe.FastBatchResponse
+	err = c.conn.RunContext(ctx, func() error {
+		if err := c.conn.Send(req); err != nil {
+			return err
+		}
+		resp, err = Recv[*ompe.FastBatchResponse](c.conn)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := batch.Finish(resp)
+	if err != nil {
+		return nil, err
+	}
+	span.End()
+	obs.Add(obs.CtrClassifyBatches, 1)
+	obs.Add(obs.CtrClassifyQueries, int64(len(samples)))
+	obs.Observe(obs.HistBatchSize, int64(len(samples)))
+	return labels, nil
+}
+
+// ClassifyPipelined classifies all samples in batches of batchSize while
+// keeping up to inflight batches outstanding on the connection. Requests
+// are tagged with stream IDs; the server answers them in order (its
+// session worker is single-threaded), so the window advances one response
+// at a time while later batches are already on the wire — the round-trip
+// latency of a batch overlaps the server's crypto for its predecessors.
+func (c *FastClassifyClient) ClassifyPipelined(ctx context.Context, samples [][]float64, batchSize, inflight int) ([]int, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("transport: empty batch")
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	numBatches := (len(samples) + batchSize - 1) / batchSize
+	labels := make([]int, 0, len(samples))
+	err := c.conn.RunContext(ctx, func() error {
+		type openBatch struct {
+			batch  *classify.FastBatch
+			stream uint32
+			span   obs.Span
+		}
+		var open []openBatch
+		next := 0
+		for recvd := 0; recvd < numBatches; recvd++ {
+			for next < numBatches && len(open) < inflight {
+				lo := next * batchSize
+				hi := lo + batchSize
+				if hi > len(samples) {
+					hi = len(samples)
+				}
+				span := obs.Start(obs.PhaseClassifyBatch)
+				batch, req, err := c.session.NewBatch(samples[lo:hi], c.rand)
+				if err != nil {
+					return err
+				}
+				stream := uint32(next + 1)
+				if err := c.conn.SendStream(stream, req); err != nil {
+					return err
+				}
+				open = append(open, openBatch{batch: batch, stream: stream, span: span})
+				next++
+				obs.Observe(obs.HistInflightDepth, int64(len(open)))
+			}
+			payload, stream, err := c.conn.recvStreamAny()
+			if err != nil {
+				return err
+			}
+			resp, ok := payload.(*ompe.FastBatchResponse)
+			if !ok {
+				return fmt.Errorf("transport: unexpected message %T, want %T", payload, resp)
+			}
+			if stream != open[0].stream {
+				return fmt.Errorf("transport: response for stream %d, want %d", stream, open[0].stream)
+			}
+			part, err := open[0].batch.Finish(resp)
+			if err != nil {
+				return err
+			}
+			open[0].span.End()
+			open = open[1:]
+			labels = append(labels, part...)
+			obs.Add(obs.CtrClassifyBatches, 1)
+			obs.Add(obs.CtrClassifyQueries, int64(len(part)))
+			obs.Observe(obs.HistBatchSize, int64(len(part)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}

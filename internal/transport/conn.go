@@ -8,13 +8,16 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/classify"
@@ -24,12 +27,24 @@ import (
 	"repro/internal/similarity"
 )
 
-// envelope wraps every message with an error channel: a party that fails
-// mid-protocol reports the failure instead of going silent.
+// envelope wraps every message with an error channel (a party that fails
+// mid-protocol reports the failure instead of going silent) and a stream
+// ID correlating pipelined requests with their responses. Stream 0 is the
+// unpipelined default.
 type envelope struct {
 	Err     string
+	Stream  uint32
 	Payload any
 }
+
+// envPool recycles send-side envelopes; the decode side reuses one
+// per-conn envelope instead (the decoder is single-reader by contract).
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+// writeBufPool recycles per-conn write buffers: gob emits each message in
+// several small writes, and buffering them costs one pooled 32 KiB slab
+// instead of per-message syscalls and scratch allocations.
+var writeBufPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) }}
 
 var registerOnce sync.Once
 
@@ -53,7 +68,39 @@ func registerTypes() {
 		gob.Register(&ot.IKNPBaseTransfer{})
 		gob.Register(&ompe.FastRequest{})
 		gob.Register(&ompe.FastResponse{})
+		gob.Register(&ompe.FastBatchRequest{})
+		gob.Register(&ompe.FastBatchResponse{})
+		gob.Register(&ClassifyBatchRequest{})
+		gob.Register(&ClassifyBatchSetups{})
+		gob.Register(&ClassifyBatchChoices{})
+		gob.Register(&ClassifyBatchTransfers{})
 	})
+}
+
+// Slow-path (one-shot Naor–Pinkas) batch messages: B independent one-shot
+// sessions ride each envelope, so a batch costs the same four round trips
+// a single query does. The fast path batches deeper (ompe.FastBatchRequest
+// shares one OT-extension round); these exist so both client surfaces
+// offer ClassifyBatch.
+
+// ClassifyBatchRequest packs B one-shot evaluation requests.
+type ClassifyBatchRequest struct {
+	Evals []*ompe.EvalRequest
+}
+
+// ClassifyBatchSetups answers with B OT setups, in request order.
+type ClassifyBatchSetups struct {
+	Setups []*ot.BatchSetup
+}
+
+// ClassifyBatchChoices carries B OT choices, in request order.
+type ClassifyBatchChoices struct {
+	Choices []*ot.BatchChoice
+}
+
+// ClassifyBatchTransfers completes B transfers, in request order.
+type ClassifyBatchTransfers struct {
+	Transfers []*ot.BatchTransfer
 }
 
 // Hello opens a session and selects the service.
@@ -93,15 +140,34 @@ func wrapIO(op string, err error) error {
 	return fmt.Errorf("transport: %s: %w", op, err)
 }
 
-// Conn is a typed, framed protocol connection.
+// Conn is a typed, framed protocol connection. One goroutine may send
+// while another receives (the server's pipelined sessions do exactly
+// that), but sends must not race other sends, nor receives other
+// receives.
 type Conn struct {
 	rw  io.ReadWriteCloser
+	bw  *bufio.Writer
 	enc *gob.Encoder
 	dec *gob.Decoder
+
+	// recvEnv is the reused decode target. gob leaves fields absent from
+	// the wire untouched on decode, so every field is reset before reuse.
+	recvEnv envelope
 
 	// deadline, when non-zero, bounds each message exchange on net.Conn
 	// transports.
 	deadline time.Duration
+
+	// sendMu serializes encoder access between an in-flight send and
+	// Close's reclamation of the pooled write buffer. Protocol discipline
+	// already keeps application sends sequential; the mutex exists so a
+	// concurrent Close (e.g. RunContext cancellation, or a server tearing
+	// down while its worker reports an error) cannot return the buffer to
+	// the pool mid-flush.
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+	closeErr  error
+	closed    atomic.Bool
 }
 
 // deadliner matches net.Conn's deadline surface.
@@ -155,11 +221,16 @@ func countStream(rw io.ReadWriteCloser) io.ReadWriteCloser {
 	return countingStream{rw}
 }
 
-// NewConn wraps a byte stream in the typed message layer.
+// NewConn wraps a byte stream in the typed message layer. The gob
+// encoder/decoder pair is built once here — type descriptions cross the
+// wire once per connection, not once per message — and the write buffer
+// comes from a pool shared by all connections.
 func NewConn(rw io.ReadWriteCloser) *Conn {
 	registerTypes()
 	rw = countStream(rw)
-	return &Conn{rw: rw, enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+	bw := writeBufPool.Get().(*bufio.Writer)
+	bw.Reset(rw)
+	return &Conn{rw: rw, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(rw)}
 }
 
 // SetMessageDeadline bounds each subsequent Send/Recv when the underlying
@@ -176,10 +247,33 @@ func (c *Conn) arm() {
 	}
 }
 
-// Send transmits one message.
-func (c *Conn) Send(v any) error {
+// sendEnvelope encodes one envelope through the pooled write buffer and
+// flushes it as a single message.
+func (c *Conn) sendEnvelope(stream uint32, errStr string, v any) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
 	c.arm()
-	if err := c.enc.Encode(&envelope{Payload: v}); err != nil {
+	env := envPool.Get().(*envelope)
+	env.Stream, env.Err, env.Payload = stream, errStr, v
+	err := c.enc.Encode(env)
+	env.Stream, env.Err, env.Payload = 0, "", nil
+	envPool.Put(env)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	return err
+}
+
+// Send transmits one message on stream 0.
+func (c *Conn) Send(v any) error { return c.SendStream(0, v) }
+
+// SendStream transmits one message tagged with a stream ID, correlating
+// pipelined requests with their responses.
+func (c *Conn) SendStream(stream uint32, v any) error {
+	if err := c.sendEnvelope(stream, "", v); err != nil {
 		return wrapIO("send", err)
 	}
 	obs.Add(obs.CtrMsgsOut, 1)
@@ -188,26 +282,50 @@ func (c *Conn) Send(v any) error {
 
 // SendErr reports a protocol failure to the peer.
 func (c *Conn) SendErr(cause error) error {
+	return c.sendEnvelope(0, cause.Error(), nil)
+}
+
+// recvStreamAny receives the next message of any payload type along with
+// its stream ID.
+func (c *Conn) recvStreamAny() (any, uint32, error) {
 	c.arm()
-	return c.enc.Encode(&envelope{Err: cause.Error()})
+	// Reset before decode: gob omits zero-valued fields on the wire and
+	// leaves them untouched in the target, so stale values would leak
+	// between messages otherwise.
+	c.recvEnv.Err, c.recvEnv.Stream, c.recvEnv.Payload = "", 0, nil
+	if err := c.dec.Decode(&c.recvEnv); err != nil {
+		return nil, 0, wrapIO("recv", err)
+	}
+	obs.Add(obs.CtrMsgsIn, 1)
+	if c.recvEnv.Err != "" {
+		return nil, c.recvEnv.Stream, fmt.Errorf("%w: %s", ErrRemote, c.recvEnv.Err)
+	}
+	return c.recvEnv.Payload, c.recvEnv.Stream, nil
 }
 
 // recvAny receives the next message of any payload type.
 func (c *Conn) recvAny() (any, error) {
-	c.arm()
-	var env envelope
-	if err := c.dec.Decode(&env); err != nil {
-		return nil, wrapIO("recv", err)
-	}
-	obs.Add(obs.CtrMsgsIn, 1)
-	if env.Err != "" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, env.Err)
-	}
-	return env.Payload, nil
+	payload, _, err := c.recvStreamAny()
+	return payload, err
 }
 
-// Close closes the underlying stream.
-func (c *Conn) Close() error { return c.rw.Close() }
+// Close closes the underlying stream and returns the write buffer to the
+// pool. Unflushed bytes are dropped — a session that matters has already
+// flushed via Send.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		// Close the stream before taking sendMu: an in-flight send blocked
+		// in Flush is unblocked by the close (its write errors out), so
+		// Close never deadlocks behind a stalled peer.
+		c.closeErr = c.rw.Close()
+		c.sendMu.Lock()
+		c.bw.Reset(io.Discard)
+		writeBufPool.Put(c.bw)
+		c.sendMu.Unlock()
+	})
+	return c.closeErr
+}
 
 // RunContext runs one blocking exchange (fn issues Send/Recv calls on c)
 // under ctx. On cancellation the connection's deadline is forced into the

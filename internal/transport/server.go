@@ -290,6 +290,10 @@ func (s *Server) serveClassify(conn *Conn) error {
 			if err := conn.Send(tr); err != nil {
 				return err
 			}
+		case *ClassifyBatchRequest:
+			if err := s.serveClassifyBatch(conn, msg); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("transport: unexpected message %T", payload)
 		}
@@ -418,8 +422,65 @@ func (s *Server) serveKernelSimilarity(conn *Conn) error {
 	return nil
 }
 
+// serveClassifyBatch answers one slow-path batch: B one-shot senders, one
+// envelope per protocol step. Senders draw randomness in sample order, so
+// a fixed server rng still yields deterministic wire bytes.
+func (s *Server) serveClassifyBatch(conn *Conn, req *ClassifyBatchRequest) error {
+	if len(req.Evals) == 0 {
+		return fmt.Errorf("transport: empty classify batch")
+	}
+	obs.Observe(obs.HistBatchSize, int64(len(req.Evals)))
+	senders := make([]*ompe.Sender, len(req.Evals))
+	setups := &ClassifyBatchSetups{Setups: make([]*batchSetup, len(req.Evals))}
+	for i, eval := range req.Evals {
+		sender, err := s.trainer.NewSession()
+		if err != nil {
+			return err
+		}
+		setup, err := sender.HandleRequest(eval, s.Rand)
+		if err != nil {
+			return fmt.Errorf("transport: batch sample %d: %w", i, err)
+		}
+		senders[i] = sender
+		setups.Setups[i] = setup
+	}
+	if err := conn.Send(setups); err != nil {
+		return err
+	}
+	choices, err := Recv[*ClassifyBatchChoices](conn)
+	if err != nil {
+		return err
+	}
+	if len(choices.Choices) != len(senders) {
+		return fmt.Errorf("transport: %d choices for batch of %d", len(choices.Choices), len(senders))
+	}
+	transfers := &ClassifyBatchTransfers{Transfers: make([]*batchTransfer, len(senders))}
+	for i, choice := range choices.Choices {
+		tr, err := senders[i].HandleChoice(choice, s.Rand)
+		if err != nil {
+			return fmt.Errorf("transport: batch sample %d: %w", i, err)
+		}
+		transfers.Transfers[i] = tr
+	}
+	return conn.Send(transfers)
+}
+
+// fastJob is one queued fast-session request with its stream tag.
+type fastJob struct {
+	stream  uint32
+	payload any
+}
+
+// fastJobQueue bounds how many pipelined requests the session worker
+// buffers; past this the reader applies backpressure by not reading.
+const fastJobQueue = 64
+
 // serveClassifyFast runs an IKNP fast session: one base phase, then any
-// number of two-message classification queries until Done or EOF.
+// number of two-message classification queries or batches until Done or
+// EOF. A reader goroutine keeps draining requests while a single worker
+// evaluates them in arrival order — pipelined clients are never blocked on
+// the server's crypto, and FIFO answering keeps the OT-extension batch
+// counters in lockstep.
 func (s *Server) serveClassifyFast(conn *Conn) error {
 	spec := s.trainer.Spec()
 	if err := conn.Send(&spec); err != nil {
@@ -443,24 +504,77 @@ func (s *Server) serveClassifyFast(conn *Conn) error {
 	if err := fast.FinishBase(baseTr); err != nil {
 		return err
 	}
+
+	jobs := make(chan fastJob, fastJobQueue)
+	workerErr := make(chan error, 1)
+	go func() {
+		err := s.runFastWorker(conn, fast, jobs)
+		if err != nil {
+			// Report to the peer now rather than after session teardown:
+			// the client abandons the session and closes, which also
+			// unblocks this session's reader.
+			_ = conn.SendErr(err)
+		}
+		workerErr <- err
+		// Keep draining so the reader's send never blocks after a failure.
+		for range jobs {
+		}
+	}()
+
+	var readErr error
+readLoop:
 	for {
-		payload, err := conn.recvAny()
+		select {
+		case werr := <-workerErr:
+			close(jobs)
+			return werr
+		default:
+		}
+		payload, stream, err := conn.recvStreamAny()
+		if err != nil {
+			readErr = err
+			break
+		}
+		switch payload.(type) {
+		case *Done:
+			break readLoop
+		case *ompe.FastRequest, *ompe.FastBatchRequest:
+			jobs <- fastJob{stream: stream, payload: payload}
+		default:
+			readErr = fmt.Errorf("transport: unexpected message %T", payload)
+			break readLoop
+		}
+	}
+	close(jobs)
+	werr := <-workerErr
+	if readErr != nil {
+		return readErr
+	}
+	return werr
+}
+
+// runFastWorker evaluates queued fast-session jobs in FIFO order, sending
+// each response tagged with its request's stream ID. It returns on the
+// first failure or when the job channel closes.
+func (s *Server) runFastWorker(conn *Conn, fast *classify.FastTrainer, jobs <-chan fastJob) error {
+	for j := range jobs {
+		var err error
+		switch msg := j.payload.(type) {
+		case *ompe.FastRequest:
+			var resp *ompe.FastResponse
+			if resp, err = fast.HandleQuery(msg, s.Rand); err == nil {
+				err = conn.SendStream(j.stream, resp)
+			}
+		case *ompe.FastBatchRequest:
+			obs.Observe(obs.HistBatchSize, int64(len(msg.Evals)))
+			var resp *ompe.FastBatchResponse
+			if resp, err = fast.HandleBatch(msg, s.Rand); err == nil {
+				err = conn.SendStream(j.stream, resp)
+			}
+		}
 		if err != nil {
 			return err
 		}
-		switch msg := payload.(type) {
-		case *Done:
-			return nil
-		case *ompe.FastRequest:
-			resp, err := fast.HandleQuery(msg, s.Rand)
-			if err != nil {
-				return err
-			}
-			if err := conn.Send(resp); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("transport: unexpected message %T", payload)
-		}
 	}
+	return nil
 }
