@@ -2,7 +2,8 @@
 # one-shot smoke run of the parallelism sweeps. fuzz-smoke runs the fuzz
 # targets briefly (CI runs it as a separate job).
 .PHONY: check vet build test bench-smoke bench fuzz-smoke \
-	lint cover bench-json bench-json-batch bench-update tidy-check
+	lint cover bench-json bench-json-batch bench-json-fieldsweep \
+	bench-update tidy-check
 
 check: vet build test bench-smoke
 
@@ -24,6 +25,7 @@ bench:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzConnRecv -fuzztime=10s ./internal/transport
 	go test -run='^$$' -fuzz=FuzzFromBytes -fuzztime=10s ./internal/field
+	go test -run='^$$' -fuzz=FuzzLimbVsBig -fuzztime=10s ./internal/field/limb
 
 # lint runs golangci-lint (config in .golangci.yml). CI installs it via
 # the official action; locally it needs the binary on PATH.
@@ -38,26 +40,42 @@ cover:
 
 # bench-json emits the schema-stable BENCH_*.json document on the pinned
 # workload the CI regression gate compares against bench_baseline.json.
-# Flag changes here must be mirrored into a regenerated baseline.
+# It stays on the legacy engines (math/big field, MODP base OT) so the
+# regression gate keeps covering that path now that batched serving runs
+# on the fast pair. Flag changes here must be mirrored into a regenerated
+# baseline.
 bench-json:
 	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json bench
 
 # bench-json-batch emits the batched fast-session workload document on the
-# pinned config (same dataset/group/seed as the serial baseline; batch=64,
-# inflight=2). CI compares it against the committed
-# BENCH_classify_batch.json with the same 20% gate.
+# pinned config: the fast engine pair (limb field backend, x25519 base OT),
+# batch=64, inflight=2. queries=2048 so the post-handshake wall is long
+# enough to measure steady-state throughput (at these speeds a 128-query
+# run finishes in ~10ms and the number is scheduler noise). CI compares it
+# against the committed BENCH_classify_batch.json with the same 20% gate.
 bench-json-batch:
-	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 128 -batch 64 -inflight 2 \
+	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -parallelism 1 \
+		-queries 2048 -batch 64 -inflight 2 \
 		-json -out BENCH_classify_batch.current.json bench
 
-# bench-update regenerates both committed baselines in place with the
+# bench-json-fieldsweep emits the field-backend × OT-group comparison table
+# (BENCH_field_backends.json): the batched workload across
+# {big,limb} × {modp512-test,x25519} plus the limb+x25519 speedups.
+bench-json-fieldsweep:
+	go run ./cmd/ppdc-bench -parallelism 1 -queries 1024 -batch 64 -inflight 2 \
+		-json -out BENCH_field_backends.current.json fieldsweep
+
+# bench-update regenerates the committed baselines in place with the
 # exact pinned flags (deterministic workload; wall times reflect the
 # machine it runs on). Run it when a change legitimately moves protocol
 # cost, then commit the refreshed documents.
 bench-update:
 	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json -out bench_baseline.json bench
-	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 128 -batch 64 -inflight 2 \
+	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -parallelism 1 \
+		-queries 2048 -batch 64 -inflight 2 \
 		-json -out BENCH_classify_batch.json bench
+	go run ./cmd/ppdc-bench -parallelism 1 -queries 1024 -batch 64 -inflight 2 \
+		-json -out BENCH_field_backends.json fieldsweep
 
 tidy-check:
 	go mod tidy -diff

@@ -384,7 +384,7 @@ func BenchmarkAblation_CoverFactor(b *testing.B) {
 func BenchmarkAblation_OTGroupBits(b *testing.B) {
 	f := setup(b)
 	sample := f.diabetesTest.X[0]
-	groups := []*ot.Group{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
+	groups := []ot.Group{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
 	for _, g := range groups {
 		b.Run(g.Name(), func(b *testing.B) {
 			trainer, client := benchTrainer(b, f.linModel, classify.Params{Group: g})

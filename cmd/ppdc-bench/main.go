@@ -6,7 +6,7 @@
 //	ppdc-bench [flags] <experiment>
 //
 // where <experiment> is one of: table1, table2, fig5, fig6, fig7, fig8,
-// fig9, fig10, bench, compare, all.
+// fig9, fig10, bench, fieldsweep, compare, all.
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/field"
 	"repro/internal/ot"
 )
 
@@ -34,7 +35,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ppdc-bench", flag.ContinueOnError)
 	var (
 		seed      = fs.Uint64("seed", 1, "deterministic data seed")
-		group     = fs.String("group", "512", "OT group: 512 (toy/fast), 1024, 1536, 2048")
+		group     = fs.String("group", "512", "OT group: 512 (toy/fast), 1024, 1536, 2048, x25519")
+		backend   = fs.String("field-backend", "", "field arithmetic engine: big (default) or limb")
 		quick     = fs.Bool("quick", false, "subsample protocol-heavy experiments")
 		fullScale = fs.Bool("full", false, "use the paper's full test-set sizes")
 		csvPath   = fs.String("csv", "", "also write the experiment's series to a CSV file (single experiments only)")
@@ -53,18 +55,23 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need one experiment: table1, table2, fig5, fig6, fig7, fig8, fig8x, fig9, fig10, ablation, bench, compare, all")
+		return fmt.Errorf("need one experiment: table1, table2, fig5, fig6, fig7, fig8, fig8x, fig9, fig10, ablation, bench, fieldsweep, compare, all")
 	}
 	g, err := ot.GroupByName(*group)
 	if err != nil {
 		return err
 	}
+	fb, err := field.ResolveBackend(*backend)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
-		Seed:        *seed,
-		Group:       g,
-		Quick:       *quick,
-		FullScale:   *fullScale,
-		Parallelism: *par,
+		Seed:         *seed,
+		Group:        g,
+		Quick:        *quick,
+		FullScale:    *fullScale,
+		Parallelism:  *par,
+		FieldBackend: fb,
 	}
 	csvOut = *csvPath
 	if csvOut != "" && fs.Arg(0) == "all" {
@@ -93,6 +100,8 @@ func run(args []string) error {
 		return runAblations(opts)
 	case "bench":
 		return runBench(opts, *queries, *batch, *inflight, *jsonOut, *outPath)
+	case "fieldsweep":
+		return runFieldSweep(opts, *queries, *batch, *inflight, *jsonOut, *outPath)
 	case "compare":
 		return runCompare(*basePath, *curPath, *maxReg)
 	case "all":
@@ -426,6 +435,49 @@ func runBench(opts experiments.Options, queries, batch, inflight int, jsonOut bo
 			time.Duration(p.MeanNS).Round(time.Microsecond))
 	}
 	return w.Flush()
+}
+
+// runFieldSweep measures the batched classify workload across the
+// field-backend × OT-group grid and either prints the comparison table or,
+// with -json, writes the BENCH_field_backends.json document. The -group
+// and -field-backend flags are ignored: the sweep owns both axes.
+func runFieldSweep(opts experiments.Options, queries, batch, inflight int, jsonOut bool, outPath string) error {
+	if batch <= 0 {
+		batch = 64
+	}
+	doc, err := experiments.BenchFieldBackendSweep(opts, queries, batch, inflight)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if outPath == "" {
+			outPath = fmt.Sprintf("BENCH_%s.json", doc.Name)
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fieldsweep: limb+x25519 %.2fx qps, mask %.2fx, interpolate %.2fx vs big+modp512-test (document written to %s)\n",
+			doc.QPSSpeedup, doc.SenderMaskSpeedup, doc.ReceiverInterpolateSpeedup, outPath)
+		return nil
+	}
+	fmt.Printf("Field backend sweep: %s, %d queries, batch %d, inflight %d, parallelism %d, seed %d\n",
+		doc.Dataset, doc.Queries, doc.BatchSize, doc.Inflight, doc.Parallelism, doc.Seed)
+	w := newTable("backend\tgroup\tqps\tmask mean\tinterpolate mean")
+	for _, c := range doc.Combos {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%v\t%v\n", c.FieldBackend, c.Group, c.ThroughputQPS,
+			time.Duration(c.PhaseMeansNS["ompe.sender.mask_ns"]).Round(time.Microsecond),
+			time.Duration(c.PhaseMeansNS["ompe.receiver.interpolate_ns"]).Round(time.Microsecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("limb+x25519 vs big+modp512-test: %.2fx qps, %.2fx sender mask, %.2fx receiver interpolate\n",
+		doc.QPSSpeedup, doc.SenderMaskSpeedup, doc.ReceiverInterpolateSpeedup)
+	return nil
 }
 
 // runCompare gates a fresh bench document against the committed

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/transport"
@@ -41,12 +42,13 @@ func run(args []string) error {
 	mode := args[0]
 	fs := flag.NewFlagSet("ppdc-client "+mode, flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:7707", "trainer address")
-		sample = fs.String("sample", "", "comma-separated sample to classify")
-		dsName = fs.String("dataset", "diabetes", "synthetic dataset for test samples / own model")
-		n      = fs.Int("n", 5, "number of test samples to classify")
-		seed   = fs.Uint64("seed", 2, "synthetic data seed (client side)")
+		addr     = fs.String("addr", "127.0.0.1:7707", "trainer address")
+		sample   = fs.String("sample", "", "comma-separated sample to classify")
+		dsName   = fs.String("dataset", "diabetes", "synthetic dataset for test samples / own model")
+		n        = fs.Int("n", 5, "number of test samples to classify")
+		seed     = fs.Uint64("seed", 2, "synthetic data seed (client side)")
 		fast     = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
+		backend  = fs.String("field-backend", "", "field engine to request: limb (default) or big; the session falls back to big unless the trainer supports limb")
 		batch    = fs.Int("batch", 0, "samples per batched request (0 = one request per sample)")
 		inflight = fs.Int("inflight", 1, "batches kept in flight on the connection (with -batch and -fast)")
 
@@ -68,10 +70,14 @@ func run(args []string) error {
 		defer func() { _ = msrv.Close() }()
 		fmt.Printf("metrics and pprof on http://%s/metrics\n", maddr)
 	}
+	if _, err := field.ResolveBackend(*backend); err != nil {
+		return err
+	}
 	opts := transport.Options{
 		DialTimeout:     *timeout,
 		MessageDeadline: *msgDeadline,
 		MaxAttempts:     *retries,
+		FieldBackend:    *backend,
 	}
 	if *msgDeadline <= 0 {
 		opts.MessageDeadline = transport.NoDeadline

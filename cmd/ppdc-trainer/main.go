@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/similarity"
@@ -50,7 +51,8 @@ func run(args []string) error {
 		dsName     = fs.String("dataset", "diabetes", "synthetic dataset to train on (see catalog)")
 		dataFile   = fs.String("data", "", "train on a LIBSVM-format file instead of synthetic data")
 		kernelName = fs.String("kernel", "linear", "kernel: linear or poly")
-		groupName  = fs.String("group", "2048", "OT group: 512 (toy), 1024, 1536, 2048")
+		groupName  = fs.String("group", "2048", "OT group: 512 (toy), 1024, 1536, 2048, x25519")
+		backend    = fs.String("field-backend", "", "field arithmetic engine offered to clients: big (default) or limb")
 		seed       = fs.Uint64("seed", 1, "synthetic data seed")
 		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
 		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
@@ -75,6 +77,10 @@ func run(args []string) error {
 		log.Printf("metrics and pprof on http://%s/metrics", maddr)
 	}
 	group, err := ot.GroupByName(*groupName)
+	if err != nil {
+		return err
+	}
+	fieldBackend, err := field.ResolveBackend(*backend)
 	if err != nil {
 		return err
 	}
@@ -133,7 +139,7 @@ func run(args []string) error {
 		log.Printf("saved model to %s", *saveModel)
 	}
 
-	trainer, err := classify.NewTrainer(model, classify.Params{Group: group})
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: group, FieldBackend: fieldBackend})
 	if err != nil {
 		return err
 	}
@@ -149,14 +155,15 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv.EnableSimilarity(w, model.Bias, similarity.Params{Group: group})
+		srv.EnableSimilarity(w, model.Bias, similarity.Params{Group: group, FieldBackend: fieldBackend})
 		log.Printf("similarity service enabled")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving privacy-preserving classification on %s (OT group %s)", ln.Addr(), group.Name())
+	log.Printf("serving privacy-preserving classification on %s (OT group %s, field backend %s)",
+		ln.Addr(), group.Name(), fieldBackend)
 
 	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
 	// sessions finish for up to -drain-timeout, force-close the rest.

@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"repro/internal/field"
+	"repro/internal/field/limb"
 	"repro/internal/fixedpoint"
 	"repro/internal/kernel"
 	"repro/internal/mvpoly"
@@ -20,6 +21,10 @@ type evaluator struct {
 	degree   int  // total degree in protocol inputs
 	scaleExp uint // result scale exponent, in fracBits units
 	evalFn   func(z field.Vec) (*big.Int, error)
+	// evalLimbFn is the fixed-width twin of evalFn, attached by the
+	// builders whenever the protocol field is 2^255−19 (see
+	// evaluator_limb.go); nil means EvalLimb falls back through math/big.
+	evalLimbFn func(z []limb.Element, out *limb.Element) error
 }
 
 func (e *evaluator) NumVars() int { return e.numVars }
@@ -44,7 +49,7 @@ func buildLinearEvaluator(codec *fixedpoint.Codec, w []float64, b float64) (*eva
 		return nil, fmt.Errorf("classify: encode bias: %w", err)
 	}
 	n := len(w)
-	return &evaluator{
+	ev := &evaluator{
 		numVars:  n,
 		degree:   1,
 		scaleExp: 2,
@@ -58,7 +63,13 @@ func buildLinearEvaluator(codec *fixedpoint.Codec, w []float64, b float64) (*eva
 			}
 			return f.Add(dot, encB), nil
 		},
-	}, nil
+	}
+	if f.SupportsLimb() {
+		if err := attachLinearLimb(ev, encW, encB); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
 }
 
 // buildPolyDirectEvaluator encodes the kernel-form polynomial decision
@@ -100,7 +111,7 @@ func buildPolyDirectEvaluator(codec *fixedpoint.Codec, m *svm.Model) (*evaluator
 	}
 
 	n := m.Dim
-	return &evaluator{
+	ev := &evaluator{
 		numVars:  n,
 		degree:   p,
 		scaleExp: scaleExp,
@@ -123,7 +134,13 @@ func buildPolyDirectEvaluator(codec *fixedpoint.Codec, m *svm.Model) (*evaluator
 			}
 			return acc, nil
 		},
-	}, nil
+	}
+	if f.SupportsLimb() {
+		if err := attachPolyDirectLimb(ev, encA0X, encB0, encAlphaY, encBias, p); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
 }
 
 // buildExpandedEvaluator linearizes a polynomial-kernel model over its τ
@@ -187,7 +204,7 @@ func buildRBFEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*evalu
 	two := big.NewInt(2)
 
 	n := m.Dim
-	return &evaluator{
+	ev := &evaluator{
 		numVars:  n,
 		degree:   2 * terms,
 		scaleExp: scaleExp,
@@ -214,7 +231,13 @@ func buildRBFEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*evalu
 			}
 			return acc, nil
 		},
-	}, nil
+	}
+	if f.SupportsLimb() {
+		if err := attachRBFLimb(ev, encX, encNorm, encCoeff, encBias); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
 }
 
 // buildSigmoidEvaluator encodes the Taylor-truncated sigmoid decision
@@ -261,7 +284,7 @@ func buildSigmoidEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*e
 	}
 
 	n := m.Dim
-	return &evaluator{
+	ev := &evaluator{
 		numVars:  n,
 		degree:   2*terms - 1,
 		scaleExp: scaleExp,
@@ -285,7 +308,13 @@ func buildSigmoidEvaluator(codec *fixedpoint.Codec, m *svm.Model, terms int) (*e
 			}
 			return acc, nil
 		},
-	}, nil
+	}
+	if f.SupportsLimb() {
+		if err := attachSigmoidLimb(ev, encA0X, encCoeff, encC0, encBias); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
 }
 
 // buildEvaluator dispatches on the model's kernel and the protocol mode.

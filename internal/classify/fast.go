@@ -54,11 +54,16 @@ func NewFastClient(spec Spec, rng io.Reader) (*FastClient, *ot.IKNPBaseSetup, er
 // NewFastSession opens the trainer side of a fast session from a client's
 // base setup, returning the base choice message.
 func (t *Trainer) NewFastSession(setup *ot.IKNPBaseSetup, rng io.Reader) (*FastTrainer, *ot.IKNPBaseChoice, error) {
-	params, err := t.spec.OMPEParams()
+	return t.NewFastSessionFor(t.spec, setup, rng)
+}
+
+// NewFastSessionFor opens the trainer side of a fast session bound to a
+// negotiated session spec (normally the result of SessionSpec).
+func (t *Trainer) NewFastSessionFor(spec Spec, setup *ot.IKNPBaseSetup, rng io.Reader) (*FastTrainer, *ot.IKNPBaseChoice, error) {
+	params, err := t.sessionParams(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	params.Parallelism = t.params.Parallelism
 	session, choice, err := ompe.NewSessionSenderBase(params, t.eval, setup, rng)
 	if err != nil {
 		return nil, nil, err

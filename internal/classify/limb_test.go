@@ -1,0 +1,256 @@
+package classify_test
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/field"
+	"repro/internal/ot"
+	"repro/internal/svm"
+)
+
+func limbParams() classify.Params {
+	p := fastParams()
+	p.FieldBackend = field.BackendLimb
+	return p
+}
+
+func TestLimbTrainerPinsFieldAndAdvertisesBackend(t *testing.T) {
+	model, _ := trainSmall(t, svm.Linear(), 1)
+	trainer, err := classify.NewTrainer(model, limbParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := trainer.Spec()
+	if spec.FieldBits != 255 {
+		t.Fatalf("limb trainer picked a %d-bit field, want 255", spec.FieldBits)
+	}
+	if spec.FieldBackend != string(field.BackendLimb) {
+		t.Fatalf("spec advertises backend %q, want %q", spec.FieldBackend, field.BackendLimb)
+	}
+
+	big, err := classify.NewTrainer(model, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.Spec().FieldBackend; got != "" {
+		t.Fatalf("math/big trainer advertises backend %q, want empty", got)
+	}
+}
+
+func TestSessionSpecNegotiation(t *testing.T) {
+	model, _ := trainSmall(t, svm.Linear(), 1)
+	limbTrainer, err := classify.NewTrainer(model, limbParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigTrainer, err := classify.NewTrainer(model, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := limbTrainer.SessionSpec(field.BackendLimb).FieldBackend; got != string(field.BackendLimb) {
+		t.Fatalf("limb trainer + limb request granted %q, want limb", got)
+	}
+	if got := limbTrainer.SessionSpec("").FieldBackend; got != "" {
+		t.Fatalf("limb trainer + default request granted %q, want big path", got)
+	}
+	if got := limbTrainer.SessionSpec(field.BackendBig).FieldBackend; got != "" {
+		t.Fatalf("limb trainer + big request granted %q, want big path", got)
+	}
+	if got := bigTrainer.SessionSpec(field.BackendLimb).FieldBackend; got != "" {
+		t.Fatalf("big trainer + limb request granted %q, want big path", got)
+	}
+}
+
+func TestNewSessionForRejectsForeignSpec(t *testing.T) {
+	model, _ := trainSmall(t, svm.Linear(), 1)
+	trainer, err := classify.NewTrainer(model, limbParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := trainer.Spec()
+	spec.MaskDegree++
+	if _, err := trainer.NewSessionFor(spec); err == nil {
+		t.Fatal("divergent spec accepted")
+	}
+	spec = trainer.Spec()
+	spec.FieldBackend = "vector"
+	if _, err := trainer.NewSessionFor(spec); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// requireLimbAgreement runs the same samples through a limb-backend trainer
+// and a math/big one over the identical model and asserts both reproduce
+// the plaintext label.
+func requireLimbAgreement(t *testing.T, k svm.Kernel, c float64, mutate func(*classify.Params)) {
+	t.Helper()
+	model, test := trainSmall(t, k, c)
+
+	lp := limbParams()
+	if mutate != nil {
+		mutate(&lp)
+	}
+	limbTrainer, err := classify.NewTrainer(model, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limbClient, err := classify.NewClient(limbTrainer.SessionSpec(field.BackendLimb))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for i, sample := range test.X {
+		d, err := model.Decision(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d) < 1e-6 {
+			continue
+		}
+		want := 1
+		if d < 0 {
+			want = -1
+		}
+		got, err := classify.ClassifyWith(limbTrainer, limbClient, sample, rand.Reader)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("sample %d: limb label %d, plaintext %d (d=%g)", i, got, want, d)
+		}
+		checked++
+		if checked >= 8 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no samples checked")
+	}
+}
+
+func TestLimbLinearMatchesPlaintext(t *testing.T) {
+	requireLimbAgreement(t, svm.Linear(), 1, nil)
+}
+
+func TestLimbPolyDirectMatchesPlaintext(t *testing.T) {
+	// The direct degree-2 protocol needs 267 bits at the auto precision;
+	// trimming FracBits keeps it inside the limb backend's 255-bit cap.
+	requireLimbAgreement(t, svm.PaperPolynomial(8), 100, func(p *classify.Params) {
+		p.FracBits = 16
+	})
+}
+
+func TestLimbRejectsOversizedProtocol(t *testing.T) {
+	model, _ := trainSmall(t, svm.PaperPolynomial(8), 100)
+	if _, err := classify.NewTrainer(model, limbParams()); err == nil {
+		t.Fatal("limb trainer accepted a protocol needing more than 255 bits")
+	}
+}
+
+func TestLimbPolyExpandedMatchesPlaintext(t *testing.T) {
+	requireLimbAgreement(t, svm.PaperPolynomial(8), 100, func(p *classify.Params) {
+		p.Mode = classify.ModeExpanded
+	})
+}
+
+func TestLimbRBFMatchesBigLabels(t *testing.T) {
+	model, test := trainSmall(t, svm.RBF(0.05), 100)
+
+	lp := limbParams()
+	lp.FracBits = 16
+	limbTrainer, err := classify.NewTrainer(model, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := fastParams()
+	bp.FracBits = 16
+	bigTrainer, err := classify.NewTrainer(model, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limbClient, err := classify.NewClient(limbTrainer.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigClient, err := classify.NewClient(bigTrainer.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sample := range test.X[:6] {
+		lg, err := classify.ClassifyWith(limbTrainer, limbClient, sample, rand.Reader)
+		if err != nil {
+			t.Fatalf("limb sample %d: %v", i, err)
+		}
+		bg, err := classify.ClassifyWith(bigTrainer, bigClient, sample, rand.Reader)
+		if err != nil {
+			t.Fatalf("big sample %d: %v", i, err)
+		}
+		if lg != bg {
+			t.Fatalf("sample %d: limb label %d, big label %d", i, lg, bg)
+		}
+	}
+}
+
+// TestLimbFastBatchOverX25519 exercises the full fast-session stack on the
+// target production configuration: limb field backend + X25519 base OT.
+func TestLimbFastBatchOverX25519(t *testing.T) {
+	model, test := trainSmall(t, svm.Linear(), 1)
+	p := limbParams()
+	p.Group = ot.X25519()
+	trainer, err := classify.NewTrainer(model, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := trainer.SessionSpec(field.BackendLimb)
+	fc, setup, err := classify.NewFastClient(spec, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, choice, err := trainer.NewFastSessionFor(spec, setup, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fc.FinishBase(choice, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.FinishBase(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := make([][]float64, 0, 8)
+	want := make([]int, 0, 8)
+	for _, sample := range test.X {
+		d, err := model.Decision(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d) < 1e-6 {
+			continue
+		}
+		label := 1
+		if d < 0 {
+			label = -1
+		}
+		samples = append(samples, sample)
+		want = append(want, label)
+		if len(samples) == 8 {
+			break
+		}
+	}
+	got, err := classify.ClassifyFastBatch(ft, fc, samples, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: batch label %d, plaintext %d", i, got[i], want[i])
+		}
+	}
+}

@@ -58,7 +58,13 @@ type Params struct {
 	// AmplifierBits bounds the fresh amplifier r_a (default 64).
 	AmplifierBits int
 	// Group is the oblivious-transfer group (default ot.Group2048).
-	Group *ot.Group
+	Group ot.Group
+	// FieldBackend selects the field-arithmetic engine (zero value: the
+	// math/big path). field.BackendLimb pins the protocol field to
+	// 2^255−19 and runs every per-query hot loop on fixed-width limb
+	// elements; sessions from clients that do not request it still run on
+	// math/big over the same field, so one trainer serves both.
+	FieldBackend field.Backend
 	// FracBits is the fixed-point precision (0 = auto from the protocol
 	// degree so the field stays within the built-in primes).
 	FracBits uint
@@ -111,6 +117,9 @@ func (p Params) Validate() error {
 	case p.TaylorTerms < 1:
 		return fmt.Errorf("classify: taylor terms %d", p.TaylorTerms)
 	}
+	if err := p.FieldBackend.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -142,7 +151,19 @@ func resolveCodec(p Params, scaleExp uint, valueBound float64) (*fixedpoint.Code
 	}
 	valueBits := int(math.Ceil(math.Log2(valueBound+1))) + 1
 	need := int(fracBits)*int(scaleExp) + valueBits + p.AmplifierBits + 24
-	f, err := field.ByBits(need)
+	var f *field.Field
+	var err error
+	if p.FieldBackend.OrDefault() == field.BackendLimb {
+		// The limb backend computes in 2^255−19 only, so pin that field
+		// even when a smaller prime would do; protocols needing more
+		// headroom cannot run on it.
+		if need > 255 {
+			return nil, fmt.Errorf("classify: limb backend caps the field at 255 bits, protocol needs %d", need)
+		}
+		f, err = field.NewFromHex(field.P25519Hex)
+	} else {
+		f, err = field.ByBits(need)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("classify: protocol needs %d-bit field: %w", need, err)
 	}

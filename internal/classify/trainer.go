@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/field"
 	"repro/internal/fixedpoint"
 	"repro/internal/mvpoly"
 	"repro/internal/ompe"
@@ -35,6 +36,13 @@ type Spec struct {
 	FracBits uint
 	// GroupName identifies the OT group (ot.GroupByName).
 	GroupName string
+	// FieldBackend names the field-arithmetic engine for this session
+	// ("limb" or empty for math/big). Trainers advertise it when they
+	// were built with the limb backend; session handshakes clear it for
+	// clients that do not request it, so legacy peers — whose gob
+	// decoders simply drop the unknown field — interoperate unchanged on
+	// the math/big path.
+	FieldBackend string
 }
 
 // Codec reconstructs the protocol codec from the spec.
@@ -60,6 +68,10 @@ func (s Spec) OMPEParams() (ompe.Params, error) {
 	if err != nil {
 		return ompe.Params{}, err
 	}
+	backend, err := field.ResolveBackend(s.FieldBackend)
+	if err != nil {
+		return ompe.Params{}, err
+	}
 	return ompe.Params{
 		Field:         codec.Field(),
 		PolyDegree:    degree,
@@ -67,6 +79,7 @@ func (s Spec) OMPEParams() (ompe.Params, error) {
 		CoverFactor:   s.CoverFactor,
 		AmplifierBits: s.AmplifierBits,
 		Group:         group,
+		Backend:       backend,
 	}, nil
 }
 
@@ -130,9 +143,24 @@ func NewTrainer(model *svm.Model, params Params) (*Trainer, error) {
 			FieldBits:     codec.Field().Bits(),
 			FracBits:      codec.FracBits(),
 			GroupName:     params.Group.Name(),
+			FieldBackend:  advertiseBackend(params.FieldBackend),
 		},
 	}
 	return t, nil
+}
+
+// SessionSpec resolves the spec for one session given the backend a client
+// requested in its hello. The limb backend is granted only when both sides
+// support it — the client asked for it and this trainer was built with it;
+// every other combination falls back to the math/big path over the same
+// field, so the wire format and the result are unchanged.
+func (t *Trainer) SessionSpec(requested field.Backend) Spec {
+	spec := t.spec
+	if requested.OrDefault() != field.BackendLimb ||
+		field.Backend(t.spec.FieldBackend).OrDefault() != field.BackendLimb {
+		spec.FieldBackend = ""
+	}
+	return spec
 }
 
 // Spec returns the public protocol contract for clients.
@@ -145,15 +173,51 @@ func (t *Trainer) Model() *svm.Model { return t.model }
 // query, with a fresh amplifier (or a pinned unit amplifier when the
 // insecure attack-demo knob is set).
 func (t *Trainer) NewSession() (*ompe.Sender, error) {
-	params, err := t.spec.OMPEParams()
+	return t.NewSessionFor(t.spec)
+}
+
+// NewSessionFor opens a one-shot OMPE sender bound to a negotiated session
+// spec (normally the result of SessionSpec). The spec selects the field
+// backend; everything else must match the trainer's own contract.
+func (t *Trainer) NewSessionFor(spec Spec) (*ompe.Sender, error) {
+	params, err := t.sessionParams(spec)
 	if err != nil {
 		return nil, err
 	}
-	params.Parallelism = t.params.Parallelism
 	if t.params.InsecureUnitAmplifier {
 		return ompe.NewSender(params, t.eval, ompe.WithAmplifier(big.NewInt(1)))
 	}
 	return ompe.NewSender(params, t.eval)
+}
+
+// sessionParams derives the trainer-side OMPE parameters for a session
+// spec, rejecting specs that diverge from the published contract anywhere
+// but the negotiable field backend.
+func (t *Trainer) sessionParams(spec Spec) (ompe.Params, error) {
+	contract := spec
+	contract.FieldBackend = t.spec.FieldBackend
+	if contract != t.spec {
+		return ompe.Params{}, fmt.Errorf("classify: session spec does not match the trainer's contract")
+	}
+	if spec.FieldBackend != "" && spec.FieldBackend != t.spec.FieldBackend {
+		return ompe.Params{}, fmt.Errorf("classify: trainer cannot serve the %q field backend", spec.FieldBackend)
+	}
+	params, err := spec.OMPEParams()
+	if err != nil {
+		return ompe.Params{}, err
+	}
+	params.Parallelism = t.params.Parallelism
+	return params, nil
+}
+
+// advertiseBackend maps a trainer backend to its spec encoding: "limb"
+// when the trainer runs limb arithmetic, empty for the default math/big
+// path (so legacy peers see a zero value).
+func advertiseBackend(b field.Backend) string {
+	if b.OrDefault() == field.BackendLimb {
+		return string(field.BackendLimb)
+	}
+	return ""
 }
 
 // fieldByExactBits resolves a built-in field and verifies the bit width

@@ -1,0 +1,33 @@
+// Package entropy amortizes operating-system entropy reads. The
+// protocols draw randomness a few dozen bytes at a time (field elements,
+// OT seeds, subset indices), and each read of crypto/rand.Reader is a
+// getrandom call — several percent of a batched classification's CPU
+// budget goes to that syscall alone. Buffering turns thousands of small
+// reads into a few page-sized ones.
+package entropy
+
+import (
+	"bufio"
+	"crypto/rand"
+	"io"
+)
+
+// bufSize is one page of buffered entropy: large enough to amortize the
+// syscall across hundreds of field-element draws, small enough to be
+// cheap per session.
+const bufSize = 4096
+
+// Buffered wraps the process entropy source in a read buffer. Only the
+// exact crypto/rand.Reader is wrapped: any other reader is returned
+// unchanged, because deterministic test streams must not have their read
+// sizes altered and callers may rely on their own reader's concurrency
+// guarantees.
+//
+// The returned reader is NOT safe for concurrent use — give each
+// connection or protocol endpoint its own, never a shared one.
+func Buffered(rng io.Reader) io.Reader {
+	if rng == rand.Reader {
+		return bufio.NewReaderSize(rand.Reader, bufSize)
+	}
+	return rng
+}

@@ -1,0 +1,33 @@
+package entropy_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"testing"
+
+	"repro/internal/entropy"
+)
+
+// TestBufferedWrapsOnlyCryptoRand pins the contract: the exact
+// crypto/rand.Reader gets a buffering wrapper, every other source (test
+// rngs whose byte streams the protocols replay for determinism) passes
+// through untouched.
+func TestBufferedWrapsOnlyCryptoRand(t *testing.T) {
+	det := bytes.NewReader(make([]byte, 64))
+	if got := entropy.Buffered(det); got != io.Reader(det) {
+		t.Fatalf("deterministic reader was wrapped: %T", got)
+	}
+	wrapped := entropy.Buffered(rand.Reader)
+	if wrapped == rand.Reader {
+		t.Fatal("crypto/rand.Reader was not wrapped")
+	}
+	// The wrapper must still serve reads of arbitrary size, including
+	// ones larger than its internal buffer.
+	for _, n := range []int{1, 32, 5000} {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(wrapped, buf); err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+	}
+}

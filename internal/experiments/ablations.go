@@ -135,7 +135,7 @@ func AblationOTGroup(opts Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	groups := []*ot.Group{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
+	groups := []ot.Group{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
 	var rows []AblationRow
 	for _, g := range groups {
 		params := classify.Params{Group: g}
@@ -244,7 +244,7 @@ func AblationFastPath(opts Options) ([]AblationRow, error) {
 		return nil, err
 	}
 	var rows []AblationRow
-	for _, g := range []*ot.Group{ot.Group512Test(), ot.Group2048()} {
+	for _, g := range []ot.Group{ot.Group512Test(), ot.Group2048()} {
 		params := classify.Params{Group: g}
 		perOneShot, trainer, err := measure(model, samples, params, opts)
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/transport"
@@ -35,6 +36,10 @@ type BenchConfig struct {
 	Parallelism int    `json:"parallelism"`
 	BatchSize   int    `json:"batch_size,omitempty"`
 	Inflight    int    `json:"inflight,omitempty"`
+	// FieldBackend names the negotiated field-arithmetic engine; empty
+	// means math/big, so documents from before the limb backend existed
+	// still compare equal.
+	FieldBackend string `json:"field_backend,omitempty"`
 }
 
 // BenchDoc is the schema-stable BENCH_*.json document emitted by
@@ -103,7 +108,7 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism, FieldBackend: opts.FieldBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +126,7 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	cc, err := transport.NewClassifyClient(clientSide, opts.Rand)
+	cc, err := transport.NewClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend)}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -144,10 +149,11 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 		Schema: BenchSchemaVersion,
 		Name:   "classify_roundtrip",
 		Config: BenchConfig{
-			Dataset:     dsName,
-			Group:       opts.Group.Name(),
-			Seed:        opts.Seed,
-			Parallelism: opts.Parallelism,
+			Dataset:      dsName,
+			Group:        opts.Group.Name(),
+			Seed:         opts.Seed,
+			Parallelism:  opts.Parallelism,
+			FieldBackend: backendConfigName(opts.FieldBackend),
 		},
 		Queries:       queries,
 		WallNS:        int64(wall),
@@ -220,7 +226,7 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism})
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: opts.Group, Parallelism: opts.Parallelism, FieldBackend: opts.FieldBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +248,7 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	fc, err := transport.NewFastClassifyClient(clientSide, opts.Rand)
+	fc, err := transport.NewFastClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend)}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -263,12 +269,13 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 		Schema: BenchSchemaVersion,
 		Name:   "classify_batch",
 		Config: BenchConfig{
-			Dataset:     dsName,
-			Group:       opts.Group.Name(),
-			Seed:        opts.Seed,
-			Parallelism: opts.Parallelism,
-			BatchSize:   batchSize,
-			Inflight:    inflight,
+			Dataset:      dsName,
+			Group:        opts.Group.Name(),
+			Seed:         opts.Seed,
+			Parallelism:  opts.Parallelism,
+			BatchSize:    batchSize,
+			Inflight:     inflight,
+			FieldBackend: backendConfigName(opts.FieldBackend),
 		},
 		Queries:       queries,
 		WallNS:        int64(wall),
@@ -288,6 +295,15 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 		doc.Phases[name] = BenchPhase{Count: h.Count, TotalNS: h.Sum, MeanNS: h.Mean()}
 	}
 	return doc, nil
+}
+
+// backendConfigName maps a backend option to its config encoding (empty
+// for the default math/big path, keeping old baselines comparable).
+func backendConfigName(b field.Backend) string {
+	if b.OrDefault() == field.BackendLimb {
+		return string(field.BackendLimb)
+	}
+	return ""
 }
 
 // CompareBench gates a current bench run against a committed baseline:

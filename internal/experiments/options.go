@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand/v2"
 
+	"repro/internal/field"
 	"repro/internal/ot"
 )
 
@@ -23,7 +24,7 @@ type Options struct {
 	// test group — experiment claims are about shape and trends, and the
 	// paper's C++ timings carry no OT group either; pass a MODP group to
 	// measure production cost).
-	Group *ot.Group
+	Group ot.Group
 	// Quick subsamples the protocol-heavy experiments to keep a full run
 	// in seconds rather than minutes.
 	Quick bool
@@ -36,6 +37,10 @@ type Options struct {
 	// messages and results are bit-identical at any degree given the same
 	// Rand stream.
 	Parallelism int
+	// FieldBackend selects the field-arithmetic engine for protocol
+	// experiments (zero value: math/big; field.BackendLimb runs the
+	// fixed-width fast path over 2^255−19).
+	FieldBackend field.Backend
 }
 
 func (o Options) withDefaults() Options {

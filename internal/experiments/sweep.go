@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/ot"
+)
+
+// FieldBackendCombo is one cell of the field-backend × OT-group sweep: the
+// batched classify workload run under one engine combination, distilled to
+// throughput and the per-phase means the comparison cares about.
+type FieldBackendCombo struct {
+	FieldBackend string `json:"field_backend"`
+	Group        string `json:"group"`
+
+	ThroughputQPS float64 `json:"throughput_qps"`
+	WallNS        int64   `json:"wall_ns"`
+	BytesIn       int64   `json:"bytes_in"`
+	BytesOut      int64   `json:"bytes_out"`
+	// PhaseMeansNS maps each batch-workload phase name to its mean
+	// nanoseconds per observation (see BatchBenchPhaseNames).
+	PhaseMeansNS map[string]int64 `json:"phase_means_ns"`
+}
+
+// FieldBackendSweepDoc is the schema-stable BENCH_field_backends.json
+// document: the same pinned batched workload measured across the
+// {math/big, limb} × {modp512-test, x25519} engine grid, plus the headline
+// speedups of the fast pair (limb+x25519) over the legacy pair
+// (big+modp512-test).
+type FieldBackendSweepDoc struct {
+	Schema  int    `json:"schema"`
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Seed    uint64 `json:"seed"`
+
+	Parallelism int `json:"parallelism"`
+	Queries     int `json:"queries"`
+	BatchSize   int `json:"batch_size"`
+	Inflight    int `json:"inflight"`
+
+	Combos []FieldBackendCombo `json:"combos"`
+
+	// Speedups of limb+x25519 over big+modp512-test (ratios > 1 mean the
+	// fast pair wins).
+	QPSSpeedup                 float64 `json:"qps_speedup"`
+	SenderMaskSpeedup          float64 `json:"sender_mask_speedup"`
+	ReceiverInterpolateSpeedup float64 `json:"receiver_interpolate_speedup"`
+}
+
+// BenchFieldBackendSweep runs the pinned batched classify workload across
+// the engine grid. Options.Group and Options.FieldBackend are ignored —
+// the sweep owns both axes; everything else (seed, parallelism, rand) is
+// honored per cell. Cells run sequentially so each measurement gets the
+// whole machine.
+func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*FieldBackendSweepDoc, error) {
+	grid := []struct {
+		backend field.Backend
+		group   ot.Group
+	}{
+		{field.BackendBig, ot.Group512Test()},
+		{field.BackendBig, ot.X25519()},
+		{field.BackendLimb, ot.Group512Test()},
+		{field.BackendLimb, ot.X25519()},
+	}
+	doc := &FieldBackendSweepDoc{
+		Schema:      BenchSchemaVersion,
+		Name:        "field_backends",
+		Seed:        opts.Seed,
+		Parallelism: opts.Parallelism,
+		Queries:     queries,
+		BatchSize:   batchSize,
+		Inflight:    inflight,
+	}
+	var legacy, fast *FieldBackendCombo
+	for _, cell := range grid {
+		cellOpts := opts
+		cellOpts.Group = cell.group
+		cellOpts.FieldBackend = cell.backend
+		run, err := BenchClassifyBatch(cellOpts, queries, batchSize, inflight)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s+%s: %w", cell.backend, cell.group.Name(), err)
+		}
+		doc.Dataset = run.Config.Dataset
+		doc.Seed = run.Config.Seed
+		combo := FieldBackendCombo{
+			FieldBackend:  string(cell.backend),
+			Group:         cell.group.Name(),
+			ThroughputQPS: run.ThroughputQPS,
+			WallNS:        run.WallNS,
+			BytesIn:       run.BytesIn,
+			BytesOut:      run.BytesOut,
+			PhaseMeansNS:  map[string]int64{},
+		}
+		for name, p := range run.Phases {
+			combo.PhaseMeansNS[name] = p.MeanNS
+		}
+		doc.Combos = append(doc.Combos, combo)
+		switch {
+		case cell.backend == field.BackendBig && cell.group.Name() == "modp512-test":
+			legacy = &doc.Combos[len(doc.Combos)-1]
+		case cell.backend == field.BackendLimb && cell.group.Name() == "x25519":
+			fast = &doc.Combos[len(doc.Combos)-1]
+		}
+	}
+	if legacy != nil && fast != nil {
+		doc.QPSSpeedup = ratio(fast.ThroughputQPS, legacy.ThroughputQPS)
+		doc.SenderMaskSpeedup = ratio(
+			float64(legacy.PhaseMeansNS[obs.PhaseSenderMask]),
+			float64(fast.PhaseMeansNS[obs.PhaseSenderMask]))
+		doc.ReceiverInterpolateSpeedup = ratio(
+			float64(legacy.PhaseMeansNS[obs.PhaseReceiverInterpolate]),
+			float64(fast.PhaseMeansNS[obs.PhaseReceiverInterpolate]))
+	}
+	return doc, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,84 @@
+package limb_test
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/field/limb"
+)
+
+// FuzzLimbVsBig differentially checks every limb-field operation against
+// the math/big field: two arbitrary 32-byte strings are interpreted as
+// (possibly non-canonical) big-endian integers; reduction, encoding,
+// decoding, and the full arithmetic set must agree bit-for-bit with the
+// big.Int reference on the reduced residues.
+func FuzzLimbVsBig(f *testing.F) {
+	fl := field.Default()
+	f.Add(make([]byte, 32), make([]byte, 32))
+	f.Add(bytes.Repeat([]byte{0xff}, 32), bytes.Repeat([]byte{0xff}, 32))
+	f.Add(fl.Modulus().Bytes(), big.NewInt(19).FillBytes(make([]byte, 32)))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		if len(rawA) > 32 || len(rawB) > 32 {
+			return
+		}
+		ia := new(big.Int).SetBytes(rawA)
+		ib := new(big.Int).SetBytes(rawB)
+
+		// Reduce: SetBigReduce must match field.FromBig for arbitrary ints.
+		var ea, eb limb.Element
+		ea.SetBigReduce(ia)
+		eb.SetBigReduce(ib)
+		a := fl.FromBig(ia)
+		b := fl.FromBig(ib)
+		if ea.ToBig().Cmp(a) != 0 || eb.ToBig().Cmp(b) != 0 {
+			t.Fatal("reduce disagrees with big field")
+		}
+
+		// Decode: canonical acceptance must match field.FromBytes exactly.
+		if len(rawA) == 32 {
+			var d limb.Element
+			limbErr := d.SetBytes(rawA)
+			_, bigErr := fl.FromBytes(rawA)
+			if (limbErr == nil) != (bigErr == nil) {
+				t.Fatalf("canonicality disagreement: limb=%v big=%v", limbErr, bigErr)
+			}
+			if limbErr == nil && d.ToBig().Cmp(a) != 0 {
+				t.Fatal("decode disagrees with big field")
+			}
+		}
+
+		// Encode: serialized form must be the big field's fixed-width bytes.
+		wantBytes, err := fl.Bytes(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ea.Bytes(), wantBytes) {
+			t.Fatal("encode disagrees with big field")
+		}
+
+		var r limb.Element
+		if got, want := r.Add(&ea, &eb).ToBig(), fl.Add(a, b); got.Cmp(want) != 0 {
+			t.Fatalf("add: %v vs %v", got, want)
+		}
+		if got, want := r.Sub(&ea, &eb).ToBig(), fl.Sub(a, b); got.Cmp(want) != 0 {
+			t.Fatalf("sub: %v vs %v", got, want)
+		}
+		if got, want := r.Neg(&ea).ToBig(), fl.Neg(a); got.Cmp(want) != 0 {
+			t.Fatalf("neg: %v vs %v", got, want)
+		}
+		if got, want := r.Mul(&ea, &eb).ToBig(), fl.Mul(a, b); got.Cmp(want) != 0 {
+			t.Fatalf("mul: %v vs %v", got, want)
+		}
+
+		_, limbInvErr := r.Inv(&ea)
+		wantInv, bigInvErr := fl.Inv(a)
+		if (limbInvErr == nil) != (bigInvErr == nil) {
+			t.Fatalf("inv error disagreement: limb=%v big=%v", limbInvErr, bigInvErr)
+		}
+		if limbInvErr == nil && r.ToBig().Cmp(wantInv) != 0 {
+			t.Fatalf("inv: %v vs %v", r.ToBig(), wantInv)
+		}
+	})
+}

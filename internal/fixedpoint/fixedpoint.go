@@ -39,6 +39,9 @@ type Codec struct {
 	scale    *big.Int // 2^fracBits
 	// maxAbs bounds |x*scale| so encodings stay strictly inside (-p/2, p/2).
 	maxAbs *big.Int
+	// modulus is a private copy of the field modulus so the power-of-two
+	// encode fast path can reduce by one addition instead of a division.
+	modulus *big.Int
 }
 
 // NewCodec returns a codec with the given fractional precision.
@@ -55,6 +58,7 @@ func NewCodec(f *field.Field, fracBits uint) (*Codec, error) {
 		fracBits: fracBits,
 		scale:    new(big.Int).Lsh(big.NewInt(1), fracBits),
 		maxAbs:   half,
+		modulus:  f.Modulus(),
 	}, nil
 }
 
@@ -94,6 +98,21 @@ func (c *Codec) EncodeAtScale(x float64, scale *big.Int) (*big.Int, error) {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		return nil, ErrNotFinite
 	}
+	// Every scale the codec hands out is 2^k (base scale and the
+	// scale-normalized coefficient scales alike), so the exact product
+	// x·2^k is just the float's mantissa shifted — no big.Rat, and the
+	// overflow check already bounds |v| < p/2, so the final reduction is
+	// one conditional addition instead of a division.
+	if shift, ok := pow2Exp(scale); ok {
+		v := scaleByPow2(x, shift)
+		if v.CmpAbs(c.maxAbs) >= 0 {
+			return nil, ErrOverflow
+		}
+		if v.Sign() < 0 {
+			v.Add(v, c.modulus)
+		}
+		return v, nil
+	}
 	r := new(big.Rat).SetFloat64(x)
 	r.Mul(r, new(big.Rat).SetInt(scale))
 	v := ratRound(r)
@@ -101,6 +120,48 @@ func (c *Codec) EncodeAtScale(x float64, scale *big.Int) (*big.Int, error) {
 		return nil, ErrOverflow
 	}
 	return c.f.FromBig(v), nil
+}
+
+// pow2Exp reports whether scale is an exact power of two, returning its
+// exponent.
+func pow2Exp(scale *big.Int) (int, bool) {
+	if scale.Sign() <= 0 {
+		return 0, false
+	}
+	b := scale.BitLen()
+	if scale.TrailingZeroBits() == uint(b-1) {
+		return b - 1, true
+	}
+	return 0, false
+}
+
+// scaleByPow2 returns round(x·2^shift) exactly (half away from zero),
+// matching ratRound on the rational x·2^shift: the float64 is decomposed
+// into its 53-bit integer mantissa m with x = ±m·2^e, so the product is
+// ±m·2^(e+shift) — an exact left shift, or a right shift rounded on the
+// dropped bits.
+func scaleByPow2(x float64, shift int) *big.Int {
+	if x == 0 {
+		return new(big.Int)
+	}
+	fr, exp := math.Frexp(math.Abs(x))
+	m := uint64(fr * (1 << 53)) // exact: fr has at most 53 mantissa bits
+	t := exp - 53 + shift
+	var v *big.Int
+	switch {
+	case t >= 0:
+		v = new(big.Int).Lsh(new(big.Int).SetUint64(m), uint(t))
+	case t >= -63:
+		r := uint(-t)
+		v = new(big.Int).SetUint64((m + 1<<(r-1)) >> r)
+	default:
+		// |x·2^shift| < 2^-10: rounds to zero (m < 2^53, r ≥ 64).
+		v = new(big.Int)
+	}
+	if x < 0 {
+		v.Neg(v)
+	}
+	return v
 }
 
 // EncodeVec encodes a float vector at the base scale.

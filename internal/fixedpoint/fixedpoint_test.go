@@ -3,6 +3,7 @@ package fixedpoint_test
 import (
 	"math"
 	"math/big"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -236,4 +237,67 @@ func TestDecodeValidation(t *testing.T) {
 
 func inRange(x float64) bool {
 	return !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9
+}
+
+// TestEncodePow2MatchesRatPath pins the mantissa-shift encode fast path
+// to the exact big.Rat reference across magnitudes, signs, and scales
+// (including non-power-of-two scales, which must take the slow path and
+// still agree with the reference).
+func TestEncodePow2MatchesRatPath(t *testing.T) {
+	f, err := field.NewFromHex(field.P25519Hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := fixedpoint.NewCodec(f, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratEncode := func(x float64, scale *big.Int) *big.Int {
+		r := new(big.Rat).SetFloat64(x)
+		r.Mul(r, new(big.Rat).SetInt(scale))
+		num := new(big.Int).Set(r.Num())
+		den := r.Denom()
+		neg := num.Sign() < 0
+		if neg {
+			num.Neg(num)
+		}
+		q, rem := new(big.Int).QuoRem(num, den, new(big.Int))
+		rem.Lsh(rem, 1)
+		if rem.Cmp(den) >= 0 {
+			q.Add(q, big.NewInt(1))
+		}
+		if neg {
+			q.Neg(q)
+		}
+		return q.Mod(q, f.Modulus())
+	}
+	scales := []*big.Int{
+		c.Scale(),
+		new(big.Int).Lsh(big.NewInt(1), 1),
+		new(big.Int).Lsh(big.NewInt(1), 80),
+		big.NewInt(1),
+		big.NewInt(3), // not a power of two: slow path
+		big.NewInt(1000000),
+	}
+	rng := rand.New(rand.NewPCG(11, 11))
+	values := []float64{0, 1, -1, 0.5, -0.5, 1.5e-20, -1.5e-20, 3.25e9, -3.25e9, 1e-40}
+	for i := 0; i < 500; i++ {
+		values = append(values, (rng.Float64()-0.5)*math.Pow(10, float64(rng.IntN(25)-12)))
+	}
+	for _, scale := range scales {
+		for _, x := range values {
+			got, err := c.EncodeAtScale(x, scale)
+			want := ratEncode(x, scale)
+			overflow := new(big.Int).Abs(f.Centered(want)).Cmp(new(big.Int).Rsh(f.Modulus(), 1)) >= 0
+			if err != nil {
+				continue // overflow errors are checked elsewhere
+			}
+			if overflow {
+				t.Fatalf("x=%g scale=%s: expected overflow error", x, scale)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("x=%g scale=%s: got %s, want %s", x, scale, got, want)
+			}
+		}
+	}
 }

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/field"
+	"repro/internal/field/limb"
 )
 
 var (
@@ -32,6 +34,12 @@ type Poly struct {
 	f     *field.Field
 	nvars int
 	terms []Term
+
+	// Limb-encoded coefficients, built lazily on the first EvalLimb call
+	// (only valid over the 2^255−19 field).
+	limbOnce   sync.Once
+	limbCoeffs []limb.Element
+	limbErr    error
 }
 
 // New builds a polynomial from terms, reducing coefficients into the field
@@ -120,6 +128,45 @@ func (p *Poly) Eval(x field.Vec) (*big.Int, error) {
 		acc = p.f.Reduce(acc)
 	}
 	return p.f.Reduce(acc), nil
+}
+
+// EvalLimb evaluates the polynomial at a fixed-width limb point (the
+// ompe.LimbEvaluator contract). The coefficient encodings are built once
+// on first use; after that the evaluation allocates nothing. Only valid
+// when the polynomial's field is 2^255−19.
+func (p *Poly) EvalLimb(x []limb.Element, out *limb.Element) error {
+	if len(x) != p.nvars {
+		return fmt.Errorf("%w: got %d, want %d", ErrArity, len(x), p.nvars)
+	}
+	p.limbOnce.Do(func() {
+		if !p.f.SupportsLimb() {
+			p.limbErr = fmt.Errorf("mvpoly: limb evaluation requires the 2^255−19 field")
+			return
+		}
+		cs := make([]limb.Element, len(p.terms))
+		for i, t := range p.terms {
+			if err := cs[i].SetBig(t.Coeff); err != nil {
+				p.limbErr = fmt.Errorf("mvpoly: term %d coefficient: %w", i, err)
+				return
+			}
+		}
+		p.limbCoeffs = cs
+	})
+	if p.limbErr != nil {
+		return p.limbErr
+	}
+	var acc, mono limb.Element
+	for ti := range p.terms {
+		mono = p.limbCoeffs[ti]
+		for i, e := range p.terms[ti].Exps {
+			for k := uint(0); k < e; k++ {
+				mono.Mul(&mono, &x[i])
+			}
+		}
+		acc.Add(&acc, &mono)
+	}
+	out.Set(&acc)
+	return nil
 }
 
 // Add returns p+q (same arity required).

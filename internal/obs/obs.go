@@ -178,9 +178,14 @@ const (
 	// CtrSessionsDrained counts sessions force-closed when a Shutdown
 	// budget expired.
 	CtrSessionsDrained = "transport.sessions_drained"
-	// CtrOTInstances counts Naor–Pinkas 1-out-of-n instances executed
-	// (k per batch transfer).
+	// CtrOTInstances counts Naor–Pinkas 1-out-of-n instances executed:
+	// k per batch transfer, plus the κ base transfers behind each IKNP
+	// extension endpoint.
 	CtrOTInstances = "ot.np_instances"
+	// CtrGroupExp counts DDH-group exponentiations (scalar
+	// multiplications on curve backends) performed by the OT layer — the
+	// unit the field/OT backend sweep prices.
+	CtrGroupExp = "ot.group_exp"
 	// CtrClassifyQueries counts completed private classifications.
 	CtrClassifyQueries = "classify.queries"
 	// CtrClassifyBatches counts completed batched classifications (each

@@ -1,0 +1,269 @@
+package ompe
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/field"
+	"repro/internal/field/limb"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/poly"
+)
+
+// Limb-backend execution engine. When Params.Backend selects
+// field.BackendLimb (valid only over the 2^255−19 field), both roles run
+// the entire per-query arithmetic — cover construction, decoys, masked
+// evaluations, interpolation — on fixed-width limb elements, and the
+// evaluation request travels in the packed form below instead of as
+// []Pair of big.Ints. The protocol semantics are identical: the same
+// residues flow through the same construction; only their representation
+// (and therefore the wire encoding of the request) changes, which is why
+// the backend is negotiated per session exactly like the OT group.
+
+// LimbEvaluator is implemented by evaluators that can run natively on limb
+// elements. Senders on the limb backend use EvalLimb when available and
+// otherwise fall back to converting each pair through math/big.
+type LimbEvaluator interface {
+	Evaluator
+	// EvalLimb evaluates the polynomial at z, writing the result to out.
+	// Like Eval it must be safe for concurrent use.
+	EvalLimb(z []limb.Element, out *limb.Element) error
+}
+
+// limbBackend reports whether the limb engine serves this execution.
+func (p Params) limbBackend() bool {
+	return p.Backend.OrDefault() == field.BackendLimb
+}
+
+// packedStride is the byte length of one packed (v_i, z_i) record.
+func packedStride(numVars int) int { return (1 + numVars) * limb.ElementLen }
+
+// newReceiverLimb is the limb-engine half of NewReceiver: same construction
+// and rng draw order (covers, points, subset, decoys in pair order; genuine
+// cover evaluations in the parallel region), with the request emitted in
+// packed form.
+func newReceiverLimb(params Params, input field.Vec, rng io.Reader) (*Receiver, *EvalRequest, error) {
+	n := len(input)
+	lin := make([]limb.Element, n)
+	for i, x := range input {
+		if err := lin[i].SetBig(x); err != nil {
+			return nil, nil, fmt.Errorf("%w: input component %d not in field", ErrParams, i)
+		}
+	}
+
+	maskSpan := obs.Start(obs.PhaseReceiverMask)
+	covers := make([]*poly.LimbPoly, n)
+	for i := range lin {
+		g, err := poly.RandomLimb(rng, params.MaskDegree, &lin[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		covers[i] = g
+	}
+	maskSpan.End()
+
+	decoySpan := obs.Start(obs.PhaseReceiverDecoy)
+	total := params.TotalPairs()
+	points, err := distinctNonZeroLimb(total, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	genuine, err := randomSubset(total, params.GenuineCount(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	isGenuine := make([]bool, total)
+	for _, idx := range genuine {
+		isGenuine[idx] = true
+	}
+
+	// Serial decoy draws in pair order, then parallel pure-arithmetic
+	// cover evaluations — the same stream discipline as the big engine,
+	// so the request is deterministic at any parallelism degree.
+	stride := packedStride(n)
+	packed := make([]byte, total*stride)
+	for i := 0; i < total; i++ {
+		rec := packed[i*stride : (i+1)*stride]
+		points[i].PutBytes(rec[:limb.ElementLen])
+		if !isGenuine[i] {
+			// Decoy components are drawn straight into their wire slots:
+			// RandBytes consumes the same rng bytes and yields the same
+			// canonical encoding as Rand+PutBytes, minus two Montgomery
+			// conversions per element.
+			for j := 0; j < n; j++ {
+				if err := limb.RandBytes(rng, rec[(1+j)*limb.ElementLen:(2+j)*limb.ElementLen]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	_ = parallel.For(params.Parallelism, total, func(i int) error {
+		if !isGenuine[i] {
+			return nil
+		}
+		rec := packed[i*stride : (i+1)*stride]
+		var y limb.Element
+		for j, g := range covers {
+			g.EvalInto(&y, &points[i])
+			y.PutBytes(rec[(1+j)*limb.ElementLen : (2+j)*limb.ElementLen])
+		}
+		return nil
+	})
+	decoySpan.End()
+
+	r := &Receiver{
+		params:  params,
+		state:   receiverAwaitingSetup,
+		lpoints: points,
+		genuine: genuine,
+	}
+	return r, &EvalRequest{Packed: packed}, nil
+}
+
+// distinctNonZeroLimb samples n distinct non-zero limb elements. Elements
+// are comparable values, so the dedup map keys on them directly.
+func distinctNonZeroLimb(n int, rng io.Reader) ([]limb.Element, error) {
+	out := make([]limb.Element, 0, n)
+	seen := make(map[limb.Element]bool, n)
+	var x limb.Element
+	for len(out) < n {
+		if err := x.RandNonZero(rng); err != nil {
+			return nil, err
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// checkPackedShape performs the cheap structural validation of a packed
+// request; the full canonical/dedup checks happen in parsePackedRequest on
+// the sender's masking path, so each record is decoded exactly once.
+func checkPackedShape(params Params, numVars int, req *EvalRequest) error {
+	if req == nil {
+		return fmt.Errorf("%w: nil request", ErrBadRequest)
+	}
+	if len(req.Pairs) != 0 {
+		return fmt.Errorf("%w: pair-form request on limb backend", ErrBadRequest)
+	}
+	if want := params.TotalPairs() * packedStride(numVars); len(req.Packed) != want {
+		return fmt.Errorf("%w: packed request is %d bytes, want %d", ErrBadRequest, len(req.Packed), want)
+	}
+	return nil
+}
+
+// parsePackedRequest decodes and fully validates a packed request,
+// returning the records as a flat slice of (1+numVars)-element groups:
+// flat[i*(1+numVars)] is v_i, the rest of the group is z_i.
+func parsePackedRequest(params Params, numVars int, req *EvalRequest) ([]limb.Element, error) {
+	if err := checkPackedShape(params, numVars, req); err != nil {
+		return nil, err
+	}
+	total := params.TotalPairs()
+	stride := 1 + numVars
+	flat := make([]limb.Element, total*stride)
+	seen := make(map[limb.Element]bool, total)
+	for i := 0; i < total; i++ {
+		rec := flat[i*stride : (i+1)*stride]
+		raw := req.Packed[i*stride*limb.ElementLen:]
+		for j := 0; j < stride; j++ {
+			if err := rec[j].SetBytes(raw[j*limb.ElementLen : (j+1)*limb.ElementLen]); err != nil {
+				if j == 0 {
+					return nil, fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
+				}
+				return nil, fmt.Errorf("%w: pair %d component %d not in field", ErrBadRequest, i, j-1)
+			}
+		}
+		if rec[0].IsZero() {
+			return nil, fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
+		}
+		if seen[rec[0]] {
+			return nil, fmt.Errorf("%w: pair %d repeats evaluation point", ErrBadRequest, i)
+		}
+		seen[rec[0]] = true
+	}
+	return flat, nil
+}
+
+// maskedSampleLimb is the limb engine's sender core for one sample: parse
+// and validate the packed request, draw the masking polynomial, and
+// compute every pair's y_i = h(v_i) + amp·P(z_i) + shift into a single
+// flat buffer (one 32-byte slot per pair).
+func maskedSampleLimb(params Params, eval Evaluator, amplifier, shift *big.Int, req *EvalRequest, rng io.Reader) ([][]byte, error) {
+	numVars := eval.NumVars()
+	flat, err := parsePackedRequest(params, numVars, req)
+	if err != nil {
+		return nil, err
+	}
+	var zero limb.Element
+	h, err := poly.RandomLimb(rng, params.ComposedDegree(), &zero)
+	if err != nil {
+		return nil, err
+	}
+	var amp, sh limb.Element
+	amp.SetBigReduce(amplifier)
+	sh.SetBigReduce(shift)
+
+	stride := 1 + numVars
+	total := params.TotalPairs()
+	buf := make([]byte, total*limb.ElementLen)
+	msgs := make([][]byte, total)
+	le, native := eval.(LimbEvaluator)
+	f := params.Field
+	perr := parallel.For(params.Parallelism, total, func(i int) error {
+		rec := flat[i*stride : (i+1)*stride]
+		var pv, y limb.Element
+		if native {
+			if err := le.EvalLimb(rec[1:], &pv); err != nil {
+				return fmt.Errorf("ompe: evaluate pair %d: %w", i, err)
+			}
+		} else {
+			x := make(field.Vec, numVars)
+			for j := range x {
+				x[j] = rec[1+j].ToBig()
+			}
+			v, err := eval.Eval(x)
+			if err != nil {
+				return fmt.Errorf("ompe: evaluate pair %d: %w", i, err)
+			}
+			pv.SetBigReduce(f.Reduce(v))
+		}
+		h.EvalInto(&y, &rec[0])
+		pv.Mul(&pv, &amp)
+		y.Add(&y, &pv)
+		y.Add(&y, &sh)
+		m := buf[i*limb.ElementLen : (i+1)*limb.ElementLen]
+		y.PutBytes(m)
+		msgs[i] = m
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	return msgs, nil
+}
+
+// interpolateTransferredLimb decodes one sample's transferred values and
+// interpolates B(0) on the limb engine. The interpolator's scratch is
+// reused across the samples of a batch.
+func interpolateTransferredLimb(raw [][]byte, lpoints []limb.Element, index []int, ip *poly.LimbInterpolator) (*big.Int, error) {
+	m := len(raw)
+	xs := make([]limb.Element, m)
+	ys := make([]limb.Element, m)
+	for i, b := range raw {
+		if err := ys[i].SetBytes(b); err != nil {
+			return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
+		}
+		xs[i] = lpoints[index[i]]
+	}
+	res, err := ip.AtZero(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return res.ToBig(), nil
+}

@@ -35,6 +35,7 @@ import (
 	"math/big"
 
 	"repro/internal/field"
+	"repro/internal/field/limb"
 	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/parallel"
@@ -49,6 +50,9 @@ var (
 	// ErrParams reports invalid protocol parameters.
 	ErrParams = errors.New("ompe: invalid parameters")
 )
+
+// zeroShift is the shared shift for sessions that never shift (read-only).
+var zeroShift = new(big.Int)
 
 // Evaluator is the sender's secret function: a multivariate polynomial over
 // the protocol field. Implementations include mvpoly.Poly, the kernel-form
@@ -82,7 +86,13 @@ type Params struct {
 	// Zero selects DefaultAmplifierBits.
 	AmplifierBits int
 	// Group is the oblivious-transfer group.
-	Group *ot.Group
+	Group ot.Group
+	// Backend selects the field-arithmetic engine (zero value: the
+	// math/big path). field.BackendLimb runs every per-query hot loop on
+	// fixed-width limb elements and carries the evaluation request in
+	// packed form; it requires the 2^255−19 field. Both parties must
+	// agree on it per session, like Group.
+	Backend field.Backend
 	// Parallelism bounds the worker pool used for the data-parallel hot
 	// paths (masked evaluations, cover construction, batch OT): <= 0
 	// selects GOMAXPROCS, 1 forces the serial path, larger values request
@@ -114,6 +124,9 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: amplifier bits %d", ErrParams, p.AmplifierBits)
 	case p.Group == nil:
 		return fmt.Errorf("%w: nil OT group", ErrParams)
+	}
+	if err := p.Field.CheckBackend(p.Backend); err != nil {
+		return fmt.Errorf("%w: %v", ErrParams, err)
 	}
 	return nil
 }
@@ -162,9 +175,16 @@ type Pair struct {
 }
 
 // EvalRequest is the receiver's first message: M pairs, of which only the
-// receiver's secret m positions carry genuine cover evaluations.
+// receiver's secret m positions carry genuine cover evaluations. Exactly
+// one representation is populated, determined by the session backend:
+// Pairs on the math/big engine, Packed on the limb engine. Packed holds
+// the M records back to back, each (1+numVars)·32 bytes of canonical
+// fixed-width encodings — v_i first, then the z_i components — which
+// keeps the gob payload a single byte slice instead of M·(1+numVars)
+// big.Ints.
 type EvalRequest struct {
-	Pairs []Pair
+	Pairs  []Pair
+	Packed []byte
 }
 
 type senderState int
@@ -243,7 +263,6 @@ func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup,
 	if err := s.validateRequest(req); err != nil {
 		return nil, err
 	}
-	f := s.params.Field
 
 	if s.fixedAmplifier != nil {
 		s.amplifier = new(big.Int).Set(s.fixedAmplifier)
@@ -257,14 +276,9 @@ func (s *Sender) HandleRequest(req *EvalRequest, rng io.Reader) (*ot.BatchSetup,
 
 	// Fresh masking polynomial h with h(0)=0 and degree D, so it cancels
 	// at the interpolation point and drowns P's coefficients everywhere
-	// else (§IV-A.1).
+	// else (§IV-A.1); maskedSample draws it on the session backend.
 	maskSpan := obs.Start(obs.PhaseSenderMask)
-	h, err := poly.Random(f, rng, s.params.ComposedDegree(), f.Zero())
-	if err != nil {
-		return nil, err
-	}
-
-	msgs, err := maskedEvaluations(f, s.eval, h, s.amplifier, s.shift, req, s.params.Parallelism)
+	msgs, err := maskedSample(s.params, s.eval, s.amplifier, s.shift, req, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -298,10 +312,19 @@ func (s *Sender) validateRequest(req *EvalRequest) error {
 }
 
 // validateEvalRequest checks a receiver's evaluation request against the
-// protocol parameters (shared by the one-shot and session senders).
+// protocol parameters (shared by the one-shot and session senders). On
+// the limb backend only the structure is checked here; the per-record
+// canonical and dedup checks run inside the masking path, which decodes
+// every record exactly once.
 func validateEvalRequest(params Params, numVars int, req *EvalRequest) error {
+	if params.limbBackend() {
+		return checkPackedShape(params, numVars, req)
+	}
 	if req == nil {
 		return fmt.Errorf("%w: nil request", ErrBadRequest)
+	}
+	if len(req.Packed) != 0 {
+		return fmt.Errorf("%w: packed request on math/big backend", ErrBadRequest)
 	}
 	if len(req.Pairs) != params.TotalPairs() {
 		return fmt.Errorf("%w: got %d pairs, want %d", ErrBadRequest, len(req.Pairs), params.TotalPairs())
@@ -348,8 +371,9 @@ type Receiver struct {
 	params Params
 
 	state   receiverState
-	points  []*big.Int // all M evaluation points v_i
-	genuine []int      // indices of the m genuine positions
+	points  []*big.Int     // all M evaluation points v_i (math/big engine)
+	lpoints []limb.Element // all M evaluation points v_i (limb engine)
+	genuine []int          // indices of the m genuine positions
 	batch   *ot.BatchReceiver
 }
 
@@ -368,6 +392,9 @@ func NewReceiver(params Params, input field.Vec, rng io.Reader) (*Receiver, *Eva
 		if x == nil || !f.Contains(x) {
 			return nil, nil, fmt.Errorf("%w: input component %d not in field", ErrParams, i)
 		}
+	}
+	if params.limbBackend() {
+		return newReceiverLimb(params, input, rng)
 	}
 
 	// Cover polynomials: g_i(0) = α_i, random elsewhere (§IV-A.2).
@@ -463,18 +490,27 @@ func (r *Receiver) Finish(tr *ot.BatchTransfer) (*big.Int, error) {
 		return nil, err
 	}
 	interpSpan := obs.Start(obs.PhaseReceiverInterpolate)
-	f := r.params.Field
-	pts := make([]poly.Point, len(raw))
-	for i, b := range raw {
-		y, err := f.FromBytes(b)
+	var result *big.Int
+	if r.params.limbBackend() {
+		var ip poly.LimbInterpolator
+		result, err = interpolateTransferredLimb(raw, r.lpoints, r.genuine, &ip)
 		if err != nil {
-			return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
+			return nil, err
 		}
-		pts[i] = poly.Point{X: r.points[r.genuine[i]], Y: y}
-	}
-	result, err := poly.InterpolateAtZero(f, pts)
-	if err != nil {
-		return nil, err
+	} else {
+		f := r.params.Field
+		pts := make([]poly.Point, len(raw))
+		for i, b := range raw {
+			y, err := f.FromBytes(b)
+			if err != nil {
+				return nil, fmt.Errorf("ompe: transferred value %d: %w", i, err)
+			}
+			pts[i] = poly.Point{X: r.points[r.genuine[i]], Y: y}
+		}
+		result, err = poly.InterpolateAtZero(f, pts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	interpSpan.End()
 	r.state = receiverDone
@@ -555,6 +591,20 @@ func maskedEvaluations(f *field.Field, eval Evaluator, h *poly.Poly, amplifier, 
 	return msgs, nil
 }
 
+// maskedSample computes one sample's masked evaluations on the session
+// backend, drawing the fresh degree-D masking polynomial from rng.
+func maskedSample(params Params, eval Evaluator, amplifier, shift *big.Int, req *EvalRequest, rng io.Reader) ([][]byte, error) {
+	if params.limbBackend() {
+		return maskedSampleLimb(params, eval, amplifier, shift, req, rng)
+	}
+	f := params.Field
+	h, err := poly.Random(f, rng, params.ComposedDegree(), f.Zero())
+	if err != nil {
+		return nil, err
+	}
+	return maskedEvaluations(f, eval, h, amplifier, shift, req, params.Parallelism)
+}
+
 // MaskedEvaluations exposes the sender's arithmetic core (fresh masking
 // polynomial + amplified evaluation of every pair) WITHOUT the oblivious
 // transfer, for micro-benchmarks that isolate the polynomial-masking cost
@@ -563,14 +613,9 @@ func MaskedEvaluations(params Params, eval Evaluator, req *EvalRequest, rng io.R
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	f := params.Field
-	h, err := poly.Random(f, rng, params.ComposedDegree(), f.Zero())
-	if err != nil {
-		return nil, err
-	}
 	amp, err := sampleAmplifier(rng, params.amplifierBitsOrDefault())
 	if err != nil {
 		return nil, err
 	}
-	return maskedEvaluations(f, eval, h, amp, new(big.Int), req, params.Parallelism)
+	return maskedSample(params, eval, amp, new(big.Int), req, rng)
 }

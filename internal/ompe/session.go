@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"repro/internal/field"
+	"repro/internal/field/limb"
 	"repro/internal/obs"
 	"repro/internal/ot"
 	"repro/internal/poly"
@@ -111,10 +112,11 @@ func NewSession(params Params, eval Evaluator, rng io.Reader) (*SessionSender, *
 
 // SessionQuery is one in-flight fast query on the receiver side.
 type SessionQuery struct {
-	sr     *SessionReceiver
-	points []*big.Int
-	index  []int
-	ext    *ot.ExtKofNQuery
+	sr      *SessionReceiver
+	points  []*big.Int
+	lpoints []limb.Element
+	index   []int
+	ext     *ot.ExtKofNQuery
 }
 
 // NewQuery opens a fast query for one input vector.
@@ -130,10 +132,11 @@ func (sr *SessionReceiver) NewQuery(input field.Vec, rng io.Reader) (*SessionQue
 		return nil, nil, err
 	}
 	q := &SessionQuery{
-		sr:     sr,
-		points: recv.points,
-		index:  recv.genuine,
-		ext:    ext,
+		sr:      sr,
+		points:  recv.points,
+		lpoints: recv.lpoints,
+		index:   recv.genuine,
+		ext:     ext,
 	}
 	return q, &FastRequest{Eval: req, OT: otReq}, nil
 }
@@ -147,16 +150,11 @@ func (ss *SessionSender) HandleQuery(req *FastRequest, rng io.Reader) (*FastResp
 	if err := validateEvalRequest(ss.params, ss.eval.NumVars(), req.Eval); err != nil {
 		return nil, err
 	}
-	f := ss.params.Field
-	h, err := poly.Random(f, rng, ss.params.ComposedDegree(), f.Zero())
-	if err != nil {
-		return nil, err
-	}
 	amp, err := sampleAmplifier(rng, ss.params.amplifierBitsOrDefault())
 	if err != nil {
 		return nil, err
 	}
-	msgs, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), req.Eval, ss.params.Parallelism)
+	msgs, err := maskedSample(ss.params, ss.eval, amp, zeroShift, req.Eval, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +173,10 @@ func (q *SessionQuery) Finish(resp *FastResponse) (*big.Int, error) {
 	raw, err := q.ext.Recover(resp.OT)
 	if err != nil {
 		return nil, err
+	}
+	if q.sr.params.limbBackend() {
+		var ip poly.LimbInterpolator
+		return interpolateTransferredLimb(raw, q.lpoints, q.index, &ip)
 	}
 	return interpolateTransferred(q.sr.params.Field, raw, q.points, q.index)
 }
@@ -214,10 +216,11 @@ type FastBatchResponse struct {
 
 // SessionBatch is one in-flight batched query on the receiver side.
 type SessionBatch struct {
-	sr     *SessionReceiver
-	points [][]*big.Int
-	index  [][]int
-	ext    *ot.ExtKofNBatchQuery
+	sr      *SessionReceiver
+	points  [][]*big.Int
+	lpoints [][]limb.Element
+	index   [][]int
+	ext     *ot.ExtKofNBatchQuery
 }
 
 // Len returns the number of samples in the batch.
@@ -230,6 +233,7 @@ func (sr *SessionReceiver) NewBatch(inputs []field.Vec, rng io.Reader) (*Session
 	}
 	evals := make([]*EvalRequest, len(inputs))
 	points := make([][]*big.Int, len(inputs))
+	lpoints := make([][]limb.Element, len(inputs))
 	genuine := make([][]int, len(inputs))
 	for i, input := range inputs {
 		recv, req, err := NewReceiver(sr.params, input, rng)
@@ -238,13 +242,14 @@ func (sr *SessionReceiver) NewBatch(inputs []field.Vec, rng io.Reader) (*Session
 		}
 		evals[i] = req
 		points[i] = recv.points
+		lpoints[i] = recv.lpoints
 		genuine[i] = recv.genuine
 	}
 	ext, otReq, err := ot.NewExtKofNBatchQuery(sr.iknp, sr.params.TotalPairs(), genuine)
 	if err != nil {
 		return nil, nil, err
 	}
-	b := &SessionBatch{sr: sr, points: points, index: genuine, ext: ext}
+	b := &SessionBatch{sr: sr, points: points, lpoints: lpoints, index: genuine, ext: ext}
 	return b, &FastBatchRequest{Evals: evals, OT: otReq}, nil
 }
 
@@ -258,7 +263,6 @@ func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*Fas
 	if len(req.Evals) != req.OT.B {
 		return nil, fmt.Errorf("%w: %d eval requests for OT batch of %d", ErrBadRequest, len(req.Evals), req.OT.B)
 	}
-	f := ss.params.Field
 	span := obs.Start(obs.PhaseSenderMask)
 	msgs := make([][][]byte, len(req.Evals))
 	for i, eval := range req.Evals {
@@ -268,15 +272,11 @@ func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*Fas
 		if err := validateEvalRequest(ss.params, ss.eval.NumVars(), eval); err != nil {
 			return nil, fmt.Errorf("ompe: batch sample %d: %w", i, err)
 		}
-		h, err := poly.Random(f, rng, ss.params.ComposedDegree(), f.Zero())
-		if err != nil {
-			return nil, err
-		}
 		amp, err := sampleAmplifier(rng, ss.params.amplifierBitsOrDefault())
 		if err != nil {
 			return nil, err
 		}
-		sample, err := maskedEvaluations(f, ss.eval, h, amp, new(big.Int), eval, ss.params.Parallelism)
+		sample, err := maskedSample(ss.params, ss.eval, amp, zeroShift, eval, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -302,6 +302,40 @@ func (b *SessionBatch) Finish(resp *FastBatchResponse) ([]*big.Int, error) {
 	span := obs.Start(obs.PhaseReceiverInterpolate)
 	defer span.End()
 	out := make([]*big.Int, len(raw))
+	if b.sr.params.limbBackend() {
+		// Decode every sample, then interpolate the whole batch with one
+		// shared field inversion — the inversion is the dominant
+		// interpolation cost, so it must not be paid per sample.
+		total := 0
+		for i := range raw {
+			total += len(raw[i])
+		}
+		flat := make([]limb.Element, 2*total)
+		nodes := make([]poly.LimbNodes, len(raw))
+		off := 0
+		for i := range raw {
+			m := len(raw[i])
+			xs := flat[off : off+m]
+			ys := flat[total+off : total+off+m]
+			for j, bs := range raw[i] {
+				if err := ys[j].SetBytes(bs); err != nil {
+					return nil, fmt.Errorf("ompe: batch sample %d: transferred value %d: %w", i, j, err)
+				}
+				xs[j] = b.lpoints[i][b.index[i][j]]
+			}
+			nodes[i] = poly.LimbNodes{Xs: xs, Ys: ys}
+			off += m
+		}
+		res := make([]limb.Element, len(raw))
+		var ip poly.LimbInterpolator
+		if err := ip.AtZeroBatch(nodes, res); err != nil {
+			return nil, err
+		}
+		for i := range res {
+			out[i] = res[i].ToBig()
+		}
+		return out, nil
+	}
 	for i := range raw {
 		v, err := interpolateTransferred(b.sr.params.Field, raw[i], b.points[i], b.index[i])
 		if err != nil {

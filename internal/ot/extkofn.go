@@ -29,8 +29,11 @@ type ExtKofNRequest struct {
 // ExtKofNResponse is the sender's per-query message.
 type ExtKofNResponse struct {
 	IKNP *IKNPSenderMsg
-	// Cts[i][j] is instance i's encryption of message j.
-	Cts [][][]byte
+	// Cts is the k×n ciphertext matrix as one flat blob, instance-major:
+	// instance i's encryption of message j occupies
+	// Cts[(i·n+j)·MsgLen : (i·n+j+1)·MsgLen].
+	Cts    []byte
+	MsgLen int
 }
 
 // ExtKofNQuery is the receiver's in-flight query state.
@@ -116,28 +119,22 @@ func drawTreeKeys(rng io.Reader, k, depth int, x0, x1 [][]byte) ([][][2][]byte, 
 	return keys, x0, x1, nil
 }
 
-// encryptInstances builds the k×n ciphertext matrix of one sample: message
-// m is encrypted under instance i's key path for index m.
-func encryptInstances(keys [][][2][]byte, msgs [][]byte, depth int) [][][]byte {
+// encryptInstances writes the k×n ciphertext block of one sample into dst
+// (k·n·msgLen bytes, instance-major): message m is encrypted under
+// instance i's key path for index m.
+func encryptInstances(keys [][][2][]byte, msgs [][]byte, depth int, dst []byte) {
 	k := len(keys)
 	n := len(msgs)
-	cts := make([][][]byte, k)
+	msgLen := len(msgs[0])
 	path := make([][]byte, depth)
 	for i := 0; i < k; i++ {
-		cts[i] = make([][]byte, n)
 		for m := 0; m < n; m++ {
 			for j := 0; j < depth; j++ {
 				path[j] = keys[i][j][(m>>j)&1]
 			}
-			pad := treePadFromKeys(path, m, len(msgs[m]))
-			ct := make([]byte, len(msgs[m]))
-			for p := range ct {
-				ct[p] = msgs[m][p] ^ pad[p]
-			}
-			cts[i][m] = ct
+			treePadXor(dst[(i*n+m)*msgLen:(i*n+m+1)*msgLen], msgs[m], path, m)
 		}
 	}
-	return cts
 }
 
 // checkUniformLen verifies all messages share one length.
@@ -178,18 +175,23 @@ func ExtKofNRespond(s *IKNPSender, req *ExtKofNRequest, msgs [][]byte, rng io.Re
 	if err != nil {
 		return nil, err
 	}
-	return &ExtKofNResponse{IKNP: iknpResp, Cts: encryptInstances(keys, msgs, depth)}, nil
+	msgLen := len(msgs[0])
+	cts := make([]byte, k*n*msgLen)
+	encryptInstances(keys, msgs, depth, cts)
+	return &ExtKofNResponse{IKNP: iknpResp, Cts: cts, MsgLen: msgLen}, nil
 }
 
-// recoverSample decrypts one sample's chosen messages from its ciphertext
-// matrix, given that sample's path keys in (instance, level) order.
-func recoverSample(cts [][][]byte, pathKeys [][]byte, indices []int, n, depth int) ([][]byte, error) {
+// recoverSample decrypts one sample's chosen messages from its flat
+// ciphertext block, given that sample's path keys in (instance, level)
+// order.
+func recoverSample(cts []byte, msgLen int, pathKeys [][]byte, indices []int, n, depth int) ([][]byte, error) {
+	if msgLen < 0 || len(cts) != len(indices)*n*msgLen {
+		return nil, fmt.Errorf("%w: ciphertext block length %d for k=%d n=%d msgLen=%d", ErrIKNP, len(cts), len(indices), n, msgLen)
+	}
 	out := make([][]byte, len(indices))
+	flat := make([]byte, len(indices)*msgLen)
 	path := make([][]byte, depth)
 	for i, idx := range indices {
-		if len(cts[i]) != n {
-			return nil, fmt.Errorf("%w: instance %d has %d ciphertexts", ErrIKNP, i, len(cts[i]))
-		}
 		for j := 0; j < depth; j++ {
 			key := pathKeys[i*depth+j]
 			if len(key) != treeKeyLen {
@@ -197,12 +199,9 @@ func recoverSample(cts [][][]byte, pathKeys [][]byte, indices []int, n, depth in
 			}
 			path[j] = key
 		}
-		ct := cts[i][idx]
-		pad := treePadFromKeys(path, idx, len(ct))
-		x := make([]byte, len(ct))
-		for p := range ct {
-			x[p] = ct[p] ^ pad[p]
-		}
+		ct := cts[(i*n+idx)*msgLen : (i*n+idx+1)*msgLen]
+		x := flat[i*msgLen : (i+1)*msgLen]
+		treePadXor(x, ct, path, idx)
 		out[i] = x
 	}
 	return out, nil
@@ -210,14 +209,14 @@ func recoverSample(cts [][][]byte, pathKeys [][]byte, indices []int, n, depth in
 
 // Recover decrypts the query's chosen messages, in index order.
 func (q *ExtKofNQuery) Recover(resp *ExtKofNResponse) ([][]byte, error) {
-	if resp == nil || resp.IKNP == nil || len(resp.Cts) != len(q.indices) {
+	if resp == nil || resp.IKNP == nil {
 		return nil, fmt.Errorf("%w: bad response", ErrIKNP)
 	}
 	pathKeys, err := q.ext.Recover(resp.IKNP)
 	if err != nil {
 		return nil, err
 	}
-	return recoverSample(resp.Cts, pathKeys, q.indices, q.n, q.depth)
+	return recoverSample(resp.Cts, resp.MsgLen, pathKeys, q.indices, q.n, q.depth)
 }
 
 // Batched k-of-n: one IKNP Extend call covers all B samples' choice bits,
@@ -237,8 +236,12 @@ type ExtKofNBatchRequest struct {
 // ExtKofNBatchResponse is the sender's one message for B samples.
 type ExtKofNBatchResponse struct {
 	IKNP *IKNPSenderMsg
-	// Cts[b][i][j] is sample b's instance-i encryption of message j.
-	Cts [][][][]byte
+	// Cts concatenates every sample's flat k×n ciphertext block (see
+	// ExtKofNResponse.Cts) in batch order: sample b's block starts at
+	// b·k·n·MsgLen. One blob instead of B·k·n nested slices keeps the
+	// codec's work linear in bytes, not in message count.
+	Cts    []byte
+	MsgLen int
 }
 
 // ExtKofNBatchQuery is the receiver's in-flight batch state.
@@ -296,12 +299,16 @@ func ExtKofNBatchRespond(s *IKNPSender, req *ExtKofNBatchRequest, msgs [][][]byt
 	if n < 2 || k < 1 || k > n || req.IKNP.M != req.B*k*depth {
 		return nil, fmt.Errorf("%w: batch size %d for B=%d k=%d depth=%d", ErrIKNP, req.IKNP.M, req.B, k, depth)
 	}
+	msgLen := len(msgs[0][0])
 	for b, sample := range msgs {
 		if len(sample) != n {
 			return nil, fmt.Errorf("%w: sample %d has %d messages for n=%d", ErrIKNP, b, len(sample), n)
 		}
 		if err := checkUniformLen(sample); err != nil {
 			return nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
+		}
+		if len(sample[0]) != msgLen {
+			return nil, fmt.Errorf("%w: sample %d message length %d, want %d across the batch", ErrIKNP, b, len(sample[0]), msgLen)
 		}
 	}
 	perSample := make([][][][2][]byte, 0, req.B)
@@ -319,18 +326,27 @@ func ExtKofNBatchRespond(s *IKNPSender, req *ExtKofNBatchRequest, msgs [][][]byt
 	if err != nil {
 		return nil, err
 	}
-	cts := make([][][][]byte, req.B)
+	block := k * n * msgLen
+	cts := make([]byte, req.B*block)
 	for b := 0; b < req.B; b++ {
-		cts[b] = encryptInstances(perSample[b], msgs[b], depth)
+		encryptInstances(perSample[b], msgs[b], depth, cts[b*block:(b+1)*block])
 	}
-	return &ExtKofNBatchResponse{IKNP: iknpResp, Cts: cts}, nil
+	return &ExtKofNBatchResponse{IKNP: iknpResp, Cts: cts, MsgLen: msgLen}, nil
 }
 
 // Recover decrypts every sample's chosen messages, in per-sample index
 // order.
 func (q *ExtKofNBatchQuery) Recover(resp *ExtKofNBatchResponse) ([][][]byte, error) {
-	if resp == nil || resp.IKNP == nil || len(resp.Cts) != len(q.indices) {
+	if resp == nil || resp.IKNP == nil || resp.MsgLen < 0 {
 		return nil, fmt.Errorf("%w: bad batch response", ErrIKNP)
+	}
+	k := 0
+	if len(q.indices) > 0 {
+		k = len(q.indices[0])
+	}
+	block := k * q.n * resp.MsgLen
+	if len(resp.Cts) != len(q.indices)*block {
+		return nil, fmt.Errorf("%w: ciphertext blob length %d for B=%d k=%d n=%d msgLen=%d", ErrIKNP, len(resp.Cts), len(q.indices), k, q.n, resp.MsgLen)
 	}
 	pathKeys, err := q.ext.Recover(resp.IKNP)
 	if err != nil {
@@ -339,10 +355,7 @@ func (q *ExtKofNBatchQuery) Recover(resp *ExtKofNBatchResponse) ([][][]byte, err
 	out := make([][][]byte, len(q.indices))
 	stride := 0
 	for b, idx := range q.indices {
-		if len(resp.Cts[b]) != len(idx) {
-			return nil, fmt.Errorf("%w: sample %d has %d instances", ErrIKNP, b, len(resp.Cts[b]))
-		}
-		got, err := recoverSample(resp.Cts[b], pathKeys[stride:stride+len(idx)*q.depth], idx, q.n, q.depth)
+		got, err := recoverSample(resp.Cts[b*block:(b+1)*block], resp.MsgLen, pathKeys[stride:stride+len(idx)*q.depth], idx, q.n, q.depth)
 		if err != nil {
 			return nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
 		}

@@ -9,24 +9,84 @@
 // model the paper assumes (the receiver is trusted to pick distinct
 // indices; a malicious-receiver variant would need the Chu–Tzeng
 // construction the paper cites).
+//
+// Two DDH group backends are provided: the classic safe-prime MODP
+// subgroups the paper benchmarks against (ModpGroup), and the edwards25519
+// prime-order subgroup (X25519Group), whose scalar multiplications are
+// microseconds instead of milliseconds. Both present group elements to
+// this package as *big.Int — for the curve, the integer is the 32-byte
+// compressed point encoding — so every protocol message, serialization,
+// and key-derivation path is backend-agnostic.
 package ot
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
-// Group is a subgroup of Z_p^* of prime order q = (p-1)/2 for a safe prime
-// p, with generator g. All built-in groups use g = 2, which generates the
-// order-q subgroup because their primes satisfy p ≡ 7 (mod 8).
+// Group is a DDH group for the Naor–Pinkas transfers. Elements and
+// scalars travel as *big.Int (see the package comment for the curve
+// encoding); implementations must be safe for concurrent use.
 //
-// A Group must be used by pointer (it carries a lazily built fixed-base
-// exponentiation table guarded by a sync.Once); all methods are safe for
-// concurrent use.
-type Group struct {
+// Element sampling is split into a cheap seed draw and an expensive
+// finish so batch constructors can consume the rng serially — keeping the
+// stream, and hence the wire bytes, deterministic at any parallelism
+// degree — while fanning the heavy part out to workers:
+// RandomElementSeed consumes the rng, ElementFromSeed is pure.
+type Group interface {
+	// Name returns the flag-friendly group identifier.
+	Name() string
+	// Bits returns the bit size of the underlying field modulus.
+	Bits() int
+	// ElementLen returns the fixed byte length of a serialized element.
+	ElementLen() int
+	// Exp returns base^e (multiplicative notation; scalar multiplication
+	// for curve backends). base must satisfy ValidElement.
+	Exp(base, e *big.Int) *big.Int
+	// ExpG returns g^e for the group generator, typically via a fixed-base
+	// table.
+	ExpG(e *big.Int) *big.Int
+	// Mul returns the group product a·b of two valid elements.
+	Mul(a, b *big.Int) *big.Int
+	// Inv returns the group inverse of a valid element.
+	Inv(a *big.Int) (*big.Int, error)
+	// ValidElement reports whether x decodes to a group element.
+	ValidElement(x *big.Int) bool
+	// RandomScalar samples a uniform non-zero exponent.
+	RandomScalar(rng io.Reader) (*big.Int, error)
+	// RandomElementSeed draws the serial randomness behind one element.
+	RandomElementSeed(rng io.Reader) (*big.Int, error)
+	// ElementFromSeed deterministically finishes a seed into a uniform
+	// group element. It must be safe to call from multiple goroutines.
+	ElementFromSeed(seed *big.Int) *big.Int
+}
+
+// randomElement samples a uniform group element (seed + finish in one
+// step, for the serial construction paths).
+func randomElement(g Group, rng io.Reader) (*big.Int, error) {
+	seed, err := g.RandomElementSeed(rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.ElementFromSeed(seed), nil
+}
+
+// ModpGroup is a subgroup of Z_p^* of prime order q = (p-1)/2 for a safe
+// prime p, with generator g. All built-in groups use g = 2, which
+// generates the order-q subgroup because their primes satisfy p ≡ 7
+// (mod 8).
+//
+// A ModpGroup must be used by pointer (it carries a lazily built
+// fixed-base exponentiation table guarded by a sync.Once); all methods
+// are safe for concurrent use.
+type ModpGroup struct {
 	// P is the safe-prime modulus.
 	P *big.Int
 	// Q is the subgroup order (P-1)/2.
@@ -73,29 +133,29 @@ const (
 
 var errBadGroupHex = errors.New("ot: invalid built-in group modulus")
 
-func newGroup(name, hexP string) *Group {
+func newModpGroup(name, hexP string) *ModpGroup {
 	p, ok := new(big.Int).SetString(strings.ToLower(hexP), 16)
 	if !ok {
 		panic(errBadGroupHex) // compile-time constants, validated by tests
 	}
 	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
-	return &Group{P: p, Q: q, G: big.NewInt(2), name: name}
+	return &ModpGroup{P: p, Q: q, G: big.NewInt(2), name: name}
 }
 
 // Group512Test returns the 512-bit toy group for tests and benchmarks.
-func Group512Test() *Group { return newGroup("modp512-test", Group512TestHex) }
+func Group512Test() *ModpGroup { return newModpGroup("modp512-test", Group512TestHex) }
 
 // Group1024 returns the RFC 2409 Oakley Group 2 (legacy security).
-func Group1024() *Group { return newGroup("modp1024", Group1024Hex) }
+func Group1024() *ModpGroup { return newModpGroup("modp1024", Group1024Hex) }
 
 // Group1536 returns the RFC 3526 group 5.
-func Group1536() *Group { return newGroup("modp1536", Group1536Hex) }
+func Group1536() *ModpGroup { return newModpGroup("modp1536", Group1536Hex) }
 
-// Group2048 returns the RFC 3526 group 14, the recommended default.
-func Group2048() *Group { return newGroup("modp2048", Group2048Hex) }
+// Group2048 returns the RFC 3526 group 14, the recommended MODP default.
+func Group2048() *ModpGroup { return newModpGroup("modp2048", Group2048Hex) }
 
 // GroupByName resolves a group by its flag-friendly name.
-func GroupByName(name string) (*Group, error) {
+func GroupByName(name string) (Group, error) {
 	switch name {
 	case "modp512-test", "512":
 		return Group512Test(), nil
@@ -105,22 +165,31 @@ func GroupByName(name string) (*Group, error) {
 		return Group1536(), nil
 	case "modp2048", "2048":
 		return Group2048(), nil
+	case "x25519", "25519":
+		return X25519(), nil
 	default:
 		return nil, fmt.Errorf("ot: unknown group %q", name)
 	}
 }
 
+// GroupNames lists the resolvable group names (canonical spellings), for
+// flag help and sweeps.
+func GroupNames() []string {
+	return []string{"modp512-test", "modp1024", "modp1536", "modp2048", "x25519"}
+}
+
 // Name returns the group's identifier.
-func (g *Group) Name() string { return g.name }
+func (g *ModpGroup) Name() string { return g.name }
 
 // Bits returns the modulus bit length.
-func (g *Group) Bits() int { return g.P.BitLen() }
+func (g *ModpGroup) Bits() int { return g.P.BitLen() }
 
 // ElementLen returns the fixed byte length of a serialized group element.
-func (g *Group) ElementLen() int { return (g.P.BitLen() + 7) / 8 }
+func (g *ModpGroup) ElementLen() int { return (g.P.BitLen() + 7) / 8 }
 
 // Exp returns base^e mod P.
-func (g *Group) Exp(base, e *big.Int) *big.Int {
+func (g *ModpGroup) Exp(base, e *big.Int) *big.Int {
+	obs.Add(obs.CtrGroupExp, 1)
 	return new(big.Int).Exp(base, e, g.P)
 }
 
@@ -138,7 +207,7 @@ type fixedBaseTable struct {
 	windows [][]*big.Int
 }
 
-func (g *Group) buildFixedBase() {
+func (g *ModpGroup) buildFixedBase() {
 	const w = fixedBaseWindow
 	nWindows := (g.Q.BitLen() + w - 1) / w
 	windows := make([][]*big.Int, nWindows)
@@ -160,15 +229,16 @@ func (g *Group) buildFixedBase() {
 // table. One batch OT run performs a g^r or g^x exponentiation per
 // instance; they all share this table. Exponents beyond the subgroup
 // order's bit length fall back to generic Exp.
-func (g *Group) ExpG(e *big.Int) *big.Int {
+func (g *ModpGroup) ExpG(e *big.Int) *big.Int {
 	if e.Sign() < 0 {
 		return g.Exp(g.G, e)
 	}
+	obs.Add(obs.CtrGroupExp, 1)
 	g.fixedBase.once.Do(g.buildFixedBase)
 	const w = fixedBaseWindow
 	windows := g.fixedBase.windows
 	if e.BitLen() > len(windows)*w {
-		return g.Exp(g.G, e)
+		return new(big.Int).Exp(g.G, e, g.P) // already counted above
 	}
 	acc := big.NewInt(1)
 	tmp := new(big.Int)
@@ -186,12 +256,12 @@ func (g *Group) ExpG(e *big.Int) *big.Int {
 }
 
 // Mul returns a*b mod P.
-func (g *Group) Mul(a, b *big.Int) *big.Int {
+func (g *ModpGroup) Mul(a, b *big.Int) *big.Int {
 	return new(big.Int).Mod(new(big.Int).Mul(a, b), g.P)
 }
 
 // Inv returns a^{-1} mod P.
-func (g *Group) Inv(a *big.Int) (*big.Int, error) {
+func (g *ModpGroup) Inv(a *big.Int) (*big.Int, error) {
 	inv := new(big.Int).ModInverse(a, g.P)
 	if inv == nil {
 		return nil, fmt.Errorf("ot: %v not invertible in group", a)
@@ -200,11 +270,37 @@ func (g *Group) Inv(a *big.Int) (*big.Int, error) {
 }
 
 // ValidElement reports whether x is in [1, P).
-func (g *Group) ValidElement(x *big.Int) bool {
+func (g *ModpGroup) ValidElement(x *big.Int) bool {
 	return x != nil && x.Sign() > 0 && x.Cmp(g.P) < 0
 }
 
-// Equal reports whether two groups share the same parameters.
-func (g *Group) Equal(other *Group) bool {
+// Equal reports whether two MODP groups share the same parameters.
+func (g *ModpGroup) Equal(other *ModpGroup) bool {
 	return other != nil && g.P.Cmp(other.P) == 0 && g.G.Cmp(other.G) == 0
+}
+
+// RandomScalar samples a uniform exponent in [1, q).
+func (g *ModpGroup) RandomScalar(rng io.Reader) (*big.Int, error) {
+	qm1 := new(big.Int).Sub(g.Q, big.NewInt(1))
+	x, err := rand.Int(rng, qm1)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sample exponent: %w", err)
+	}
+	return x.Add(x, big.NewInt(1)), nil
+}
+
+// RandomElementSeed draws a uniform element of Z_p^*; squaring it lands in
+// the order-q subgroup (squares form the subgroup for a safe prime).
+func (g *ModpGroup) RandomElementSeed(rng io.Reader) (*big.Int, error) {
+	pm1 := new(big.Int).Sub(g.P, big.NewInt(1))
+	x, err := rand.Int(rng, pm1)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sample element: %w", err)
+	}
+	return x.Add(x, big.NewInt(1)), nil
+}
+
+// ElementFromSeed squares the seed into the subgroup.
+func (g *ModpGroup) ElementFromSeed(seed *big.Int) *big.Int {
+	return g.Mul(seed, seed)
 }

@@ -1,11 +1,15 @@
 package ot
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank, semi-
@@ -23,37 +27,46 @@ import (
 //	sender:   y0_j = x0_j ⊕ H(j, q_j); y1_j = x1_j ⊕ H(j, q_j ⊕ s)
 //	receiver: x(r_j)_j = y(r_j)_j ⊕ H(j, t_j)
 //
-// This primitive demonstrates the scaling path for batch-heavy
-// deployments (BenchmarkIKNP vs BenchmarkDirect1of2Batch); the OMPE
-// protocol keeps per-query Naor–Pinkas because its per-query message
-// counts are small and sessions are one-shot.
+// The PRG G is AES-128 in counter mode (the 16-byte seeds are AES keys,
+// each expanded through a cipher built once per session), columns are
+// turned into rows with an 8×8 bit-block transpose, and the correlation-
+// robust hash H is a single SHA-256 compression for the common short
+// messages — together these keep the extension's per-transfer cost to a
+// few dozen nanoseconds of symmetric work.
 
 // iknpKappa is the computational security parameter (base-OT count).
 const iknpKappa = 128
+
+// iknpRowBytes is the packed size of one transposed row (κ bits).
+const iknpRowBytes = iknpKappa / 8
 
 // ErrIKNP reports malformed extension-protocol messages.
 var ErrIKNP = errors.New("ot: malformed IKNP message")
 
 // IKNPReceiverMsg carries the receiver's masked columns u_1..u_κ.
 type IKNPReceiverMsg struct {
-	// U holds κ columns of m bits each (packed, m bytes rounded up).
-	U [][]byte
+	// U holds κ packed bit-columns of ⌈m/8⌉ bytes each, concatenated in
+	// column order — one flat blob so the codec moves it as a single
+	// byte-slice instead of κ separate ones.
+	U []byte
 	// M is the number of extended transfers.
 	M int
 }
 
-// IKNPSenderMsg carries the sender's ciphertext pairs.
+// IKNPSenderMsg carries the sender's ciphertext pairs: m rows of MsgLen
+// bytes each, row-major, one flat blob per column of the pair.
 type IKNPSenderMsg struct {
-	Y0 [][]byte
-	Y1 [][]byte
+	Y0     []byte
+	Y1     []byte
+	MsgLen int
 }
 
 // IKNPSender is the OT-extension sender: it inputs m message pairs and
 // runs the base phase as a base-OT receiver with random choice bits.
 type IKNPSender struct {
-	s     []byte // κ choice bits, packed
-	seeds [][]byte
-	batch uint32 // lockstep batch counter: fresh PRG columns per batch
+	s       []byte // κ choice bits, packed
+	ciphers []cipher.Block
+	batch   uint32 // lockstep batch counter: fresh PRG columns per batch
 
 	baseReceivers []*Receiver // base-phase state, nil once finished
 }
@@ -61,9 +74,11 @@ type IKNPSender struct {
 // IKNPReceiver is the OT-extension receiver: it inputs m choice bits and
 // runs the base phase as a base-OT sender of seed pairs.
 type IKNPReceiver struct {
-	seed0 [][]byte
-	seed1 [][]byte
-	batch uint32 // lockstep batch counter: fresh PRG columns per batch
+	seed0    [][]byte
+	seed1    [][]byte
+	ciphers0 []cipher.Block
+	ciphers1 []cipher.Block
+	batch    uint32 // lockstep batch counter: fresh PRG columns per batch
 
 	baseSenders []*Sender // base-phase state, nil once finished
 }
@@ -96,10 +111,16 @@ type (
 
 // NewIKNPReceiverBase creates the extension receiver and its base-phase
 // setup message (it acts as the base-OT sender of κ seed pairs).
-func NewIKNPReceiverBase(group *Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseSetup, error) {
+func NewIKNPReceiverBase(group Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseSetup, error) {
+	// The base phase runs κ real Naor–Pinkas 1-of-2 instances; count them
+	// like the direct batch path does, so session metrics show the base-OT
+	// work the extension amortizes.
+	obs.Add(obs.CtrOTInstances, iknpKappa)
 	recv := &IKNPReceiver{
-		seed0: make([][]byte, iknpKappa),
-		seed1: make([][]byte, iknpKappa),
+		seed0:    make([][]byte, iknpKappa),
+		seed1:    make([][]byte, iknpKappa),
+		ciphers0: make([]cipher.Block, iknpKappa),
+		ciphers1: make([]cipher.Block, iknpKappa),
 	}
 	recv.baseSenders = make([]*Sender, iknpKappa)
 	setups := make([]*SenderSetup, iknpKappa)
@@ -110,6 +131,13 @@ func NewIKNPReceiverBase(group *Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseS
 			return nil, nil, err
 		}
 		if _, err := io.ReadFull(rng, recv.seed1[i]); err != nil {
+			return nil, nil, err
+		}
+		var err error
+		if recv.ciphers0[i], err = aes.NewCipher(recv.seed0[i]); err != nil {
+			return nil, nil, err
+		}
+		if recv.ciphers1[i], err = aes.NewCipher(recv.seed1[i]); err != nil {
 			return nil, nil, err
 		}
 		s, setup, err := NewSender(group, [][]byte{recv.seed0[i], recv.seed1[i]}, rng)
@@ -124,13 +152,13 @@ func NewIKNPReceiverBase(group *Group, rng io.Reader) (*IKNPReceiver, *IKNPBaseS
 
 // NewIKNPSenderBase creates the extension sender from the receiver's
 // base setup, returning its choice message.
-func NewIKNPSenderBase(group *Group, setup *IKNPBaseSetup, rng io.Reader) (*IKNPSender, *IKNPBaseChoice, error) {
+func NewIKNPSenderBase(group Group, setup *IKNPBaseSetup, rng io.Reader) (*IKNPSender, *IKNPBaseChoice, error) {
 	if setup == nil || len(setup.Setups) != iknpKappa {
 		return nil, nil, fmt.Errorf("%w: base setup must carry %d transfers", ErrIKNP, iknpKappa)
 	}
 	send := &IKNPSender{
-		s:     make([]byte, iknpKappa/8),
-		seeds: make([][]byte, iknpKappa),
+		s:       make([]byte, iknpKappa/8),
+		ciphers: make([]cipher.Block, iknpKappa),
 	}
 	if _, err := io.ReadFull(rng, send.s); err != nil {
 		return nil, nil, err
@@ -176,7 +204,12 @@ func (s *IKNPSender) BaseFinish(tr *IKNPBaseTransfer) error {
 		if err != nil {
 			return fmt.Errorf("ot: iknp base recover %d: %w", i, err)
 		}
-		s.seeds[i] = seed
+		if len(seed) != treeKeyLen {
+			return fmt.Errorf("%w: base seed %d has length %d", ErrIKNP, i, len(seed))
+		}
+		if s.ciphers[i], err = aes.NewCipher(seed); err != nil {
+			return err
+		}
 	}
 	s.baseReceivers = nil
 	return nil
@@ -184,7 +217,7 @@ func (s *IKNPSender) BaseFinish(tr *IKNPBaseTransfer) error {
 
 // NewIKNP runs the complete base phase in memory (both roles) and returns
 // the two extension endpoints ready for any number of batches.
-func NewIKNP(group *Group, rng io.Reader) (*IKNPSender, *IKNPReceiver, error) {
+func NewIKNP(group Group, rng io.Reader) (*IKNPSender, *IKNPReceiver, error) {
 	recv, setup, err := NewIKNPReceiverBase(group, rng)
 	if err != nil {
 		return nil, nil, err
@@ -223,29 +256,34 @@ func (r *IKNPReceiver) Extend(choices []int) (*IKNPExtension, *IKNPReceiverMsg, 
 	cols := (m + 7) / 8
 	r.batch++
 	ext.t = make([][]byte, iknpKappa)
-	u := make([][]byte, iknpKappa)
+	tFlat := make([]byte, iknpKappa*cols)
+	uFlat := make([]byte, iknpKappa*cols)
 	for i := 0; i < iknpKappa; i++ {
 		// Fresh pseudorandom columns per batch: reusing a column across
 		// two choice vectors would leak r ⊕ r' and repeat pads.
-		t0 := prg(r.seed0[i], i, r.batch, cols)
-		t1 := prg(r.seed1[i], i, r.batch, cols)
+		t0 := tFlat[i*cols : (i+1)*cols]
+		prgInto(r.ciphers0[i], i, r.batch, t0)
 		ext.t[i] = t0
-		ui := make([]byte, cols)
+		ui := uFlat[i*cols : (i+1)*cols]
+		prgInto(r.ciphers1[i], i, r.batch, ui)
 		for b := range ui {
-			ui[b] = t0[b] ^ t1[b] ^ ext.r[b]
+			ui[b] ^= t0[b] ^ ext.r[b]
 		}
-		u[i] = ui
 	}
-	return ext, &IKNPReceiverMsg{U: u, M: m}, nil
+	return ext, &IKNPReceiverMsg{U: uFlat, M: m}, nil
 }
 
 // Respond consumes the receiver's columns and encrypts the message pairs
 // (x0[j], x1[j]); all messages must share one length.
 func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSenderMsg, error) {
-	if msg == nil || len(msg.U) != iknpKappa || msg.M <= 0 {
+	if msg == nil || msg.M <= 0 {
 		return nil, fmt.Errorf("%w: bad column message", ErrIKNP)
 	}
 	m := msg.M
+	cols := (m + 7) / 8
+	if len(msg.U) != iknpKappa*cols {
+		return nil, fmt.Errorf("%w: column block length %d, want %d", ErrIKNP, len(msg.U), iknpKappa*cols)
+	}
 	if len(x0) != m || len(x1) != m {
 		return nil, fmt.Errorf("%w: %d pairs for %d transfers", ErrIKNP, len(x0), m)
 	}
@@ -255,107 +293,112 @@ func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSender
 			return nil, ErrMessageLen
 		}
 	}
-	cols := (m + 7) / 8
 	s.batch++
 	// q columns: q_i = G(k(s_i)_i) ⊕ s_i·u_i.
 	q := make([][]byte, iknpKappa)
+	qFlat := make([]byte, iknpKappa*cols)
 	for i := 0; i < iknpKappa; i++ {
-		if len(msg.U[i]) != cols {
-			return nil, fmt.Errorf("%w: column %d length", ErrIKNP, i)
-		}
-		qi := prg(s.seeds[i], i, s.batch, cols)
+		qi := qFlat[i*cols : (i+1)*cols]
+		prgInto(s.ciphers[i], i, s.batch, qi)
 		if getBit(s.s, i) == 1 {
+			ui := msg.U[i*cols : (i+1)*cols]
 			for b := range qi {
-				qi[b] ^= msg.U[i][b]
+				qi[b] ^= ui[b]
 			}
 		}
 		q[i] = qi
 	}
-	out := &IKNPSenderMsg{Y0: make([][]byte, m), Y1: make([][]byte, m)}
-	rowQ := make([]byte, iknpKappa/8)
-	rowQS := make([]byte, iknpKappa/8)
+	rows := transposeColumns(q, m)
+	out := &IKNPSenderMsg{Y0: make([]byte, m*msgLen), Y1: make([]byte, m*msgLen), MsgLen: msgLen}
+	var rowQS [iknpRowBytes]byte
 	for j := 0; j < m; j++ {
-		// Transpose on the fly: row j of the q matrix.
-		for i := range rowQ {
-			rowQ[i] = 0
-		}
-		for i := 0; i < iknpKappa; i++ {
-			if getBit(q[i], j) == 1 {
-				setBit(rowQ, i)
-			}
-		}
-		for i := range rowQ {
+		rowQ := rows[j*iknpRowBytes : (j+1)*iknpRowBytes]
+		for i := range rowQS {
 			rowQS[i] = rowQ[i] ^ s.s[i]
 		}
-		pad0 := rowHash(j, rowQ, msgLen)
-		pad1 := rowHash(j, rowQS, msgLen)
-		y0 := make([]byte, msgLen)
-		y1 := make([]byte, msgLen)
-		for b := 0; b < msgLen; b++ {
-			y0[b] = x0[j][b] ^ pad0[b]
-			y1[b] = x1[j][b] ^ pad1[b]
-		}
-		out.Y0[j] = y0
-		out.Y1[j] = y1
+		rowHashXor(out.Y0[j*msgLen:(j+1)*msgLen], x0[j], j, rowQ)
+		rowHashXor(out.Y1[j*msgLen:(j+1)*msgLen], x1[j], j, rowQS[:])
 	}
 	return out, nil
 }
 
 // Recover decrypts the chosen message of every transfer in the batch.
 func (e *IKNPExtension) Recover(msg *IKNPSenderMsg) ([][]byte, error) {
-	if msg == nil || len(msg.Y0) != e.m || len(msg.Y1) != e.m {
+	if msg == nil || msg.MsgLen < 0 ||
+		len(msg.Y0) != e.m*msg.MsgLen || len(msg.Y1) != e.m*msg.MsgLen {
 		return nil, fmt.Errorf("%w: bad ciphertext batch", ErrIKNP)
 	}
+	msgLen := msg.MsgLen
 	out := make([][]byte, e.m)
-	rowT := make([]byte, iknpKappa/8)
+	rows := transposeColumns(e.t, e.m)
+	flat := make([]byte, e.m*msgLen)
 	for j := 0; j < e.m; j++ {
-		for i := range rowT {
-			rowT[i] = 0
-		}
-		for i := 0; i < iknpKappa; i++ {
-			if getBit(e.t[i], j) == 1 {
-				setBit(rowT, i)
-			}
-		}
-		ct := msg.Y0[j]
+		ct := msg.Y0[j*msgLen : (j+1)*msgLen]
 		if getBit(e.r, j) == 1 {
-			ct = msg.Y1[j]
+			ct = msg.Y1[j*msgLen : (j+1)*msgLen]
 		}
-		pad := rowHash(j, rowT, len(ct))
-		x := make([]byte, len(ct))
-		for b := range ct {
-			x[b] = ct[b] ^ pad[b]
-		}
+		x := flat[j*msgLen : (j+1)*msgLen]
+		rowHashXor(x, ct, j, rows[j*iknpRowBytes:(j+1)*iknpRowBytes])
 		out[j] = x
 	}
 	return out, nil
 }
 
-// prg expands a seed into n pseudorandom bytes (SHA-256 counter mode,
-// domain-separated by column index and batch number).
-func prg(seed []byte, column int, batch uint32, n int) []byte {
-	out := make([]byte, 0, n)
-	var block [12]byte
-	for counter := uint32(0); len(out) < n; counter++ {
-		h := sha256.New()
-		h.Write([]byte("ppdc-iknp-prg-v1"))
-		h.Write(seed)
-		binary.BigEndian.PutUint32(block[:4], uint32(column))
-		binary.BigEndian.PutUint32(block[4:8], batch)
-		binary.BigEndian.PutUint32(block[8:], counter)
-		h.Write(block[:])
-		out = h.Sum(out)
+// prgInto expands a column seed into pseudorandom bytes: AES-128 (the
+// seed is the key, the cipher is built once per session) in counter mode
+// over a block domain-separated by column index and batch number.
+func prgInto(blk cipher.Block, column int, batch uint32, dst []byte) {
+	var ctr, ks [aes.BlockSize]byte
+	binary.BigEndian.PutUint32(ctr[0:4], uint32(column))
+	binary.BigEndian.PutUint32(ctr[4:8], batch)
+	off := 0
+	for counter := uint32(0); off < len(dst); counter++ {
+		binary.BigEndian.PutUint32(ctr[8:12], counter)
+		if len(dst)-off >= aes.BlockSize {
+			blk.Encrypt(dst[off:off+aes.BlockSize], ctr[:])
+			off += aes.BlockSize
+		} else {
+			blk.Encrypt(ks[:], ctr[:])
+			off += copy(dst[off:], ks[:])
+		}
 	}
-	return out[:n]
 }
 
-// rowHash is the correlation-robust hash H(j, row) expanded to msgLen.
+// iknpHashPrefix domain-separates the correlation-robust hash.
+const iknpHashPrefix = "ppdc-iknp-hash-v1"
+
+// rowHashXor writes dst = src ⊕ H(j, row). For messages up to one
+// SHA-256 output (every OMPE payload: field elements and tree keys are
+// ≤ 32 bytes) the hash is a single stack-buffer Sum256; longer messages
+// fall back to counter mode.
+func rowHashXor(dst, src []byte, j int, row []byte) {
+	if len(src) <= sha256.Size && len(row) == iknpRowBytes {
+		var buf [len(iknpHashPrefix) + 8 + iknpRowBytes]byte
+		copy(buf[:], iknpHashPrefix)
+		binary.BigEndian.PutUint32(buf[len(iknpHashPrefix):], uint32(j))
+		binary.BigEndian.PutUint32(buf[len(iknpHashPrefix)+4:], 0)
+		copy(buf[len(iknpHashPrefix)+8:], row)
+		sum := sha256.Sum256(buf[:])
+		for b := range src {
+			dst[b] = src[b] ^ sum[b]
+		}
+		return
+	}
+	pad := rowHash(j, row, len(src))
+	for b := range src {
+		dst[b] = src[b] ^ pad[b]
+	}
+}
+
+// rowHash is the correlation-robust hash H(j, row) expanded to msgLen
+// (counter mode; rowHashXor's single-shot fast path is its counter-0
+// prefix).
 func rowHash(j int, row []byte, msgLen int) []byte {
 	out := make([]byte, 0, msgLen)
 	var block [8]byte
 	for counter := uint32(0); len(out) < msgLen; counter++ {
 		h := sha256.New()
-		h.Write([]byte("ppdc-iknp-hash-v1"))
+		h.Write([]byte(iknpHashPrefix))
 		binary.BigEndian.PutUint32(block[:4], uint32(j))
 		binary.BigEndian.PutUint32(block[4:], counter)
 		h.Write(block[:])
@@ -363,6 +406,47 @@ func rowHash(j int, row []byte, msgLen int) []byte {
 		out = h.Sum(out)
 	}
 	return out[:msgLen]
+}
+
+// transposeColumns turns κ packed bit-columns (column i, bit j = transfer
+// j) into packed bit-rows (row j, bit i), 16 bytes per row in one flat
+// slice. The inner step is the classic 8×8 bit-matrix transpose on a
+// uint64, so the cost is ~m·κ/64 word operations instead of m·κ
+// single-bit probes.
+func transposeColumns(cols [][]byte, m int) []byte {
+	rowBytes := (m + 7) / 8
+	out := make([]byte, rowBytes*8*iknpRowBytes)
+	for ci := 0; ci < iknpRowBytes; ci++ {
+		c0, c1, c2, c3 := cols[ci*8], cols[ci*8+1], cols[ci*8+2], cols[ci*8+3]
+		c4, c5, c6, c7 := cols[ci*8+4], cols[ci*8+5], cols[ci*8+6], cols[ci*8+7]
+		for bj := 0; bj < rowBytes; bj++ {
+			x := uint64(c0[bj]) | uint64(c1[bj])<<8 | uint64(c2[bj])<<16 | uint64(c3[bj])<<24 |
+				uint64(c4[bj])<<32 | uint64(c5[bj])<<40 | uint64(c6[bj])<<48 | uint64(c7[bj])<<56
+			x = transpose8x8(x)
+			base := bj * 8 * iknpRowBytes
+			out[base+ci] = byte(x)
+			out[base+iknpRowBytes+ci] = byte(x >> 8)
+			out[base+2*iknpRowBytes+ci] = byte(x >> 16)
+			out[base+3*iknpRowBytes+ci] = byte(x >> 24)
+			out[base+4*iknpRowBytes+ci] = byte(x >> 32)
+			out[base+5*iknpRowBytes+ci] = byte(x >> 40)
+			out[base+6*iknpRowBytes+ci] = byte(x >> 48)
+			out[base+7*iknpRowBytes+ci] = byte(x >> 56)
+		}
+	}
+	return out
+}
+
+// transpose8x8 transposes a uint64 viewed as an 8×8 bit matrix (byte k,
+// bit r) ↦ (byte r, bit k) — the recursive block-swap trick.
+func transpose8x8(x uint64) uint64 {
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	x = x ^ t ^ (t << 28)
+	return x
 }
 
 func getBit(b []byte, i int) int {

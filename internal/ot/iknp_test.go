@@ -80,7 +80,7 @@ func TestIKNPNonChosenUnreadable(t *testing.T) {
 	}
 	// Swap the ciphertext pairs so the receiver decrypts the slot it did
 	// not choose with its own pads.
-	swapped := &ot.IKNPSenderMsg{Y0: sendMsg.Y1, Y1: sendMsg.Y0}
+	swapped := &ot.IKNPSenderMsg{Y0: sendMsg.Y1, Y1: sendMsg.Y0, MsgLen: sendMsg.MsgLen}
 	leaked, err := ext.Recover(swapped)
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +249,7 @@ func TestExtKofNNonChosenUnreadable(t *testing.T) {
 	}
 	// Swap another ciphertext into the chosen slot: the path pad must not
 	// decrypt it (index domain separation + different key path).
-	resp.Cts[0][2] = resp.Cts[0][5]
+	copy(resp.Cts[2*resp.MsgLen:3*resp.MsgLen], resp.Cts[5*resp.MsgLen:6*resp.MsgLen])
 	leaked, err := q.Recover(resp)
 	if err != nil {
 		t.Fatal(err)

@@ -43,13 +43,13 @@ type BatchSender struct {
 
 // NewBatchSender prepares a k-out-of-n transfer of the given messages
 // using all available cores (parallelism 0 = GOMAXPROCS).
-func NewBatchSender(group *Group, msgs [][]byte, k int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
+func NewBatchSender(group Group, msgs [][]byte, k int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
 	return NewBatchSenderParallel(group, msgs, k, 0, rng)
 }
 
 // NewBatchSenderParallel is NewBatchSender with an explicit worker count
 // (<= 0 selects GOMAXPROCS, 1 forces the serial path).
-func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
+func NewBatchSenderParallel(group Group, msgs [][]byte, k, parallelism int, rng io.Reader) (*BatchSender, *BatchSetup, error) {
 	span := obs.Start(obs.PhaseOTSenderSetup)
 	defer span.End()
 	if k < 1 || k > len(msgs) {
@@ -70,13 +70,14 @@ func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng
 		copied[i] = append([]byte(nil), m...)
 	}
 	// Draw every instance's constraint randomness serially, in the same
-	// nested order as instance-by-instance construction; only the subgroup
-	// squarings run in parallel.
+	// nested order as instance-by-instance construction; only the heavy
+	// seed-to-element finish (a subgroup squaring for MODP groups, a
+	// scalar multiplication for curves) runs in parallel.
 	raw := make([][]*big.Int, k)
 	for i := 0; i < k; i++ {
 		rs := make([]*big.Int, len(msgs)-1)
 		for j := range rs {
-			x, err := randomElementRaw(group, rng)
+			x, err := group.RandomElementSeed(rng)
 			if err != nil {
 				return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
 			}
@@ -89,7 +90,7 @@ func NewBatchSenderParallel(group *Group, msgs [][]byte, k, parallelism int, rng
 	_ = parallel.For(parallelism, k, func(i int) error {
 		cs := make([]*big.Int, len(raw[i]))
 		for j, x := range raw[i] {
-			cs[j] = group.Mul(x, x)
+			cs[j] = group.ElementFromSeed(x)
 		}
 		setup := &SenderSetup{Cs: cs}
 		senders[i] = &Sender{group: group, msgs: copied, setup: setup}
@@ -115,7 +116,7 @@ func (bs *BatchSender) Respond(choice *BatchChoice, rng io.Reader) (*BatchTransf
 		if err := s.checkChoice(choice.Choices[i]); err != nil {
 			return nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
-		r, err := randomExponent(s.group, rng)
+		r, err := s.group.RandomScalar(rng)
 		if err != nil {
 			return nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
@@ -144,13 +145,13 @@ type BatchReceiver struct {
 
 // NewBatchReceiver prepares the receiver's choice of the (distinct) indices
 // among n messages using all available cores (parallelism 0 = GOMAXPROCS).
-func NewBatchReceiver(group *Group, n int, indices []int, setup *BatchSetup, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
+func NewBatchReceiver(group Group, n int, indices []int, setup *BatchSetup, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
 	return NewBatchReceiverParallel(group, n, indices, setup, 0, rng)
 }
 
 // NewBatchReceiverParallel is NewBatchReceiver with an explicit worker
 // count (<= 0 selects GOMAXPROCS, 1 forces the serial path).
-func NewBatchReceiverParallel(group *Group, n int, indices []int, setup *BatchSetup, parallelism int, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
+func NewBatchReceiverParallel(group Group, n int, indices []int, setup *BatchSetup, parallelism int, rng io.Reader) (*BatchReceiver, *BatchChoice, error) {
 	span := obs.Start(obs.PhaseOTReceiverChoice)
 	defer span.End()
 	if setup == nil || len(setup.Setups) != len(indices) {
@@ -170,7 +171,7 @@ func NewBatchReceiverParallel(group *Group, n int, indices []int, setup *BatchSe
 		if err := checkReceiverArgs(group, n, idx, setup.Setups[i]); err != nil {
 			return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
-		x, err := randomExponent(group, rng)
+		x, err := group.RandomScalar(rng)
 		if err != nil {
 			return nil, nil, fmt.Errorf("ot: instance %d: %w", i, err)
 		}
@@ -219,12 +220,12 @@ func (br *BatchReceiver) Recover(tr *BatchTransfer) ([][]byte, error) {
 // learns msgs[bit] and nothing about the other message, the sender learns
 // nothing about bit. It exists as the paper's base protocol (§III-B step 1)
 // and as a convenience for tests and examples.
-func Transfer1of2(group *Group, msgs [2][]byte, bit int, rng io.Reader) ([]byte, error) {
+func Transfer1of2(group Group, msgs [2][]byte, bit int, rng io.Reader) ([]byte, error) {
 	return Transfer1ofN(group, [][]byte{msgs[0], msgs[1]}, bit, rng)
 }
 
 // Transfer1ofN runs a complete in-memory 1-out-of-n transfer.
-func Transfer1ofN(group *Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte, error) {
+func Transfer1ofN(group Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte, error) {
 	sender, setup, err := NewSender(group, msgs, rng)
 	if err != nil {
 		return nil, err
@@ -241,12 +242,12 @@ func Transfer1ofN(group *Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte
 }
 
 // TransferKofN runs a complete in-memory k-out-of-n transfer.
-func TransferKofN(group *Group, msgs [][]byte, indices []int, rng io.Reader) ([][]byte, error) {
+func TransferKofN(group Group, msgs [][]byte, indices []int, rng io.Reader) ([][]byte, error) {
 	return TransferKofNParallel(group, msgs, indices, 0, rng)
 }
 
 // TransferKofNParallel is TransferKofN with an explicit worker count.
-func TransferKofNParallel(group *Group, msgs [][]byte, indices []int, parallelism int, rng io.Reader) ([][]byte, error) {
+func TransferKofNParallel(group Group, msgs [][]byte, indices []int, parallelism int, rng io.Reader) ([][]byte, error) {
 	sender, setup, err := NewBatchSenderParallel(group, msgs, len(indices), parallelism, rng)
 	if err != nil {
 		return nil, err

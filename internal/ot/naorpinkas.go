@@ -1,7 +1,6 @@
 package ot
 
 import (
-	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -42,14 +41,14 @@ type SenderTransfer struct {
 
 // Sender runs the sender role of a Naor–Pinkas 1-out-of-n transfer.
 type Sender struct {
-	group *Group
+	group Group
 	msgs  [][]byte
 	setup *SenderSetup
 }
 
 // NewSender prepares a transfer of the given messages (all the same
 // length) and returns the setup message for the receiver.
-func NewSender(group *Group, msgs [][]byte, rng io.Reader) (*Sender, *SenderSetup, error) {
+func NewSender(group Group, msgs [][]byte, rng io.Reader) (*Sender, *SenderSetup, error) {
 	if len(msgs) < 2 {
 		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", len(msgs))
 	}
@@ -79,7 +78,7 @@ func (s *Sender) Respond(choice *ReceiverChoice, rng io.Reader) (*SenderTransfer
 	if err := s.checkChoice(choice); err != nil {
 		return nil, err
 	}
-	r, err := randomExponent(s.group, rng)
+	r, err := s.group.RandomScalar(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +129,7 @@ func (s *Sender) respond(choice *ReceiverChoice, r *big.Int) (*SenderTransfer, e
 
 // Receiver runs the receiver role of a 1-out-of-n transfer.
 type Receiver struct {
-	group *Group
+	group Group
 	n     int
 	sigma int
 	x     *big.Int // secret exponent; PK_sigma = g^x
@@ -138,18 +137,18 @@ type Receiver struct {
 
 // NewReceiver prepares the receiver's choice of index sigma among n
 // messages, given the sender's setup.
-func NewReceiver(group *Group, n, sigma int, setup *SenderSetup, rng io.Reader) (*Receiver, *ReceiverChoice, error) {
+func NewReceiver(group Group, n, sigma int, setup *SenderSetup, rng io.Reader) (*Receiver, *ReceiverChoice, error) {
 	if err := checkReceiverArgs(group, n, sigma, setup); err != nil {
 		return nil, nil, err
 	}
-	x, err := randomExponent(group, rng)
+	x, err := group.RandomScalar(rng)
 	if err != nil {
 		return nil, nil, err
 	}
 	return newReceiverWithSecret(group, n, sigma, setup, x)
 }
 
-func checkReceiverArgs(group *Group, n, sigma int, setup *SenderSetup) error {
+func checkReceiverArgs(group Group, n, sigma int, setup *SenderSetup) error {
 	if n < 2 {
 		return fmt.Errorf("ot: need at least 2 messages, got %d", n)
 	}
@@ -170,7 +169,7 @@ func checkReceiverArgs(group *Group, n, sigma int, setup *SenderSetup) error {
 // newReceiverWithSecret computes the choice from a pre-drawn secret
 // exponent; arguments must already be validated. The batch path samples
 // secrets serially and parallelizes these exponentiations.
-func newReceiverWithSecret(group *Group, n, sigma int, setup *SenderSetup, x *big.Int) (*Receiver, *ReceiverChoice, error) {
+func newReceiverWithSecret(group Group, n, sigma int, setup *SenderSetup, x *big.Int) (*Receiver, *ReceiverChoice, error) {
 	gx := group.ExpG(x)
 	pk0 := gx
 	if sigma > 0 {
@@ -213,7 +212,7 @@ func (s *Sender) keystream(elem *big.Int, index, n int) ([]byte, error) {
 
 // keystream derives n bytes from a group element with SHA-256 in counter
 // mode, domain-separated by the message index.
-func keystream(group *Group, elem *big.Int, index, n int) ([]byte, error) {
+func keystream(group Group, elem *big.Int, index, n int) ([]byte, error) {
 	eb := make([]byte, group.ElementLen())
 	elem.FillBytes(eb)
 	out := make([]byte, 0, n)
@@ -228,37 +227,4 @@ func keystream(group *Group, elem *big.Int, index, n int) ([]byte, error) {
 		out = h.Sum(out)
 	}
 	return out[:n], nil
-}
-
-// randomExponent samples a uniform exponent in [1, q).
-func randomExponent(group *Group, rng io.Reader) (*big.Int, error) {
-	qm1 := new(big.Int).Sub(group.Q, big.NewInt(1))
-	x, err := rand.Int(rng, qm1)
-	if err != nil {
-		return nil, fmt.Errorf("ot: sample exponent: %w", err)
-	}
-	return x.Add(x, big.NewInt(1)), nil
-}
-
-// randomElement samples a uniform element of the order-q subgroup by
-// squaring a uniform element of Z_p^* (squares form the subgroup for a
-// safe prime).
-func randomElement(group *Group, rng io.Reader) (*big.Int, error) {
-	x, err := randomElementRaw(group, rng)
-	if err != nil {
-		return nil, err
-	}
-	return group.Mul(x, x), nil
-}
-
-// randomElementRaw draws the uniform pre-square value behind
-// randomElement. The batch constructor draws these serially (deterministic
-// rng stream) and performs the squarings in parallel.
-func randomElementRaw(group *Group, rng io.Reader) (*big.Int, error) {
-	pm1 := new(big.Int).Sub(group.P, big.NewInt(1))
-	x, err := rand.Int(rng, pm1)
-	if err != nil {
-		return nil, fmt.Errorf("ot: sample element: %w", err)
-	}
-	return x.Add(x, big.NewInt(1)), nil
 }

@@ -10,7 +10,7 @@ import (
 	"repro/internal/ot"
 )
 
-func testGroup() *ot.Group { return ot.Group512Test() }
+func testGroup() ot.Group { return ot.Group512Test() }
 
 func randomMessages(t *testing.T, n, size int) [][]byte {
 	t.Helper()
@@ -25,7 +25,7 @@ func randomMessages(t *testing.T, n, size int) [][]byte {
 }
 
 func TestGroupsAreSafePrimes(t *testing.T) {
-	groups := []*ot.Group{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
+	groups := []*ot.ModpGroup{ot.Group512Test(), ot.Group1024(), ot.Group1536(), ot.Group2048()}
 	for _, g := range groups {
 		t.Run(g.Name(), func(t *testing.T) {
 			if !g.P.ProbablyPrime(32) {
@@ -297,7 +297,7 @@ func TestLargeGroupRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large-group modexp")
 	}
-	for _, g := range []*ot.Group{ot.Group1024(), ot.Group2048()} {
+	for _, g := range []ot.Group{ot.Group1024(), ot.Group2048()} {
 		t.Run(g.Name(), func(t *testing.T) {
 			msgs := randomMessages(t, 3, 32)
 			got, err := ot.Transfer1ofN(g, msgs, 2, rand.Reader)

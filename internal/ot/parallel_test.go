@@ -69,22 +69,25 @@ func TestExpGMatchesExp(t *testing.T) {
 // TestKofNParallelRoundTrip runs the batch transfer across worker counts,
 // checking the recovered messages at each degree.
 func TestKofNParallelRoundTrip(t *testing.T) {
-	group := Group512Test()
-	msgs := make([][]byte, 8)
-	for i := range msgs {
-		msgs[i] = []byte(fmt.Sprintf("message-%02d", i))
-	}
-	indices := []int{6, 0, 3}
-	for _, par := range []int{0, 1, 2, 4, 8} {
-		got, err := TransferKofNParallel(group, msgs, indices, par, rand.Reader)
-		if err != nil {
-			t.Fatalf("par=%d: %v", par, err)
-		}
-		for j, idx := range indices {
-			if !bytes.Equal(got[j], msgs[idx]) {
-				t.Fatalf("par=%d: recovered[%d] = %q, want %q", par, j, got[j], msgs[idx])
+	for _, group := range []Group{Group512Test(), X25519()} {
+		t.Run(group.Name(), func(t *testing.T) {
+			msgs := make([][]byte, 8)
+			for i := range msgs {
+				msgs[i] = []byte(fmt.Sprintf("message-%02d", i))
 			}
-		}
+			indices := []int{6, 0, 3}
+			for _, par := range []int{0, 1, 2, 4, 8} {
+				got, err := TransferKofNParallel(group, msgs, indices, par, rand.Reader)
+				if err != nil {
+					t.Fatalf("par=%d: %v", par, err)
+				}
+				for j, idx := range indices {
+					if !bytes.Equal(got[j], msgs[idx]) {
+						t.Fatalf("par=%d: recovered[%d] = %q, want %q", par, j, got[j], msgs[idx])
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -92,7 +95,12 @@ func TestKofNParallelRoundTrip(t *testing.T) {
 // bit-identical across parallelism degrees when the rng stream is fixed:
 // randomness is drawn serially, only the exponentiations fan out.
 func TestKofNParallelDeterministic(t *testing.T) {
-	group := Group512Test()
+	for _, group := range []Group{Group512Test(), X25519()} {
+		t.Run(group.Name(), func(t *testing.T) { testKofNDeterministic(t, group) })
+	}
+}
+
+func testKofNDeterministic(t *testing.T, group Group) {
 	msgs := make([][]byte, 6)
 	for i := range msgs {
 		msgs[i] = []byte(fmt.Sprintf("payload-%02d", i))

@@ -48,7 +48,7 @@ type TreeSender struct {
 
 // NewTreeSender prepares a tree transfer of the given equal-length
 // messages.
-func NewTreeSender(group *Group, msgs [][]byte, rng io.Reader) (*TreeSender, *TreeSetup, error) {
+func NewTreeSender(group Group, msgs [][]byte, rng io.Reader) (*TreeSender, *TreeSetup, error) {
 	n := len(msgs)
 	if n < 2 {
 		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
@@ -71,12 +71,14 @@ func NewTreeSender(group *Group, msgs [][]byte, rng io.Reader) (*TreeSender, *Tr
 		}
 	}
 	cts := make([][]byte, n)
+	ctFlat := make([]byte, n*len(msgs[0]))
+	path := make([][]byte, depth)
 	for i, m := range msgs {
-		pad := treePad(keys, i, depth, len(m))
-		ct := make([]byte, len(m))
-		for p := range m {
-			ct[p] = m[p] ^ pad[p]
+		for j := 0; j < depth; j++ {
+			path[j] = keys[j][(i>>j)&1]
 		}
+		ct := ctFlat[i*len(m) : (i+1)*len(m)]
+		treePadXor(ct, m, path, i)
 		cts[i] = ct
 	}
 	// One 1-of-2 OT per level carrying that level's key pair.
@@ -120,7 +122,7 @@ type TreeReceiver struct {
 
 // NewTreeReceiver prepares the choice of index sigma given the sender's
 // setup.
-func NewTreeReceiver(group *Group, n, sigma int, setup *TreeSetup, rng io.Reader) (*TreeReceiver, *TreeChoice, error) {
+func NewTreeReceiver(group Group, n, sigma int, setup *TreeSetup, rng io.Reader) (*TreeReceiver, *TreeChoice, error) {
 	if n < 2 {
 		return nil, nil, fmt.Errorf("ot: need at least 2 messages, got %d", n)
 	}
@@ -167,16 +169,13 @@ func (tr *TreeReceiver) Recover(transfer *TreeTransfer) ([]byte, error) {
 		keys[j] = k
 	}
 	ct := tr.cts[tr.sigma]
-	pad := treePadFromKeys(keys, tr.sigma, len(ct))
 	out := make([]byte, len(ct))
-	for p := range ct {
-		out[p] = ct[p] ^ pad[p]
-	}
+	treePadXor(out, ct, keys, tr.sigma)
 	return out, nil
 }
 
 // Transfer1ofNTree runs a complete in-memory tree transfer.
-func Transfer1ofNTree(group *Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte, error) {
+func Transfer1ofNTree(group Group, msgs [][]byte, sigma int, rng io.Reader) ([]byte, error) {
 	sender, setup, err := NewTreeSender(group, msgs, rng)
 	if err != nil {
 		return nil, err
@@ -196,13 +195,40 @@ func treeDepth(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
-// treePad derives index i's pad from the sender's full key table.
-func treePad(keys [][2][]byte, index, depth, n int) []byte {
-	path := make([][]byte, depth)
-	for j := 0; j < depth; j++ {
-		path[j] = keys[j][(index>>j)&1]
+// treePadPrefix domain-separates the tree-OT pad derivation.
+const treePadPrefix = "ppdc-ot-tree-v1"
+
+// treePadXor writes dst = src ⊕ pad(path, index). Pads up to one SHA-256
+// output with paths up to 8 levels (n ≤ 256, which covers every OMPE
+// decoy set) cost a single compression over a stack buffer; anything
+// larger falls back to the counter-mode derivation, whose counter-0 block
+// the fast path reproduces exactly.
+func treePadXor(dst, src []byte, path [][]byte, index int) {
+	if len(src) <= sha256.Size && len(path) <= 8 {
+		var buf [len(treePadPrefix) + 8*treeKeyLen + 8]byte
+		off := copy(buf[:], treePadPrefix)
+		fixed := true
+		for _, k := range path {
+			if len(k) != treeKeyLen {
+				fixed = false
+				break
+			}
+			off += copy(buf[off:], k)
+		}
+		if fixed {
+			binary.BigEndian.PutUint32(buf[off:], uint32(index))
+			binary.BigEndian.PutUint32(buf[off+4:], 0)
+			sum := sha256.Sum256(buf[:off+8])
+			for p := range src {
+				dst[p] = src[p] ^ sum[p]
+			}
+			return
+		}
 	}
-	return treePadFromKeys(path, index, n)
+	pad := treePadFromKeys(path, index, len(src))
+	for p := range src {
+		dst[p] = src[p] ^ pad[p]
+	}
 }
 
 // treePadFromKeys derives the pad from one key per level, in counter mode
@@ -212,7 +238,7 @@ func treePadFromKeys(path [][]byte, index, n int) []byte {
 	var block [8]byte
 	for counter := uint32(0); len(out) < n; counter++ {
 		h := sha256.New()
-		h.Write([]byte("ppdc-ot-tree-v1"))
+		h.Write([]byte(treePadPrefix))
 		for _, k := range path {
 			h.Write(k)
 		}

@@ -1,0 +1,134 @@
+package ot
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/ec25519"
+	"repro/internal/obs"
+)
+
+// X25519Group adapts the edwards25519 prime-order subgroup (internal/
+// ec25519) to the Group interface. A group element is the 32-byte
+// compressed point encoding, carried as the big-endian *big.Int of those
+// bytes so that the Naor–Pinkas message structs, gob wire format, and
+// key-derivation path (elem.FillBytes) are identical to the MODP
+// backends'. "Exponentiation" is scalar multiplication; per-operation
+// cost drops from milliseconds (modp2048 square-and-multiply) to tens of
+// microseconds, which is what makes per-session base-OT setup disappear
+// under IKNP amortization.
+//
+// Random elements are sampled as g^s for a secret uniform scalar s — the
+// sampler's knowledge of s is harmless in the paper's honest-but-curious
+// model, where the Naor–Pinkas constraint elements are chosen by the
+// sender about its own messages. The seed/finish split lets batch
+// constructors draw s serially and run the scalar multiplications in
+// parallel, keeping wire bytes deterministic at any parallelism.
+type X25519Group struct{}
+
+// X25519 returns the edwards25519 OT group backend.
+func X25519() *X25519Group { return &X25519Group{} }
+
+// Name returns "x25519".
+func (g *X25519Group) Name() string { return "x25519" }
+
+// Bits returns the field size (255) of the underlying curve.
+func (g *X25519Group) Bits() int { return 255 }
+
+// ElementLen returns the compressed point size (32 bytes).
+func (g *X25519Group) ElementLen() int { return ec25519.PointLen }
+
+// decodePoint interprets a wire integer as a compressed point.
+func (g *X25519Group) decodePoint(x *big.Int) (*ec25519.Point, error) {
+	if x == nil || x.Sign() < 0 || x.BitLen() > 8*ec25519.PointLen {
+		return nil, fmt.Errorf("%w: element out of range", ErrBadMessage)
+	}
+	var buf [ec25519.PointLen]byte
+	x.FillBytes(buf[:])
+	var p ec25519.Point
+	if err := p.Decode(buf[:]); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func encodePoint(p *ec25519.Point) *big.Int {
+	return new(big.Int).SetBytes(p.Bytes())
+}
+
+// identityElem is the wire form of the neutral element, returned by the
+// error-less group operations for inputs that fail to decode. Protocol
+// paths never hit it: every element is checked with ValidElement on
+// receipt, before any arithmetic.
+func identityElem() *big.Int {
+	var id ec25519.Point
+	return encodePoint(id.SetIdentity())
+}
+
+// Exp returns [e]·base.
+func (g *X25519Group) Exp(base, e *big.Int) *big.Int {
+	obs.Add(obs.CtrGroupExp, 1)
+	p, err := g.decodePoint(base)
+	if err != nil {
+		return identityElem()
+	}
+	return encodePoint(p.ScalarMult(e, p))
+}
+
+// ExpG returns [e]·B via the fixed-base table.
+func (g *X25519Group) ExpG(e *big.Int) *big.Int {
+	obs.Add(obs.CtrGroupExp, 1)
+	var p ec25519.Point
+	return encodePoint(p.ScalarBaseMult(e))
+}
+
+// Mul returns the point sum a + b.
+func (g *X25519Group) Mul(a, b *big.Int) *big.Int {
+	pa, err := g.decodePoint(a)
+	if err != nil {
+		return identityElem()
+	}
+	pb, err := g.decodePoint(b)
+	if err != nil {
+		return identityElem()
+	}
+	return encodePoint(pa.Add(pa, pb))
+}
+
+// Inv returns the point negation −a.
+func (g *X25519Group) Inv(a *big.Int) (*big.Int, error) {
+	p, err := g.decodePoint(a)
+	if err != nil {
+		return nil, fmt.Errorf("ot: %w", err)
+	}
+	return encodePoint(p.Neg(p)), nil
+}
+
+// ValidElement reports whether x decodes to a canonical curve point.
+func (g *X25519Group) ValidElement(x *big.Int) bool {
+	_, err := g.decodePoint(x)
+	return err == nil
+}
+
+// RandomScalar samples a uniform scalar in [1, L).
+func (g *X25519Group) RandomScalar(rng io.Reader) (*big.Int, error) {
+	lm1 := new(big.Int).Sub(ec25519.Order(), big.NewInt(1))
+	x, err := rand.Int(rng, lm1)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sample scalar: %w", err)
+	}
+	return x.Add(x, big.NewInt(1)), nil
+}
+
+// RandomElementSeed draws the secret scalar behind a random element.
+func (g *X25519Group) RandomElementSeed(rng io.Reader) (*big.Int, error) {
+	return g.RandomScalar(rng)
+}
+
+// ElementFromSeed finishes the sample: [seed]·B.
+func (g *X25519Group) ElementFromSeed(seed *big.Int) *big.Int {
+	var p ec25519.Point
+	return encodePoint(p.ScalarBaseMult(seed))
+}

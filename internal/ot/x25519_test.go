@@ -1,0 +1,164 @@
+package ot_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/ot"
+)
+
+func TestX25519GroupByName(t *testing.T) {
+	for _, name := range []string{"x25519", "25519"} {
+		g, err := ot.GroupByName(name)
+		if err != nil {
+			t.Fatalf("GroupByName(%q): %v", name, err)
+		}
+		if g.Name() != "x25519" {
+			t.Fatalf("name = %q", g.Name())
+		}
+		if g.ElementLen() != 32 {
+			t.Fatalf("element len = %d", g.ElementLen())
+		}
+	}
+	found := false
+	for _, n := range ot.GroupNames() {
+		if n == "x25519" {
+			found = true
+		}
+		if _, err := ot.GroupByName(n); err != nil {
+			t.Fatalf("GroupNames lists unresolvable %q: %v", n, err)
+		}
+	}
+	if !found {
+		t.Fatal("GroupNames omits x25519")
+	}
+}
+
+// TestX25519GroupOps checks the DDH-group contract the Naor–Pinkas
+// construction relies on: ExpG agrees with Exp on the generator's image,
+// Mul/Inv cancel, and exponent arithmetic is homomorphic.
+func TestX25519GroupOps(t *testing.T) {
+	g := ot.X25519()
+	a, err := g.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := g.ExpG(a)
+	gb := g.ExpG(b)
+	if !g.ValidElement(ga) || !g.ValidElement(gb) {
+		t.Fatal("generator powers not valid elements")
+	}
+	// (g^a)^b == (g^b)^a == g^(ab)
+	ab := g.Exp(ga, b)
+	ba := g.Exp(gb, a)
+	if ab.Cmp(ba) != 0 {
+		t.Fatal("Exp not commutative in the exponent")
+	}
+	// g^a · g^b == g^(a+b)
+	sum := g.Mul(ga, gb)
+	if sum.Cmp(g.ExpG(new(big.Int).Add(a, b))) != 0 {
+		t.Fatal("Mul does not match exponent addition")
+	}
+	// g^a · (g^a)^{-1} is the identity, and multiplying by it is a no-op.
+	inv, err := g.Inv(ga)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := g.Mul(ga, inv)
+	if got := g.Mul(gb, id); got.Cmp(gb) != 0 {
+		t.Fatal("identity element not neutral")
+	}
+	// Random elements are valid and do not repeat.
+	e1, err := g.RandomElementSeed(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := g.ElementFromSeed(e1)
+	if !g.ValidElement(el) {
+		t.Fatal("sampled element invalid")
+	}
+}
+
+func TestX25519ValidElementRejects(t *testing.T) {
+	g := ot.X25519()
+	if g.ValidElement(nil) {
+		t.Fatal("nil accepted")
+	}
+	if g.ValidElement(new(big.Int).Lsh(big.NewInt(1), 260)) {
+		t.Fatal("out-of-range accepted")
+	}
+	if g.ValidElement(new(big.Int).Neg(big.NewInt(5))) {
+		t.Fatal("negative accepted")
+	}
+	// Scan a few small integers: any off-curve y must be rejected.
+	rejected := 0
+	for v := int64(0); v < 32; v++ {
+		if !g.ValidElement(big.NewInt(v)) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no small invalid encodings rejected")
+	}
+}
+
+// TestIKNPOverX25519 runs the OT extension's curve-based base phase end to
+// end: 128 base transfers on edwards25519, then an extended batch.
+func TestIKNPOverX25519(t *testing.T) {
+	g := ot.X25519()
+	send, recv, err := ot.NewIKNP(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 33
+	choices := make([]int, m)
+	x0 := make([][]byte, m)
+	x1 := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		choices[j] = j % 2
+		x0[j] = []byte{byte(j), 0xaa}
+		x1[j] = []byte{byte(j), 0xbb}
+	}
+	ext, msg, err := recv.Extend(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := send.Respond(msg, x0, x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ext.Recover(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m; j++ {
+		want := x0[j]
+		if choices[j] == 1 {
+			want = x1[j]
+		}
+		if !bytes.Equal(got[j], want) {
+			t.Fatalf("transfer %d: got %x want %x", j, got[j], want)
+		}
+	}
+}
+
+// BenchmarkIKNPBase prices the per-session base phase on each backend —
+// the setup cost the limb+x25519 configuration is built to kill.
+func BenchmarkIKNPBase(b *testing.B) {
+	for _, g := range []ot.Group{ot.Group512Test(), ot.Group2048(), ot.X25519()} {
+		b.Run(g.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ot.NewIKNP(g, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

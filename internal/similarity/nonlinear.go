@@ -163,7 +163,7 @@ func kernelSpecFor(k svm.Kernel, dim int, p Params) (KernelSpec, error) {
 	maxC3 := uint(16)               // headroom for the adaptive c3 exponent
 	totalMax := 2*e1 + 2*e2 + maxC3 // worst-case area exponent
 	need := max(int(e2+1)*int(p.FracBits)+p.AmplifierBits, int(totalMax)*int(p.FracBits)) + 48 + 24
-	f, err := field.ByBits(need)
+	f, err := resolveField(p.FieldBackend, need)
 	if err != nil {
 		return KernelSpec{}, err
 	}
@@ -177,6 +177,7 @@ func kernelSpecFor(k svm.Kernel, dim int, p Params) (KernelSpec, error) {
 			FieldBits:     f.Bits(),
 			FracBits:      p.FracBits,
 			GroupName:     p.Group.Name(),
+			FieldBackend:  backendSpecName(p.FieldBackend, f),
 		},
 		Kernel: k,
 	}, nil
@@ -307,6 +308,10 @@ func (s KernelSpec) ompeParamsKernel(round Round, degree int) (ompe.Params, erro
 	if err != nil {
 		return ompe.Params{}, err
 	}
+	backend, err := field.ResolveBackend(s.FieldBackend)
+	if err != nil {
+		return ompe.Params{}, err
+	}
 	return ompe.Params{
 		Field:         codec.Field(),
 		PolyDegree:    degree,
@@ -314,6 +319,7 @@ func (s KernelSpec) ompeParamsKernel(round Round, degree int) (ompe.Params, erro
 		CoverFactor:   s.CoverFactor,
 		AmplifierBits: s.AmplifierBits,
 		Group:         group,
+		Backend:       backend,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/entropy"
 	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
@@ -53,11 +54,12 @@ func NewClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*ClassifyClient, e
 // stream, bounding each message by opts.MessageDeadline and the whole
 // handshake by ctx.
 func NewClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*ClassifyClient, error) {
+	rng = entropy.Buffered(rng)
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var client *classify.Client
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify"}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify", FieldBackend: opts.requestedBackend()}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
@@ -139,6 +141,7 @@ func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.
 // EvaluateSimilarityContext is EvaluateSimilarity with per-message
 // deadlines from opts and cancellation via ctx.
 func EvaluateSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, wB []float64, bB float64, opts Options, rng io.Reader) (*similarity.Result, error) {
+	rng = entropy.Buffered(rng)
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
@@ -225,6 +228,7 @@ func EvaluateKernelSimilarity(rw io.ReadWriteCloser, modelB *svm.Model, rng io.R
 // EvaluateKernelSimilarityContext is EvaluateKernelSimilarity with
 // per-message deadlines from opts and cancellation via ctx.
 func EvaluateKernelSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, modelB *svm.Model, opts Options, rng io.Reader) (*similarity.Result, error) {
+	rng = entropy.Buffered(rng)
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
@@ -298,11 +302,12 @@ func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyC
 // NewFastClassifyClientContext performs the handshake and base phase on
 // an established stream under ctx and opts.
 func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*FastClassifyClient, error) {
+	rng = entropy.Buffered(rng)
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var session *classify.FastClient
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify-fast"}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend()}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)

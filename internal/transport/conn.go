@@ -108,6 +108,12 @@ type Hello struct {
 	// Service is one of "classify", "classify-fast", "similarity-linear",
 	// "similarity-kernel".
 	Service string
+	// FieldBackend is the field-arithmetic engine the client requests for
+	// classification sessions ("limb", "big", or empty for math/big —
+	// which is what legacy clients implicitly send, since gob omits the
+	// absent field). The server grants "limb" only when its trainer
+	// supports it; the granted backend comes back in the Spec.
+	FieldBackend string
 }
 
 // RoundHeader precedes each OMPE round of the similarity protocol.

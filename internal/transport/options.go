@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/field"
 	"repro/internal/obs"
 )
 
@@ -54,6 +55,15 @@ type Options struct {
 	// JitterSeed, when non-zero, makes the backoff jitter deterministic
 	// (for tests). Zero draws from a process-wide seeded source.
 	JitterSeed int64
+
+	// FieldBackend is the field-arithmetic engine the classification
+	// client requests in its Hello ("limb", "big", or empty for the
+	// default request, "limb"). The request is an upper bound, not a
+	// demand: the server grants the limb engine only when its trainer was
+	// built with it, and the session otherwise runs math/big — so the
+	// default always interoperates. Set "big" to pin the math/big path
+	// (e.g. for backend-comparison benchmarks).
+	FieldBackend string
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +83,16 @@ func (o Options) withDefaults() Options {
 		o.BackoffMax = DefaultBackoffMax
 	}
 	return o
+}
+
+// requestedBackend resolves the backend request for the Hello: the
+// default request is "limb" (a no-op against servers that cannot grant
+// it), and any explicit setting is passed through as-is.
+func (o Options) requestedBackend() string {
+	if o.FieldBackend == "" {
+		return string(field.BackendLimb)
+	}
+	return o.FieldBackend
 }
 
 // messageDeadline resolves the effective per-message deadline (0 = none).

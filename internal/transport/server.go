@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/entropy"
+	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/ompe"
 	"repro/internal/ot"
@@ -227,15 +229,20 @@ func (s *Server) serveConn(rw io.ReadWriteCloser) {
 		s.logf("transport: handshake: %v", err)
 		return
 	}
+	// One buffered entropy reader per session: every serve path draws
+	// randomness from a single goroutine at a time, so the (unsynchronized)
+	// buffer is safe here and turns per-draw getrandom syscalls into a few
+	// page-sized reads.
+	rng := entropy.Buffered(s.Rand)
 	switch hello.Service {
 	case "classify":
-		err = s.serveClassify(conn)
+		err = s.serveClassify(conn, hello, rng)
 	case "similarity-linear":
-		err = s.serveSimilarity(conn)
+		err = s.serveSimilarity(conn, rng)
 	case "similarity-kernel":
-		err = s.serveKernelSimilarity(conn)
+		err = s.serveKernelSimilarity(conn, rng)
 	case "classify-fast":
-		err = s.serveClassifyFast(conn)
+		err = s.serveClassifyFast(conn, hello, rng)
 	default:
 		err = fmt.Errorf("unknown service %q", hello.Service)
 	}
@@ -251,11 +258,25 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// sessionSpec resolves the backend negotiation for one session: the
+// client's requested engine (from its Hello) is granted only when the
+// trainer supports it, and the granted spec is what goes back on the wire.
+func (s *Server) sessionSpec(hello *Hello) (classify.Spec, error) {
+	requested, err := field.ResolveBackend(hello.FieldBackend)
+	if err != nil {
+		return classify.Spec{}, err
+	}
+	return s.trainer.SessionSpec(requested), nil
+}
+
 // serveClassify answers any number of classification queries on one
 // session: EvalRequest → BatchSetup → BatchChoice → BatchTransfer, until
 // Done or EOF.
-func (s *Server) serveClassify(conn *Conn) error {
-	spec := s.trainer.Spec()
+func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
+	spec, err := s.sessionSpec(hello)
+	if err != nil {
+		return err
+	}
 	if err := conn.Send(&spec); err != nil {
 		return err
 	}
@@ -268,11 +289,11 @@ func (s *Server) serveClassify(conn *Conn) error {
 		case *Done:
 			return nil
 		case *evalRequest:
-			sender, err := s.trainer.NewSession()
+			sender, err := s.trainer.NewSessionFor(spec)
 			if err != nil {
 				return err
 			}
-			setup, err := sender.HandleRequest(msg, s.Rand)
+			setup, err := sender.HandleRequest(msg, rng)
 			if err != nil {
 				return err
 			}
@@ -283,7 +304,7 @@ func (s *Server) serveClassify(conn *Conn) error {
 			if err != nil {
 				return err
 			}
-			tr, err := sender.HandleChoice(choice, s.Rand)
+			tr, err := sender.HandleChoice(choice, rng)
 			if err != nil {
 				return err
 			}
@@ -291,7 +312,7 @@ func (s *Server) serveClassify(conn *Conn) error {
 				return err
 			}
 		case *ClassifyBatchRequest:
-			if err := s.serveClassifyBatch(conn, msg); err != nil {
+			if err := s.serveClassifyBatch(conn, spec, msg, rng); err != nil {
 				return err
 			}
 		default:
@@ -301,11 +322,11 @@ func (s *Server) serveClassify(conn *Conn) error {
 }
 
 // serveSimilarity runs one linear similarity evaluation as Alice.
-func (s *Server) serveSimilarity(conn *Conn) error {
+func (s *Server) serveSimilarity(conn *Conn, rng io.Reader) error {
 	if !s.simEnabled {
 		return errors.New("similarity service not enabled")
 	}
-	alice, err := similarity.NewAlice(s.simWeights, s.simBias, s.simParams, s.Rand)
+	alice, err := similarity.NewAlice(s.simWeights, s.simBias, s.simParams, rng)
 	if err != nil {
 		return err
 	}
@@ -332,7 +353,7 @@ func (s *Server) serveSimilarity(conn *Conn) error {
 		if err != nil {
 			return err
 		}
-		setup, err := alice.HandleRequest(round, req, s.Rand)
+		setup, err := alice.HandleRequest(round, req, rng)
 		if err != nil {
 			return err
 		}
@@ -343,7 +364,7 @@ func (s *Server) serveSimilarity(conn *Conn) error {
 		if err != nil {
 			return err
 		}
-		tr, err := alice.HandleChoice(round, choice, s.Rand)
+		tr, err := alice.HandleChoice(round, choice, rng)
 		if err != nil {
 			return err
 		}
@@ -357,11 +378,11 @@ func (s *Server) serveSimilarity(conn *Conn) error {
 // serveKernelSimilarity runs one kernelized similarity evaluation as
 // Alice: clear share, area-scale announcement, then the centroid round,
 // |S_B| normal rounds, and the area round.
-func (s *Server) serveKernelSimilarity(conn *Conn) error {
+func (s *Server) serveKernelSimilarity(conn *Conn, rng io.Reader) error {
 	if !s.kernelSimEnabled {
 		return errors.New("kernel similarity service not enabled")
 	}
-	alice, err := similarity.NewKernelAlice(s.trainer.Model(), s.kernelSimParams, s.Rand)
+	alice, err := similarity.NewKernelAlice(s.trainer.Model(), s.kernelSimParams, rng)
 	if err != nil {
 		return err
 	}
@@ -400,7 +421,7 @@ func (s *Server) serveKernelSimilarity(conn *Conn) error {
 		if err != nil {
 			return err
 		}
-		setup, err := alice.HandleRequest(round, req, s.Rand)
+		setup, err := alice.HandleRequest(round, req, rng)
 		if err != nil {
 			return err
 		}
@@ -411,7 +432,7 @@ func (s *Server) serveKernelSimilarity(conn *Conn) error {
 		if err != nil {
 			return err
 		}
-		tr, err := alice.HandleChoice(round, choice, s.Rand)
+		tr, err := alice.HandleChoice(round, choice, rng)
 		if err != nil {
 			return err
 		}
@@ -425,7 +446,7 @@ func (s *Server) serveKernelSimilarity(conn *Conn) error {
 // serveClassifyBatch answers one slow-path batch: B one-shot senders, one
 // envelope per protocol step. Senders draw randomness in sample order, so
 // a fixed server rng still yields deterministic wire bytes.
-func (s *Server) serveClassifyBatch(conn *Conn, req *ClassifyBatchRequest) error {
+func (s *Server) serveClassifyBatch(conn *Conn, spec classify.Spec, req *ClassifyBatchRequest, rng io.Reader) error {
 	if len(req.Evals) == 0 {
 		return fmt.Errorf("transport: empty classify batch")
 	}
@@ -433,11 +454,11 @@ func (s *Server) serveClassifyBatch(conn *Conn, req *ClassifyBatchRequest) error
 	senders := make([]*ompe.Sender, len(req.Evals))
 	setups := &ClassifyBatchSetups{Setups: make([]*batchSetup, len(req.Evals))}
 	for i, eval := range req.Evals {
-		sender, err := s.trainer.NewSession()
+		sender, err := s.trainer.NewSessionFor(spec)
 		if err != nil {
 			return err
 		}
-		setup, err := sender.HandleRequest(eval, s.Rand)
+		setup, err := sender.HandleRequest(eval, rng)
 		if err != nil {
 			return fmt.Errorf("transport: batch sample %d: %w", i, err)
 		}
@@ -456,7 +477,7 @@ func (s *Server) serveClassifyBatch(conn *Conn, req *ClassifyBatchRequest) error
 	}
 	transfers := &ClassifyBatchTransfers{Transfers: make([]*batchTransfer, len(senders))}
 	for i, choice := range choices.Choices {
-		tr, err := senders[i].HandleChoice(choice, s.Rand)
+		tr, err := senders[i].HandleChoice(choice, rng)
 		if err != nil {
 			return fmt.Errorf("transport: batch sample %d: %w", i, err)
 		}
@@ -481,8 +502,11 @@ const fastJobQueue = 64
 // evaluates them in arrival order — pipelined clients are never blocked on
 // the server's crypto, and FIFO answering keeps the OT-extension batch
 // counters in lockstep.
-func (s *Server) serveClassifyFast(conn *Conn) error {
-	spec := s.trainer.Spec()
+func (s *Server) serveClassifyFast(conn *Conn, hello *Hello, rng io.Reader) error {
+	spec, err := s.sessionSpec(hello)
+	if err != nil {
+		return err
+	}
 	if err := conn.Send(&spec); err != nil {
 		return err
 	}
@@ -490,7 +514,7 @@ func (s *Server) serveClassifyFast(conn *Conn) error {
 	if err != nil {
 		return err
 	}
-	fast, choice, err := s.trainer.NewFastSession(setup, s.Rand)
+	fast, choice, err := s.trainer.NewFastSessionFor(spec, setup, rng)
 	if err != nil {
 		return err
 	}
@@ -508,7 +532,7 @@ func (s *Server) serveClassifyFast(conn *Conn) error {
 	jobs := make(chan fastJob, fastJobQueue)
 	workerErr := make(chan error, 1)
 	go func() {
-		err := s.runFastWorker(conn, fast, jobs)
+		err := s.runFastWorker(conn, fast, jobs, rng)
 		if err != nil {
 			// Report to the peer now rather than after session teardown:
 			// the client abandons the session and closes, which also
@@ -556,19 +580,19 @@ readLoop:
 // runFastWorker evaluates queued fast-session jobs in FIFO order, sending
 // each response tagged with its request's stream ID. It returns on the
 // first failure or when the job channel closes.
-func (s *Server) runFastWorker(conn *Conn, fast *classify.FastTrainer, jobs <-chan fastJob) error {
+func (s *Server) runFastWorker(conn *Conn, fast *classify.FastTrainer, jobs <-chan fastJob, rng io.Reader) error {
 	for j := range jobs {
 		var err error
 		switch msg := j.payload.(type) {
 		case *ompe.FastRequest:
 			var resp *ompe.FastResponse
-			if resp, err = fast.HandleQuery(msg, s.Rand); err == nil {
+			if resp, err = fast.HandleQuery(msg, rng); err == nil {
 				err = conn.SendStream(j.stream, resp)
 			}
 		case *ompe.FastBatchRequest:
 			obs.Observe(obs.HistBatchSize, int64(len(msg.Evals)))
 			var resp *ompe.FastBatchResponse
-			if resp, err = fast.HandleBatch(msg, s.Rand); err == nil {
+			if resp, err = fast.HandleBatch(msg, rng); err == nil {
 				err = conn.SendStream(j.stream, resp)
 			}
 		}
