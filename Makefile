@@ -3,7 +3,7 @@
 # targets briefly (CI runs it as a separate job).
 .PHONY: check vet build test bench-smoke bench fuzz-smoke \
 	lint cover bench-json bench-json-batch bench-json-fieldsweep \
-	bench-update tidy-check
+	bench-update tidy-check wire-regen
 
 check: vet build test bench-smoke
 
@@ -24,8 +24,22 @@ bench:
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzConnRecv -fuzztime=10s ./internal/transport
+	go test -run='^$$' -fuzz=FuzzBinaryFrameRecv -fuzztime=10s ./internal/transport
+	go test -run='^$$' -fuzz=FuzzWireMsgs -fuzztime=10s ./internal/transport
+	go test -run='^$$' -fuzz=FuzzOTWire -fuzztime=10s ./internal/ot
+	go test -run='^$$' -fuzz=FuzzOMPEWire -fuzztime=10s ./internal/ompe
 	go test -run='^$$' -fuzz=FuzzFromBytes -fuzztime=10s ./internal/field
 	go test -run='^$$' -fuzz=FuzzLimbVsBig -fuzztime=10s ./internal/field/limb
+
+# wire-regen rewrites the golden wire transcripts under
+# internal/transport/testdata/wire — a committed wire-format contract, so
+# regeneration is deliberate: the target refuses to run unless
+# PPDC_WIRE_REGEN=1 is set explicitly on the command line.
+wire-regen:
+ifndef PPDC_WIRE_REGEN
+	$(error golden transcripts are a wire-format contract; run `PPDC_WIRE_REGEN=1 make wire-regen` to regenerate deliberately)
+endif
+	PPDC_WIRE_REGEN=1 go test ./internal/transport -run TestGoldenWire -count=1
 
 # lint runs golangci-lint (config in .golangci.yml). CI installs it via
 # the official action; locally it needs the binary on PATH.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/field"
 	"repro/internal/ot"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "deterministic data seed")
 		group     = fs.String("group", "512", "OT group: 512 (toy/fast), 1024, 1536, 2048, x25519")
 		backend   = fs.String("field-backend", "", "field arithmetic engine: big (default) or limb")
+		codec     = fs.String("codec", "", "envelope codec: empty negotiates (binary preferred), gob or binary pin one")
 		quick     = fs.Bool("quick", false, "subsample protocol-heavy experiments")
 		fullScale = fs.Bool("full", false, "use the paper's full test-set sizes")
 		csvPath   = fs.String("csv", "", "also write the experiment's series to a CSV file (single experiments only)")
@@ -65,6 +67,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	wc, err := transport.ResolveWireCodec(*codec)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		Seed:         *seed,
 		Group:        g,
@@ -72,6 +78,7 @@ func run(args []string) error {
 		FullScale:    *fullScale,
 		Parallelism:  *par,
 		FieldBackend: fb,
+		WireCodec:    wc,
 	}
 	csvOut = *csvPath
 	if csvOut != "" && fs.Arg(0) == "all" {

@@ -49,6 +49,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 2, "synthetic data seed (client side)")
 		fast     = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
 		backend  = fs.String("field-backend", "", "field engine to request: limb (default) or big; the session falls back to big unless the trainer supports limb")
+		codec    = fs.String("codec", "", "envelope codec to offer: empty negotiates (binary preferred, gob fallback), gob pins legacy envelopes, binary offers only binary")
 		batch    = fs.Int("batch", 0, "samples per batched request (0 = one request per sample)")
 		inflight = fs.Int("inflight", 1, "batches kept in flight on the connection (with -batch and -fast)")
 
@@ -73,11 +74,15 @@ func run(args []string) error {
 	if _, err := field.ResolveBackend(*backend); err != nil {
 		return err
 	}
+	if _, err := transport.ResolveWireCodec(*codec); err != nil {
+		return err
+	}
 	opts := transport.Options{
 		DialTimeout:     *timeout,
 		MessageDeadline: *msgDeadline,
 		MaxAttempts:     *retries,
 		FieldBackend:    *backend,
+		WireCodec:       *codec,
 	}
 	if *msgDeadline <= 0 {
 		opts.MessageDeadline = transport.NoDeadline

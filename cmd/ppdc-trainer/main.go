@@ -53,6 +53,7 @@ func run(args []string) error {
 		kernelName = fs.String("kernel", "linear", "kernel: linear or poly")
 		groupName  = fs.String("group", "2048", "OT group: 512 (toy), 1024, 1536, 2048, x25519")
 		backend    = fs.String("field-backend", "", "field arithmetic engine offered to clients: big (default) or limb")
+		codec      = fs.String("codec", "", "envelope codec policy: empty grants binary to capable clients with gob fallback; gob pins legacy gob-only envelopes")
 		seed       = fs.Uint64("seed", 1, "synthetic data seed")
 		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
 		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
@@ -145,6 +146,14 @@ func run(args []string) error {
 	}
 	srv := transport.NewServer(trainer)
 	srv.MaxSessions = *maxSessions
+	switch *codec {
+	case "":
+		// Default policy: grant binary when offered, gob otherwise.
+	case transport.CodecGob:
+		srv.WireCodecs = []string{transport.CodecGob}
+	default:
+		return fmt.Errorf("-codec must be empty or %q", transport.CodecGob)
+	}
 	if *msgDeadline <= 0 {
 		srv.MessageDeadline = transport.NoDeadline
 	} else {

@@ -43,6 +43,11 @@ type Spec struct {
 	// decoders simply drop the unknown field — interoperate unchanged on
 	// the math/big path.
 	FieldBackend string
+	// WireCodec names the envelope codec granted for the rest of the
+	// session ("binary" or empty for gob). The Spec itself always
+	// crosses in gob so legacy peers — whose decoders drop the unknown
+	// field — stay on gob. See internal/transport.
+	WireCodec string
 }
 
 // Codec reconstructs the protocol codec from the spec.
@@ -192,10 +197,11 @@ func (t *Trainer) NewSessionFor(spec Spec) (*ompe.Sender, error) {
 
 // sessionParams derives the trainer-side OMPE parameters for a session
 // spec, rejecting specs that diverge from the published contract anywhere
-// but the negotiable field backend.
+// but the negotiable field backend and wire codec.
 func (t *Trainer) sessionParams(spec Spec) (ompe.Params, error) {
 	contract := spec
 	contract.FieldBackend = t.spec.FieldBackend
+	contract.WireCodec = t.spec.WireCodec
 	if contract != t.spec {
 		return ompe.Params{}, fmt.Errorf("classify: session spec does not match the trainer's contract")
 	}

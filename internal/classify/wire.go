@@ -1,0 +1,54 @@
+package classify
+
+import (
+	"io"
+
+	"repro/internal/wire"
+)
+
+// EncodeWire implements the wire codec. The Spec normally crosses the
+// wire in gob (it is the message that negotiates the codec), but the
+// binary form exists so golden transcripts and future protocol versions
+// can carry it inside binary frames too.
+func (s *Spec) EncodeWire(w *wire.Writer) {
+	s.Kernel.EncodeWire(w)
+	w.Int(s.Dim)
+	w.Int(int(s.Mode))
+	w.Int(s.MaskDegree)
+	w.Int(s.CoverFactor)
+	w.Int(s.AmplifierBits)
+	w.Int(s.TaylorTerms)
+	w.Int(s.FieldBits)
+	w.Uint(s.FracBits)
+	w.String(s.GroupName)
+	w.String(s.FieldBackend)
+	w.String(s.WireCodec)
+}
+
+// DecodeWire implements the wire codec.
+func (s *Spec) DecodeWire(r *wire.Reader) {
+	s.Kernel.DecodeWire(r)
+	s.Dim = r.Int()
+	s.Mode = Mode(r.Int())
+	s.MaskDegree = r.Int()
+	s.CoverFactor = r.Int()
+	s.AmplifierBits = r.Int()
+	s.TaylorTerms = r.Int()
+	s.FieldBits = r.Int()
+	s.FracBits = r.Uint()
+	s.GroupName = r.String()
+	s.FieldBackend = r.String()
+	s.WireCodec = r.String()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Spec) MarshalBinary() ([]byte, error) { return wire.Marshal(s) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Spec) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, s) }
+
+// WriteTo implements io.WriterTo.
+func (s *Spec) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, s) }
+
+// ReadFrom implements io.ReaderFrom.
+func (s *Spec) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, s) }

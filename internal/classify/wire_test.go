@@ -1,0 +1,56 @@
+package classify
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/svm"
+)
+
+func TestSpecWireRoundTrip(t *testing.T) {
+	in := &Spec{
+		Kernel:        svm.Polynomial(0.25, 1, 3),
+		Dim:           8,
+		Mode:          ModeExpanded,
+		MaskDegree:    6,
+		CoverFactor:   2,
+		AmplifierBits: 40,
+		TaylorTerms:   0,
+		FieldBits:     512,
+		FracBits:      16,
+		GroupName:     "x25519",
+		FieldBackend:  "limb",
+		WireCodec:     "binary",
+	}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var sb bytes.Buffer
+	if _, err := in.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !bytes.Equal(sb.Bytes(), data) {
+		t.Fatalf("WriteTo and MarshalBinary disagree")
+	}
+	var out Spec
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if out != *in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", *in, out)
+	}
+	var out2 Spec
+	if _, err := out2.ReadFrom(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if out2 != *in {
+		t.Fatalf("stream round trip mismatch")
+	}
+	for n := 0; n < len(data); n++ {
+		var tr Spec
+		if err := tr.UnmarshalBinary(data[:n]); err == nil {
+			t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
+		}
+	}
+}

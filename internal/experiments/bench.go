@@ -126,7 +126,7 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	cc, err := transport.NewClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend)}, opts.Rand)
+	cc, err := transport.NewClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +248,7 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	fc, err := transport.NewFastClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend)}, opts.Rand)
+	fc, err := transport.NewFastClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}

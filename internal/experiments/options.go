@@ -41,6 +41,9 @@ type Options struct {
 	// experiments (zero value: math/big; field.BackendLimb runs the
 	// fixed-width fast path over 2^255−19).
 	FieldBackend field.Backend
+	// WireCodec pins the envelope codec for transport experiments
+	// (empty negotiates the default: binary preferred, gob fallback).
+	WireCodec string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,67 @@
+package ompe
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func typedWireErr(err error) bool {
+	return errors.Is(err, wire.ErrTruncated) ||
+		errors.Is(err, wire.ErrOversize) ||
+		errors.Is(err, wire.ErrInvalid) ||
+		errors.Is(err, wire.ErrNilValue) ||
+		errors.Is(err, wire.ErrTrailing)
+}
+
+// FuzzOMPEWire throws arbitrary bytes at every OMPE decoder, slice and
+// stream mode: no panics, typed errors only, and clean decodes must
+// re-encode to a canonical fixed point.
+func FuzzOMPEWire(f *testing.F) {
+	samples := ompeWireSamples()
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := samples[name].MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return
+		}
+		for _, name := range names {
+			proto := samples[name]
+			out := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(wireMsg)
+			if err := out.UnmarshalBinary(input); err != nil {
+				if !typedWireErr(err) {
+					t.Fatalf("%s: untyped decode error: %v", name, err)
+				}
+			} else {
+				re := reencode(t, out)
+				out2 := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(wireMsg)
+				if err := out2.UnmarshalBinary(re); err != nil {
+					t.Fatalf("%s: canonical re-encoding does not decode: %v", name, err)
+				}
+				if !bytes.Equal(reencode(t, out2), re) {
+					t.Fatalf("%s: re-encoding is not a fixed point", name)
+				}
+			}
+			out3 := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(wireMsg)
+			if _, err := out3.ReadFrom(bytes.NewReader(input)); err != nil && !typedWireErr(err) {
+				t.Fatalf("%s: untyped stream decode error: %v", name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package ompe
+
+import (
+	"bytes"
+	"encoding"
+	"errors"
+	"io"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/ot"
+	"repro/internal/wire"
+)
+
+type wireMsg interface {
+	wire.Msg
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+	io.WriterTo
+	io.ReaderFrom
+}
+
+func sampleEval() *EvalRequest {
+	return &EvalRequest{
+		Pairs: []Pair{
+			{V: big.NewInt(77), Z: field.Vec{big.NewInt(1), big.NewInt(2)}},
+			{V: new(big.Int).Lsh(big.NewInt(3), 200), Z: field.Vec{big.NewInt(0)}},
+		},
+		Packed: []byte{0xDE, 0xAD},
+	}
+}
+
+func ompeWireSamples() map[string]wireMsg {
+	return map[string]wireMsg{
+		"EvalRequest": sampleEval(),
+		"FastRequest": &FastRequest{
+			Eval: sampleEval(),
+			OT:   &ot.ExtKofNRequest{IKNP: &ot.IKNPReceiverMsg{U: []byte{1, 2}, M: 3}, K: 2, N: 4},
+		},
+		"FastResponse": &FastResponse{
+			OT: &ot.ExtKofNResponse{IKNP: &ot.IKNPSenderMsg{Y0: []byte{5}, Y1: []byte{6}, MsgLen: 1}, Cts: []byte{9}, MsgLen: 1},
+		},
+		"FastBatchRequest": &FastBatchRequest{
+			Evals: []*EvalRequest{sampleEval(), sampleEval()},
+			OT:    &ot.ExtKofNBatchRequest{IKNP: &ot.IKNPReceiverMsg{U: []byte{7}, M: 1}, K: 1, N: 2, B: 2},
+		},
+		"FastBatchResponse": &FastBatchResponse{
+			OT: &ot.ExtKofNBatchResponse{IKNP: &ot.IKNPSenderMsg{Y0: []byte{8}, Y1: []byte{9}, MsgLen: 1}, Cts: []byte{1, 1}, MsgLen: 1},
+		},
+	}
+}
+
+func reencode(t *testing.T, m wireMsg) []byte {
+	t.Helper()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	return data
+}
+
+func TestOMPEWireRoundTrips(t *testing.T) {
+	for name, in := range ompeWireSamples() {
+		t.Run(name, func(t *testing.T) {
+			data, err := in.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			var sb bytes.Buffer
+			if _, err := in.WriteTo(&sb); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if !bytes.Equal(sb.Bytes(), data) {
+				t.Fatalf("WriteTo and MarshalBinary disagree")
+			}
+
+			out := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if err := out.UnmarshalBinary(data); err != nil {
+				t.Fatalf("UnmarshalBinary: %v", err)
+			}
+			if !bytes.Equal(reencode(t, out), data) {
+				t.Fatalf("slice round trip mismatch")
+			}
+
+			out2 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if _, err := out2.ReadFrom(bytes.NewReader(data)); err != nil {
+				t.Fatalf("ReadFrom: %v", err)
+			}
+			if !bytes.Equal(reencode(t, out2), data) {
+				t.Fatalf("stream round trip mismatch")
+			}
+
+			out3 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if err := out3.UnmarshalBinary(append(append([]byte{}, data...), 0xFF)); !errors.Is(err, wire.ErrTrailing) {
+				t.Fatalf("trailing byte: got %v, want ErrTrailing", err)
+			}
+
+			for n := 0; n < len(data); n++ {
+				out4 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+				if err := out4.UnmarshalBinary(data[:n]); err == nil {
+					t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
+				}
+			}
+		})
+	}
+}
+
+func TestOMPEWireNilInner(t *testing.T) {
+	cases := map[string]wireMsg{
+		"FastRequest-nil-eval": &FastRequest{OT: &ot.ExtKofNRequest{IKNP: &ot.IKNPReceiverMsg{}, K: 1, N: 1}},
+		"FastRequest-nil-ot":   &FastRequest{Eval: sampleEval()},
+		"FastResponse-nil-ot":  &FastResponse{},
+		"BatchRequest-nil-ot":  &FastBatchRequest{Evals: []*EvalRequest{sampleEval()}},
+		"Pair-nil-v":           &EvalRequest{Pairs: []Pair{{Z: field.Vec{big.NewInt(1)}}}},
+	}
+	for name, m := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := m.MarshalBinary(); !errors.Is(err, wire.ErrNilValue) {
+				t.Fatalf("got %v, want ErrNilValue", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package similarity
+
+import (
+	"io"
+
+	"repro/internal/wire"
+)
+
+// Binary wire encodings for the similarity message types. Spec and
+// KernelSpec normally cross in gob (they carry the codec grant) but
+// implement the binary form too so transcripts and future versions can
+// frame them natively.
+
+// EncodeWire implements the wire codec.
+func (s *Spec) EncodeWire(w *wire.Writer) {
+	w.Int(s.Dim)
+	s.Metric.EncodeWire(w)
+	w.Int(s.MaskDegree)
+	w.Int(s.CoverFactor)
+	w.Int(s.AmplifierBits)
+	w.Int(s.FieldBits)
+	w.Uint(s.FracBits)
+	w.String(s.GroupName)
+	w.String(s.FieldBackend)
+	w.String(s.WireCodec)
+}
+
+// DecodeWire implements the wire codec.
+func (s *Spec) DecodeWire(r *wire.Reader) {
+	s.Dim = r.Int()
+	s.Metric.DecodeWire(r)
+	s.MaskDegree = r.Int()
+	s.CoverFactor = r.Int()
+	s.AmplifierBits = r.Int()
+	s.FieldBits = r.Int()
+	s.FracBits = r.Uint()
+	s.GroupName = r.String()
+	s.FieldBackend = r.String()
+	s.WireCodec = r.String()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Spec) MarshalBinary() ([]byte, error) { return wire.Marshal(s) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Spec) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, s) }
+
+// WriteTo implements io.WriterTo.
+func (s *Spec) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, s) }
+
+// ReadFrom implements io.ReaderFrom.
+func (s *Spec) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, s) }
+
+// EncodeWire implements the wire codec.
+func (m *Metric) EncodeWire(w *wire.Writer) {
+	w.Float64(m.Alpha)
+	w.Float64(m.Beta)
+	w.Float64(m.L0)
+	w.Float64(m.Theta0)
+}
+
+// DecodeWire implements the wire codec.
+func (m *Metric) DecodeWire(r *wire.Reader) {
+	m.Alpha = r.Float64()
+	m.Beta = r.Float64()
+	m.L0 = r.Float64()
+	m.Theta0 = r.Float64()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Metric) MarshalBinary() ([]byte, error) { return wire.Marshal(m) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Metric) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, m) }
+
+// WriteTo implements io.WriterTo.
+func (m *Metric) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, m) }
+
+// ReadFrom implements io.ReaderFrom.
+func (m *Metric) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, m) }
+
+// EncodeWire implements the wire codec.
+func (c *ClearShare) EncodeWire(w *wire.Writer) {
+	w.Float64(c.NormM2)
+	w.Float64(c.NormW2)
+}
+
+// DecodeWire implements the wire codec.
+func (c *ClearShare) DecodeWire(r *wire.Reader) {
+	c.NormM2 = r.Float64()
+	c.NormW2 = r.Float64()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *ClearShare) MarshalBinary() ([]byte, error) { return wire.Marshal(c) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *ClearShare) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, c) }
+
+// WriteTo implements io.WriterTo.
+func (c *ClearShare) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, c) }
+
+// ReadFrom implements io.ReaderFrom.
+func (c *ClearShare) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, c) }
+
+// EncodeWire implements the wire codec.
+func (s *KernelSpec) EncodeWire(w *wire.Writer) {
+	s.Spec.EncodeWire(w)
+	s.Kernel.EncodeWire(w)
+}
+
+// DecodeWire implements the wire codec.
+func (s *KernelSpec) DecodeWire(r *wire.Reader) {
+	s.Spec.DecodeWire(r)
+	s.Kernel.DecodeWire(r)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *KernelSpec) MarshalBinary() ([]byte, error) { return wire.Marshal(s) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *KernelSpec) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, s) }
+
+// WriteTo implements io.WriterTo.
+func (s *KernelSpec) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, s) }
+
+// ReadFrom implements io.ReaderFrom.
+func (s *KernelSpec) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, s) }
+
+// EncodeWire implements the wire codec.
+func (c *KernelClearShare) EncodeWire(w *wire.Writer) {
+	w.Float64(c.KmBmB)
+	w.Float64(c.KwBwB)
+	w.Int(c.NumSupport)
+	w.BigInt(c.AlphaSum)
+}
+
+// DecodeWire implements the wire codec.
+func (c *KernelClearShare) DecodeWire(r *wire.Reader) {
+	c.KmBmB = r.Float64()
+	c.KwBwB = r.Float64()
+	c.NumSupport = r.Int()
+	c.AlphaSum = r.BigInt()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *KernelClearShare) MarshalBinary() ([]byte, error) { return wire.Marshal(c) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *KernelClearShare) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, c) }
+
+// WriteTo implements io.WriterTo.
+func (c *KernelClearShare) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, c) }
+
+// ReadFrom implements io.ReaderFrom.
+func (c *KernelClearShare) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, c) }
+
+// EncodeWire implements the wire codec.
+func (a *AreaScale) EncodeWire(w *wire.Writer) {
+	w.Uint(a.C3Exp)
+	w.Uint(a.TotalExp)
+}
+
+// DecodeWire implements the wire codec.
+func (a *AreaScale) DecodeWire(r *wire.Reader) {
+	a.C3Exp = r.Uint()
+	a.TotalExp = r.Uint()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *AreaScale) MarshalBinary() ([]byte, error) { return wire.Marshal(a) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (a *AreaScale) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, a) }
+
+// WriteTo implements io.WriterTo.
+func (a *AreaScale) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, a) }
+
+// ReadFrom implements io.ReaderFrom.
+func (a *AreaScale) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, a) }

@@ -1,0 +1,114 @@
+package similarity
+
+import (
+	"bytes"
+	"encoding"
+	"errors"
+	"io"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/svm"
+	"repro/internal/wire"
+)
+
+type wireMsg interface {
+	wire.Msg
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+	io.WriterTo
+	io.ReaderFrom
+}
+
+func sampleSpec() Spec {
+	return Spec{
+		Dim:           4,
+		Metric:        Metric{Alpha: -1, Beta: 1, L0: 0.5, Theta0: 0.25},
+		MaskDegree:    4,
+		CoverFactor:   2,
+		AmplifierBits: 40,
+		FieldBits:     1024,
+		FracBits:      12,
+		GroupName:     "modp512",
+		FieldBackend:  "limb",
+		WireCodec:     "binary",
+	}
+}
+
+func similarityWireSamples() map[string]wireMsg {
+	spec := sampleSpec()
+	return map[string]wireMsg{
+		"Spec":       &spec,
+		"Metric":     &Metric{Alpha: -2, Beta: 2, L0: 1.5, Theta0: 0.1},
+		"ClearShare": &ClearShare{NormM2: 1.25, NormW2: 2.5},
+		"KernelSpec": &KernelSpec{Spec: sampleSpec(), Kernel: svm.Polynomial(0.5, 0, 3)},
+		"KernelClearShare": &KernelClearShare{
+			KmBmB: 3.5, KwBwB: 4.5, NumSupport: 7,
+			AlphaSum: new(big.Int).Lsh(big.NewInt(11), 100),
+		},
+		"AreaScale": &AreaScale{C3Exp: 17, TotalExp: 42},
+	}
+}
+
+func reencode(t *testing.T, m wireMsg) []byte {
+	t.Helper()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	return data
+}
+
+func TestSimilarityWireRoundTrips(t *testing.T) {
+	for name, in := range similarityWireSamples() {
+		t.Run(name, func(t *testing.T) {
+			data, err := in.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary: %v", err)
+			}
+			var sb bytes.Buffer
+			if _, err := in.WriteTo(&sb); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if !bytes.Equal(sb.Bytes(), data) {
+				t.Fatalf("WriteTo and MarshalBinary disagree")
+			}
+
+			out := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if err := out.UnmarshalBinary(data); err != nil {
+				t.Fatalf("UnmarshalBinary: %v", err)
+			}
+			if !bytes.Equal(reencode(t, out), data) {
+				t.Fatalf("slice round trip mismatch")
+			}
+
+			out2 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if _, err := out2.ReadFrom(bytes.NewReader(data)); err != nil {
+				t.Fatalf("ReadFrom: %v", err)
+			}
+			if !bytes.Equal(reencode(t, out2), data) {
+				t.Fatalf("stream round trip mismatch")
+			}
+
+			out3 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+			if err := out3.UnmarshalBinary(append(append([]byte{}, data...), 0xFF)); !errors.Is(err, wire.ErrTrailing) {
+				t.Fatalf("trailing byte: got %v, want ErrTrailing", err)
+			}
+
+			for n := 0; n < len(data); n++ {
+				out4 := reflect.New(reflect.TypeOf(in).Elem()).Interface().(wireMsg)
+				if err := out4.UnmarshalBinary(data[:n]); err == nil {
+					t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
+				}
+			}
+		})
+	}
+}
+
+func TestKernelClearShareNilAlphaSum(t *testing.T) {
+	m := &KernelClearShare{KmBmB: 1, KwBwB: 2, NumSupport: 3}
+	if _, err := m.MarshalBinary(); !errors.Is(err, wire.ErrNilValue) {
+		t.Fatalf("got %v, want ErrNilValue", err)
+	}
+}

@@ -1,0 +1,39 @@
+package svm
+
+import (
+	"io"
+
+	"repro/internal/wire"
+)
+
+// EncodeWire implements the wire codec.
+func (k *Kernel) EncodeWire(w *wire.Writer) {
+	w.Int(int(k.Kind))
+	w.Float64(k.A0)
+	w.Float64(k.B0)
+	w.Int(k.Degree)
+	w.Float64(k.Gamma)
+	w.Float64(k.C0)
+}
+
+// DecodeWire implements the wire codec.
+func (k *Kernel) DecodeWire(r *wire.Reader) {
+	k.Kind = KernelKind(r.Int())
+	k.A0 = r.Float64()
+	k.B0 = r.Float64()
+	k.Degree = r.Int()
+	k.Gamma = r.Float64()
+	k.C0 = r.Float64()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (k *Kernel) MarshalBinary() ([]byte, error) { return wire.Marshal(k) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (k *Kernel) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, k) }
+
+// WriteTo implements io.WriterTo.
+func (k *Kernel) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, k) }
+
+// ReadFrom implements io.ReaderFrom.
+func (k *Kernel) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, k) }

@@ -1,0 +1,44 @@
+package svm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestKernelWireRoundTrip(t *testing.T) {
+	in := &Kernel{Kind: KernelPolynomial, A0: 0.125, B0: -1.5, Degree: 3, Gamma: 0.01, C0: 2.25}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var sb bytes.Buffer
+	if _, err := in.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !bytes.Equal(sb.Bytes(), data) {
+		t.Fatalf("WriteTo and MarshalBinary disagree")
+	}
+	var out Kernel
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if out != *in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, *in)
+	}
+	var out2 Kernel
+	if _, err := out2.ReadFrom(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if out2 != *in {
+		t.Fatalf("stream round trip mismatch")
+	}
+	for n := 0; n < len(data); n++ {
+		var tr Kernel
+		if err := tr.UnmarshalBinary(data[:n]); !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrTrailing) {
+			t.Fatalf("prefix %d: got %v, want typed error", n, err)
+		}
+	}
+}

@@ -60,6 +60,18 @@ func chaosMatrix() []chaosCase {
 // resolve in milliseconds, not the 2-minute production default.
 var chaosOpts = transport.Options{MessageDeadline: 500 * time.Millisecond}
 
+// chaosCodecs is the envelope-codec dimension of the fault matrix: every
+// fault case must behave identically over the binary frames and the
+// legacy gob envelopes.
+var chaosCodecs = []string{transport.CodecBinary, transport.CodecGob}
+
+// chaosOptsFor pins the session codec on top of the fast-fault options.
+func chaosOptsFor(codec string) transport.Options {
+	opts := chaosOpts
+	opts.WireCodec = codec
+	return opts
+}
+
 // runChaos wraps the client side of a net.Pipe in the case's fault
 // profile, serves the other side, runs fn as the client, and enforces the
 // no-hang budget on both the client call and server teardown.
@@ -138,24 +150,28 @@ func TestChaosClassify(t *testing.T) {
 	if math.Abs(d) < 1e-6 {
 		t.Skip("margin sample; pick another seed")
 	}
-	for _, tc := range chaosMatrix() {
-		t.Run(tc.name, func(t *testing.T) {
-			srv := quietServer(t, trainer)
-			srv.MessageDeadline = chaosOpts.MessageDeadline
-			runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
-				cc, err := transport.NewClassifyClientContext(t.Context(), rw, chaosOpts, rand.Reader)
-				if err != nil {
-					return err
-				}
-				got, err := cc.ClassifyContext(t.Context(), sample)
-				if err != nil {
-					return err
-				}
-				if got != want {
-					t.Errorf("silent wrong answer: got %d, want %d", got, want)
-				}
-				return cc.Close()
-			})
+	for _, codec := range chaosCodecs {
+		t.Run(codec, func(t *testing.T) {
+			for _, tc := range chaosMatrix() {
+				t.Run(tc.name, func(t *testing.T) {
+					srv := quietServer(t, trainer)
+					srv.MessageDeadline = chaosOpts.MessageDeadline
+					runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
+						cc, err := transport.NewClassifyClientContext(t.Context(), rw, chaosOptsFor(codec), rand.Reader)
+						if err != nil {
+							return err
+						}
+						got, err := cc.ClassifyContext(t.Context(), sample)
+						if err != nil {
+							return err
+						}
+						if got != want {
+							t.Errorf("silent wrong answer: got %d, want %d", got, want)
+						}
+						return cc.Close()
+					})
+				})
+			}
 		})
 	}
 }
@@ -181,21 +197,25 @@ func TestChaosSimilarity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tc := range chaosMatrix() {
-		t.Run(tc.name, func(t *testing.T) {
-			srv := quietServer(t, trainer)
-			srv.MessageDeadline = chaosOpts.MessageDeadline
-			srv.EnableSimilarity(wA, modelA.Bias, similarity.Params{Group: ot.Group512Test()})
-			runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
-				got, err := transport.EvaluateSimilarityContext(t.Context(), rw, wB, modelB.Bias, chaosOpts, rand.Reader)
-				if err != nil {
-					return err
-				}
-				if math.Abs(got.TSquared-want.TSquared) > 1e-4*(1+math.Abs(want.TSquared)) {
-					t.Errorf("silent wrong answer: T² %g, want %g", got.TSquared, want.TSquared)
-				}
-				return nil
-			})
+	for _, codec := range chaosCodecs {
+		t.Run(codec, func(t *testing.T) {
+			for _, tc := range chaosMatrix() {
+				t.Run(tc.name, func(t *testing.T) {
+					srv := quietServer(t, trainer)
+					srv.MessageDeadline = chaosOpts.MessageDeadline
+					srv.EnableSimilarity(wA, modelA.Bias, similarity.Params{Group: ot.Group512Test()})
+					runChaos(t, tc, srv, func(rw *faultnet.Conn) error {
+						got, err := transport.EvaluateSimilarityContext(t.Context(), rw, wB, modelB.Bias, chaosOptsFor(codec), rand.Reader)
+						if err != nil {
+							return err
+						}
+						if math.Abs(got.TSquared-want.TSquared) > 1e-4*(1+math.Abs(want.TSquared)) {
+							t.Errorf("silent wrong answer: T² %g, want %g", got.TSquared, want.TSquared)
+						}
+						return nil
+					})
+				})
+			}
 		})
 	}
 }
@@ -211,49 +231,53 @@ func TestChaosServerSideFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	sample := test.X[1]
-	for _, tc := range chaosMatrix() {
-		t.Run(tc.name, func(t *testing.T) {
-			srv := quietServer(t, trainer)
-			srv.MessageDeadline = chaosOpts.MessageDeadline
+	for _, codec := range chaosCodecs {
+		t.Run(codec, func(t *testing.T) {
+			for _, tc := range chaosMatrix() {
+				t.Run(tc.name, func(t *testing.T) {
+					srv := quietServer(t, trainer)
+					srv.MessageDeadline = chaosOpts.MessageDeadline
 
-			serverSide, clientSide := net.Pipe()
-			wrapped := faultnet.Wrap(serverSide, tc.profile)
-			serverDone := make(chan struct{})
-			go func() {
-				defer close(serverDone)
-				srv.ServeConn(wrapped)
-			}()
+					serverSide, clientSide := net.Pipe()
+					wrapped := faultnet.Wrap(serverSide, tc.profile)
+					serverDone := make(chan struct{})
+					go func() {
+						defer close(serverDone)
+						srv.ServeConn(wrapped)
+					}()
 
-			clientDone := make(chan error, 1)
-			go func() {
-				cc, err := transport.NewClassifyClientContext(t.Context(), clientSide, chaosOpts, rand.Reader)
-				if err != nil {
-					clientDone <- err
-					return
-				}
-				if _, err := cc.ClassifyContext(t.Context(), sample); err != nil {
-					clientDone <- err
-					return
-				}
-				clientDone <- cc.Close()
-			}()
+					clientDone := make(chan error, 1)
+					go func() {
+						cc, err := transport.NewClassifyClientContext(t.Context(), clientSide, chaosOptsFor(codec), rand.Reader)
+						if err != nil {
+							clientDone <- err
+							return
+						}
+						if _, err := cc.ClassifyContext(t.Context(), sample); err != nil {
+							clientDone <- err
+							return
+						}
+						clientDone <- cc.Close()
+					}()
 
-			select {
-			case err := <-clientDone:
-				if tc.wantOK && err != nil {
-					t.Fatalf("benign server-side fault broke the client: %v", err)
-				}
-				if !tc.wantOK && err == nil {
-					t.Fatal("hard server-side fault produced no client error")
-				}
-			case <-time.After(30 * time.Second):
-				t.Fatal("client hung against a faulty server")
-			}
-			_ = clientSide.Close()
-			select {
-			case <-serverDone:
-			case <-time.After(15 * time.Second):
-				t.Fatal("server session did not end")
+					select {
+					case err := <-clientDone:
+						if tc.wantOK && err != nil {
+							t.Fatalf("benign server-side fault broke the client: %v", err)
+						}
+						if !tc.wantOK && err == nil {
+							t.Fatal("hard server-side fault produced no client error")
+						}
+					case <-time.After(30 * time.Second):
+						t.Fatal("client hung against a faulty server")
+					}
+					_ = clientSide.Close()
+					select {
+					case <-serverDone:
+					case <-time.After(15 * time.Second):
+						t.Fatal("server session did not end")
+					}
+				})
 			}
 		})
 	}

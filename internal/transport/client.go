@@ -23,6 +23,10 @@ type ClassifyClient struct {
 	rand   io.Reader
 }
 
+// WireCodec reports the envelope codec negotiated for this session
+// (CodecBinary or CodecGob).
+func (c *ClassifyClient) WireCodec() string { return c.conn.Codec() }
+
 // DialClassify connects to a trainer server over TCP and performs the
 // handshake, retrying the dial with the default backoff policy.
 func DialClassify(addr string, timeout time.Duration, rng io.Reader) (*ClassifyClient, error) {
@@ -58,12 +62,19 @@ func NewClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts O
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var client *classify.Client
+	offered := opts.offeredCodecs()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify", FieldBackend: opts.requestedBackend()}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify", FieldBackend: opts.requestedBackend(), WireCodecs: offered}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
 		if err != nil {
+			return err
+		}
+		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := conn.UseCodec(spec.WireCodec); err != nil {
 			return err
 		}
 		client, err = classify.NewClient(*spec)
@@ -146,12 +157,19 @@ func EvaluateSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, wB []
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
 	var out *similarity.Result
+	offered := opts.offeredCodecs()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "similarity-linear"}); err != nil {
+		if err := conn.Send(&Hello{Service: "similarity-linear", WireCodecs: offered}); err != nil {
 			return err
 		}
 		spec, err := Recv[*similarity.Spec](conn)
 		if err != nil {
+			return err
+		}
+		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := conn.UseCodec(spec.WireCodec); err != nil {
 			return err
 		}
 		bob, err := similarity.NewBob(*spec, wB, bB)
@@ -233,12 +251,19 @@ func EvaluateKernelSimilarityContext(ctx context.Context, rw io.ReadWriteCloser,
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
 	var out *similarity.Result
+	offered := opts.offeredCodecs()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "similarity-kernel"}); err != nil {
+		if err := conn.Send(&Hello{Service: "similarity-kernel", WireCodecs: offered}); err != nil {
 			return err
 		}
 		spec, err := Recv[*similarity.KernelSpec](conn)
 		if err != nil {
+			return err
+		}
+		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := conn.UseCodec(spec.WireCodec); err != nil {
 			return err
 		}
 		bob, err := similarity.NewKernelBob(*spec, modelB)
@@ -293,6 +318,10 @@ type FastClassifyClient struct {
 	rand    io.Reader
 }
 
+// WireCodec reports the envelope codec negotiated for this session
+// (CodecBinary or CodecGob).
+func (c *FastClassifyClient) WireCodec() string { return c.conn.Codec() }
+
 // NewFastClassifyClient performs the handshake and base phase on an
 // established stream with default options.
 func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyClient, error) {
@@ -306,12 +335,19 @@ func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, op
 	conn := NewConn(rw)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var session *classify.FastClient
+	offered := opts.offeredCodecs()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend()}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend(), WireCodecs: offered}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
 		if err != nil {
+			return err
+		}
+		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := conn.UseCodec(spec.WireCodec); err != nil {
 			return err
 		}
 		var setup *ot.IKNPBaseSetup

@@ -1,0 +1,125 @@
+package transport
+
+// Wire codec negotiation and the binary frame layout (DESIGN.md §12).
+//
+// Every session opens in gob: the Hello and the spec reply are the
+// bootstrap messages and always cross gob-encoded, so a peer that knows
+// nothing about codecs still completes the handshake (its gob decoder
+// drops the unknown negotiation fields). The Hello carries the codecs
+// the client can speak; the spec reply carries the server's grant; both
+// sides switch codecs at that quiescent point, before any protocol
+// message crosses.
+//
+// Binary frames are length-prefixed and type-tagged:
+//
+//	+---------+---------+-----------------+-----------------+=========+
+//	| version |   tag   |  stream (u32BE) |  length (u32BE) | payload |
+//	|  1 byte |  1 byte |     4 bytes     |     4 bytes     | n bytes |
+//	+---------+---------+-----------------+-----------------+=========+
+//
+// version is wireVersion (0x01); any other value is rejected with
+// ErrWireVersion before the payload is read, so version skew fails fast
+// instead of hanging. tag identifies the payload type (tag 0 carries a
+// remote error string instead of a message). length bounds the payload
+// at maxFramePayload; oversized frames are rejected without allocation.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec names, as negotiated in the Hello/spec exchange.
+const (
+	// CodecGob is the legacy reflection-driven envelope encoding. Every
+	// peer speaks it; it is the bootstrap codec and the fallback grant.
+	CodecGob = "gob"
+	// CodecBinary is the hand-rolled versioned binary frame encoding.
+	CodecBinary = "binary"
+)
+
+// wireVersion is the binary frame version this build speaks.
+const wireVersion byte = 0x01
+
+// frameHeaderSize is the fixed binary frame header:
+// version(1) + tag(1) + stream(4) + length(4).
+const frameHeaderSize = 10
+
+// maxFramePayload bounds a binary frame payload. It matches the decode
+// bound of the wire primitives; a header announcing more is rejected
+// before any payload byte is read.
+const maxFramePayload = 64 << 20
+
+// ErrWireVersion reports a binary frame whose version byte does not
+// match this build's wireVersion.
+var ErrWireVersion = errors.New("transport: wire version mismatch")
+
+// ErrWireCodec reports an unknown or un-negotiated wire codec name.
+var ErrWireCodec = errors.New("transport: unsupported wire codec")
+
+// codec identifiers for Conn's switchable encode/decode paths.
+type codecID uint8
+
+const (
+	codecGobID codecID = iota
+	codecBinaryID
+)
+
+// codecByName resolves a negotiated codec name ("" means gob, the
+// legacy default that peers without the field implicitly select).
+func codecByName(name string) (codecID, error) {
+	switch name {
+	case "", CodecGob:
+		return codecGobID, nil
+	case CodecBinary:
+		return codecBinaryID, nil
+	default:
+		return codecGobID, fmt.Errorf("%w: %q", ErrWireCodec, name)
+	}
+}
+
+// ResolveWireCodec validates a codec name from configuration. The empty
+// string is valid and keeps the default negotiation (binary preferred,
+// gob fallback).
+func ResolveWireCodec(name string) (string, error) {
+	if _, err := codecByName(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// defaultWireCodecs is the offer/support list of a current build, in
+// preference order.
+func defaultWireCodecs() []string { return []string{CodecBinary, CodecGob} }
+
+// grantWireCodec picks the session codec from the client's offer and the
+// server's support list: the first supported codec the client offered,
+// falling back to gob (which every peer speaks). The returned grant is
+// "" for gob so legacy clients — which never read the field — see the
+// zero value they expect.
+func grantWireCodec(offered, supported []string) string {
+	for _, name := range supported {
+		if name == CodecGob {
+			return ""
+		}
+		for _, o := range offered {
+			if o == name {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// validateGrant checks the server's codec grant against what the client
+// offered: a server must never select a codec the client cannot speak.
+func validateGrant(grant string, offered []string) error {
+	if grant == "" || grant == CodecGob {
+		return nil
+	}
+	for _, o := range offered {
+		if o == grant {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: server granted %q, offered %v", ErrWireCodec, grant, offered)
+}

@@ -10,10 +10,12 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
 	"net"
 	"os"
 	"sync"
@@ -25,6 +27,8 @@ import (
 	"repro/internal/ompe"
 	"repro/internal/ot"
 	"repro/internal/similarity"
+	"repro/internal/svm"
+	"repro/internal/wire"
 )
 
 // envelope wraps every message with an error channel (a party that fails
@@ -46,34 +50,65 @@ var envPool = sync.Pool{New: func() any { return new(envelope) }}
 // instead of per-message syscalls and scratch allocations.
 var writeBufPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) }}
 
-var registerOnce sync.Once
+var (
+	registerOnce sync.Once
+	warmErr      error
+)
+
+// wireTypes is the canonical envelope payload list. Order matters: gob
+// assigns wire type IDs from a process-global counter in first-encode
+// order, so registerTypes warm-encodes one zero value of each type in
+// this exact order. That pins the IDs before any session runs — every
+// process emits identical gob bytes for identical messages, instead of
+// bytes that depend on which message type the process happened to
+// encode first (the golden-transcript suite relies on this).
+func wireTypes() []any {
+	return []any{
+		&classify.Spec{},
+		&ompe.EvalRequest{},
+		&ot.BatchSetup{},
+		&ot.BatchChoice{},
+		&ot.BatchTransfer{},
+		&similarity.Spec{},
+		&similarity.ClearShare{},
+		&similarity.KernelSpec{Kernel: svm.Linear()},
+		&similarity.KernelClearShare{AlphaSum: new(big.Int)},
+		&similarity.AreaScale{},
+		&Hello{},
+		&RoundHeader{},
+		&Done{},
+		&ot.IKNPBaseSetup{},
+		&ot.IKNPBaseChoice{},
+		&ot.IKNPBaseTransfer{},
+		&ompe.FastRequest{
+			Eval: &ompe.EvalRequest{},
+			OT:   &ot.ExtKofNRequest{IKNP: &ot.IKNPReceiverMsg{}},
+		},
+		&ompe.FastResponse{OT: &ot.ExtKofNResponse{IKNP: &ot.IKNPSenderMsg{}}},
+		&ompe.FastBatchRequest{OT: &ot.ExtKofNBatchRequest{IKNP: &ot.IKNPReceiverMsg{}}},
+		&ompe.FastBatchResponse{OT: &ot.ExtKofNBatchResponse{IKNP: &ot.IKNPSenderMsg{}}},
+		&ClassifyBatchRequest{},
+		&ClassifyBatchSetups{},
+		&ClassifyBatchChoices{},
+		&ClassifyBatchTransfers{},
+	}
+}
 
 func registerTypes() {
 	registerOnce.Do(func() {
-		gob.Register(&classify.Spec{})
-		gob.Register(&ompe.EvalRequest{})
-		gob.Register(&ot.BatchSetup{})
-		gob.Register(&ot.BatchChoice{})
-		gob.Register(&ot.BatchTransfer{})
-		gob.Register(&similarity.Spec{})
-		gob.Register(&similarity.ClearShare{})
-		gob.Register(&similarity.KernelSpec{})
-		gob.Register(&similarity.KernelClearShare{})
-		gob.Register(&similarity.AreaScale{})
-		gob.Register(&Hello{})
-		gob.Register(&RoundHeader{})
-		gob.Register(&Done{})
-		gob.Register(&ot.IKNPBaseSetup{})
-		gob.Register(&ot.IKNPBaseChoice{})
-		gob.Register(&ot.IKNPBaseTransfer{})
-		gob.Register(&ompe.FastRequest{})
-		gob.Register(&ompe.FastResponse{})
-		gob.Register(&ompe.FastBatchRequest{})
-		gob.Register(&ompe.FastBatchResponse{})
-		gob.Register(&ClassifyBatchRequest{})
-		gob.Register(&ClassifyBatchSetups{})
-		gob.Register(&ClassifyBatchChoices{})
-		gob.Register(&ClassifyBatchTransfers{})
+		types := wireTypes()
+		for _, v := range types {
+			gob.Register(v)
+		}
+		enc := gob.NewEncoder(io.Discard)
+		for _, v := range types {
+			if err := enc.Encode(&envelope{Payload: v}); err != nil && warmErr == nil {
+				// Zero values of every wire type encode; a failure here
+				// means a type changed incompatibly. Recorded so the
+				// conformance suite can fail loudly on it.
+				warmErr = fmt.Errorf("transport: gob warm-encode %T: %w", v, err)
+			}
+		}
 	})
 }
 
@@ -114,6 +149,12 @@ type Hello struct {
 	// absent field). The server grants "limb" only when its trainer
 	// supports it; the granted backend comes back in the Spec.
 	FieldBackend string
+	// WireCodecs lists the envelope codecs the client can speak, in
+	// preference order (CodecBinary, CodecGob). Legacy clients send
+	// nothing — gob omits the absent field — which reads as gob-only.
+	// The granted codec comes back in the spec's WireCodec field, and
+	// both sides switch after the spec exchange.
+	WireCodecs []string
 }
 
 // RoundHeader precedes each OMPE round of the similarity protocol.
@@ -151,10 +192,28 @@ func wrapIO(op string, err error) error {
 // that), but sends must not race other sends, nor receives other
 // receives.
 type Conn struct {
-	rw  io.ReadWriteCloser
-	bw  *bufio.Writer
+	rw io.ReadWriteCloser
+	bw *bufio.Writer
+	// br is the connection-owned read buffer. It is shared between the
+	// gob decoder and the binary frame reader: gob.NewDecoder wraps any
+	// non-ByteReader source in its own bufio and would read past message
+	// boundaries, stealing bytes from whatever codec runs next. A
+	// *bufio.Reader is a ByteReader, so gob reads exactly one message at
+	// a time and a mid-session codec switch loses nothing.
+	br  *bufio.Reader
 	enc *gob.Encoder
 	dec *gob.Decoder
+
+	// codec selects the active envelope encoding. It changes only at the
+	// negotiated switch point (after the spec exchange), which happens
+	// before any concurrent senders or receivers are spawned.
+	codec codecID
+
+	// encBuf and recvBuf are the reused binary-codec scratch buffers
+	// (payload encode target and frame payload, respectively). encBuf is
+	// guarded by sendMu; recvBuf by the single-receiver contract.
+	encBuf  []byte
+	recvBuf []byte
 
 	// recvEnv is the reused decode target. gob leaves fields absent from
 	// the wire untouched on decode, so every field is reset before reuse.
@@ -236,7 +295,28 @@ func NewConn(rw io.ReadWriteCloser) *Conn {
 	rw = countStream(rw)
 	bw := writeBufPool.Get().(*bufio.Writer)
 	bw.Reset(rw)
-	return &Conn{rw: rw, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(rw)}
+	br := bufio.NewReaderSize(rw, 32<<10)
+	return &Conn{rw: rw, bw: bw, br: br, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(br)}
+}
+
+// UseCodec switches the connection's envelope codec. Both peers must
+// switch at the same protocol point (after the spec exchange); callers
+// must not have sends or receives in flight.
+func (c *Conn) UseCodec(name string) error {
+	id, err := codecByName(name)
+	if err != nil {
+		return err
+	}
+	c.codec = id
+	return nil
+}
+
+// Codec reports the active envelope codec name.
+func (c *Conn) Codec() string {
+	if c.codec == codecBinaryID {
+		return CodecBinary
+	}
+	return CodecGob
 }
 
 // SetMessageDeadline bounds each subsequent Send/Recv when the underlying
@@ -262,6 +342,9 @@ func (c *Conn) sendEnvelope(stream uint32, errStr string, v any) error {
 		return net.ErrClosed
 	}
 	c.arm()
+	if c.codec == codecBinaryID {
+		return c.sendBinaryLocked(stream, errStr, v)
+	}
 	env := envPool.Get().(*envelope)
 	env.Stream, env.Err, env.Payload = stream, errStr, v
 	err := c.enc.Encode(env)
@@ -271,6 +354,84 @@ func (c *Conn) sendEnvelope(stream uint32, errStr string, v any) error {
 		err = c.bw.Flush()
 	}
 	return err
+}
+
+// sendBinaryLocked writes one binary frame: the payload is encoded into
+// the reused scratch buffer via the type-switch registry (no
+// reflection), then header and payload go out through the pooled write
+// buffer as a single flush. Callers hold sendMu.
+func (c *Conn) sendBinaryLocked(stream uint32, errStr string, v any) error {
+	var tag byte
+	payload := c.encBuf[:0]
+	if errStr != "" || v == nil {
+		tag = tagErr
+		payload = append(payload, errStr...)
+	} else {
+		t, m, ok := binMsg(v)
+		if !ok {
+			return fmt.Errorf("transport: no binary frame tag for %T", v)
+		}
+		tag = t
+		ww := wire.NewAppendWriter(payload)
+		m.EncodeWire(ww)
+		if err := ww.Err(); err != nil {
+			return fmt.Errorf("transport: encode %T: %w", v, err)
+		}
+		payload = ww.Bytes()
+	}
+	c.encBuf = payload[:0]
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("transport: frame payload %d exceeds %d: %w", len(payload), maxFramePayload, wire.ErrOversize)
+	}
+	var hdr [frameHeaderSize]byte
+	hdr[0] = wireVersion
+	hdr[1] = tag
+	binary.BigEndian.PutUint32(hdr[2:6], stream)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recvBinary reads one binary frame from the shared read buffer. The
+// header is validated (version, payload bound) before any payload byte
+// is read, so version skew and oversized frames fail fast.
+func (c *Conn) recvBinary() (any, uint32, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if hdr[0] != wireVersion {
+		return nil, 0, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrWireVersion, hdr[0], wireVersion)
+	}
+	tag := hdr[1]
+	stream := binary.BigEndian.Uint32(hdr[2:6])
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	if n > maxFramePayload {
+		return nil, 0, fmt.Errorf("transport: frame payload %d exceeds %d: %w", n, maxFramePayload, wire.ErrOversize)
+	}
+	if cap(c.recvBuf) < int(n) {
+		c.recvBuf = make([]byte, n)
+	}
+	buf := c.recvBuf[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, 0, err
+	}
+	if tag == tagErr {
+		return nil, stream, fmt.Errorf("%w: %s", ErrRemote, string(buf))
+	}
+	msg, ok := newBinPayload(tag)
+	if !ok {
+		return nil, 0, fmt.Errorf("transport: unknown frame tag 0x%02x", tag)
+	}
+	if err := wire.Unmarshal(buf, msg); err != nil {
+		return nil, 0, fmt.Errorf("transport: decode frame tag 0x%02x: %w", tag, err)
+	}
+	return msg, stream, nil
 }
 
 // Send transmits one message on stream 0.
@@ -295,6 +456,17 @@ func (c *Conn) SendErr(cause error) error {
 // its stream ID.
 func (c *Conn) recvStreamAny() (any, uint32, error) {
 	c.arm()
+	if c.codec == codecBinaryID {
+		payload, stream, err := c.recvBinary()
+		if err != nil {
+			if errors.Is(err, ErrRemote) {
+				return nil, stream, err
+			}
+			return nil, 0, wrapIO("recv", err)
+		}
+		obs.Add(obs.CtrMsgsIn, 1)
+		return payload, stream, nil
+	}
 	// Reset before decode: gob omits zero-valued fields on the wire and
 	// leaves them untouched in the target, so stale values would leak
 	// between messages otherwise.

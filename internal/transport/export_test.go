@@ -1,0 +1,13 @@
+package transport
+
+// RecvAnyForTest exposes the untyped receive path so the golden-wire
+// conformance tests can replay recorded transcripts without hardcoding
+// each service's message sequence.
+func (c *Conn) RecvAnyForTest() (any, error) { return c.recvAny() }
+
+// WarmGobForTest forces the canonical gob type-ID warm-up and reports
+// whether any wire type failed to encode.
+func WarmGobForTest() error {
+	registerTypes()
+	return warmErr
+}

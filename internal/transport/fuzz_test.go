@@ -2,10 +2,21 @@ package transport_test
 
 import (
 	"bytes"
+	"encoding"
+	"errors"
 	"io"
+	"math/big"
+	"reflect"
 	"testing"
 
+	"repro/internal/classify"
+	"repro/internal/field"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+	"repro/internal/svm"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // byteStream adapts a byte slice to the io.ReadWriteCloser surface Conn
@@ -55,6 +66,164 @@ func FuzzConnRecv(f *testing.F) {
 		// Drain every frame the stream yields; each must decode cleanly
 		// or error. The loop is bounded: every iteration either consumes
 		// input or errors out.
+		for i := 0; i < 16; i++ {
+			v, err := transport.Recv[*transport.Hello](conn)
+			if err != nil {
+				return
+			}
+			if v == nil {
+				t.Fatal("Recv returned nil payload without error")
+			}
+		}
+	})
+}
+
+// wireCodecMsg is the serialization contract the consolidated fuzz
+// drives: the codec pair plus the four standard interfaces.
+type wireCodecMsg interface {
+	wire.Msg
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+	io.WriterTo
+	io.ReaderFrom
+}
+
+func typedWireErr(err error) bool {
+	return errors.Is(err, wire.ErrTruncated) ||
+		errors.Is(err, wire.ErrOversize) ||
+		errors.Is(err, wire.ErrInvalid) ||
+		errors.Is(err, wire.ErrNilValue) ||
+		errors.Is(err, wire.ErrTrailing)
+}
+
+func fuzzEval() *ompe.EvalRequest {
+	return &ompe.EvalRequest{
+		Pairs:  []ompe.Pair{{V: big.NewInt(7), Z: field.Vec{big.NewInt(1), big.NewInt(2)}}},
+		Packed: []byte{1, 2, 3},
+	}
+}
+
+// wireFuzzSamples covers every envelope payload type that is not already
+// fuzzed by its own package (ot and ompe have dedicated targets): the
+// transport frame payloads plus the classify/similarity/svm specs.
+func wireFuzzSamples() []struct {
+	name  string
+	proto wireCodecMsg
+} {
+	simSpec := similarity.Spec{
+		Dim: 3, Metric: similarity.DefaultMetric(), MaskDegree: 4,
+		CoverFactor: 2, AmplifierBits: 40, FieldBits: 512, FracBits: 12,
+		GroupName: "modp512", FieldBackend: "limb", WireCodec: "binary",
+	}
+	return []struct {
+		name  string
+		proto wireCodecMsg
+	}{
+		{"Hello", &transport.Hello{Service: "classify", FieldBackend: "limb", WireCodecs: []string{"binary", "gob"}}},
+		{"RoundHeader", &transport.RoundHeader{Round: similarity.Round(2)}},
+		{"Done", &transport.Done{}},
+		{"ClassifyBatchRequest", &transport.ClassifyBatchRequest{Evals: []*ompe.EvalRequest{fuzzEval()}}},
+		{"ClassifyBatchSetups", &transport.ClassifyBatchSetups{Setups: []*ot.BatchSetup{{Setups: []*ot.SenderSetup{{Cs: []*big.Int{big.NewInt(9)}}}}}}},
+		{"ClassifyBatchChoices", &transport.ClassifyBatchChoices{Choices: []*ot.BatchChoice{{Choices: []*ot.ReceiverChoice{{PK0: big.NewInt(5)}}}}}},
+		{"ClassifyBatchTransfers", &transport.ClassifyBatchTransfers{Transfers: []*ot.BatchTransfer{{Transfers: []*ot.SenderTransfer{{R: big.NewInt(3), Cts: [][]byte{{1}}}}}}}},
+		{"ClassifySpec", &classify.Spec{Kernel: svm.Linear(), Dim: 4, Mode: classify.ModeDirect, MaskDegree: 4, CoverFactor: 2, AmplifierBits: 40, FieldBits: 512, FracBits: 12, GroupName: "modp512", FieldBackend: "big", WireCodec: "binary"}},
+		{"SimilaritySpec", &simSpec},
+		{"Metric", &similarity.Metric{Alpha: -1, Beta: 1, L0: 0.5, Theta0: 0.25}},
+		{"ClearShare", &similarity.ClearShare{NormM2: 1.5, NormW2: 2.5}},
+		{"KernelSpec", &similarity.KernelSpec{Spec: simSpec, Kernel: svm.Polynomial(0.5, 0, 3)}},
+		{"KernelClearShare", &similarity.KernelClearShare{KmBmB: 1, KwBwB: 2, NumSupport: 3, AlphaSum: big.NewInt(77)}},
+		{"AreaScale", &similarity.AreaScale{C3Exp: 3, TotalExp: 9}},
+		{"Kernel", &svm.Kernel{Kind: svm.KernelPolynomial, A0: 1, B0: 2, Degree: 3, Gamma: 0.5, C0: 1.5}},
+	}
+}
+
+// FuzzWireMsgs throws arbitrary bytes at every envelope payload decoder
+// in slice and stream mode: no panics, typed errors only, and clean
+// decodes must re-encode to a canonical fixed point.
+func FuzzWireMsgs(f *testing.F) {
+	samples := wireFuzzSamples()
+	for _, s := range samples {
+		data, err := s.proto.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return
+		}
+		for _, s := range samples {
+			out := reflect.New(reflect.TypeOf(s.proto).Elem()).Interface().(wireCodecMsg)
+			if err := out.UnmarshalBinary(input); err != nil {
+				if !typedWireErr(err) {
+					t.Fatalf("%s: untyped decode error: %v", s.name, err)
+				}
+			} else {
+				re, err := out.MarshalBinary()
+				if err != nil {
+					t.Fatalf("%s: decoded value does not re-encode: %v", s.name, err)
+				}
+				out2 := reflect.New(reflect.TypeOf(s.proto).Elem()).Interface().(wireCodecMsg)
+				if err := out2.UnmarshalBinary(re); err != nil {
+					t.Fatalf("%s: canonical re-encoding does not decode: %v", s.name, err)
+				}
+				re2, err := out2.MarshalBinary()
+				if err != nil {
+					t.Fatalf("%s: re-marshal: %v", s.name, err)
+				}
+				if !bytes.Equal(re2, re) {
+					t.Fatalf("%s: re-encoding is not a fixed point", s.name)
+				}
+			}
+			out3 := reflect.New(reflect.TypeOf(s.proto).Elem()).Interface().(wireCodecMsg)
+			if _, err := out3.ReadFrom(bytes.NewReader(input)); err != nil && !typedWireErr(err) {
+				t.Fatalf("%s: untyped stream decode error: %v", s.name, err)
+			}
+		}
+	})
+}
+
+// encodeBinaryEnvelope produces the framed bytes of a well-formed binary
+// envelope, seeding the frame fuzz from valid header + payload layouts.
+func encodeBinaryEnvelope(tb testing.TB, v any) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	conn := transport.NewConn(nopCloser{&buf})
+	if err := conn.UseCodec(transport.CodecBinary); err != nil {
+		tb.Fatal(err)
+	}
+	if err := conn.Send(v); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzBinaryFrameRecv feeds arbitrary byte streams into the binary-codec
+// receive path: malformed headers (bad version, unknown tag, hostile
+// lengths) and corrupt payloads must produce an error, never a panic, a
+// hang, or a silently wrong payload.
+func FuzzBinaryFrameRecv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x02, 0x01, 0, 0, 0, 0, 0, 0, 0, 0}) // wrong version
+	f.Add([]byte{0x01, 0xEE, 0, 0, 0, 0, 0, 0, 0, 0}) // unknown tag
+	f.Add([]byte{0x01, 0x01, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile length
+	valid := encodeBinaryEnvelope(f, &transport.Hello{Service: "classify", WireCodecs: []string{"binary"}})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(valid, valid...))
+	f.Add(encodeBinaryEnvelope(f, &transport.Done{}))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 1<<16 {
+			return
+		}
+		conn := transport.NewConn(&byteStream{r: bytes.NewReader(input)})
+		if err := conn.UseCodec(transport.CodecBinary); err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < 16; i++ {
 			v, err := transport.Recv[*transport.Hello](conn)
 			if err != nil {

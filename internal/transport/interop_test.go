@@ -1,0 +1,209 @@
+package transport_test
+
+// Codec interop matrix: every pairing of binary-capable and gob-only
+// peers must negotiate a codec both sides speak and produce correct
+// protocol results; version skew and hostile grants must surface as
+// typed errors, never hangs.
+
+import (
+	"crypto/rand"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ot"
+	"repro/internal/transport"
+)
+
+// runInteropClassify performs one full classification session against
+// srv with the given client options and reports the result and the
+// codec the session negotiated.
+func runInteropClassify(t *testing.T, srv *transport.Server, opts transport.Options, sample []float64) (int, string) {
+	t.Helper()
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	cc, err := transport.NewClassifyClientContext(t.Context(), clientSide, opts, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.ClassifyContext(t.Context(), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := cc.WireCodec()
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server session did not end")
+	}
+	return got, codec
+}
+
+// TestCodecInteropMatrix pairs binary-preferring and gob-pinned clients
+// with binary-capable and gob-only servers: every cell must negotiate
+// down cleanly and classify correctly.
+func TestCodecInteropMatrix(t *testing.T) {
+	model, test := trainLinear(t, 81)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := test.X[0]
+	want, err := model.Classify(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gobOnly := func(srv *transport.Server) { srv.WireCodecs = []string{transport.CodecGob} }
+	cases := []struct {
+		name      string
+		server    func(*transport.Server)
+		opts      transport.Options
+		wantCodec string
+	}{
+		{name: "default-client-default-server", wantCodec: transport.CodecBinary},
+		{name: "default-client-gob-only-server", server: gobOnly, wantCodec: transport.CodecGob},
+		{name: "gob-pinned-client-default-server", opts: transport.Options{WireCodec: transport.CodecGob}, wantCodec: transport.CodecGob},
+		{name: "binary-pinned-client-default-server", opts: transport.Options{WireCodec: transport.CodecBinary}, wantCodec: transport.CodecBinary},
+		// A binary-pinned client still completes against a gob-only
+		// trainer: gob is the bootstrap codec every build speaks, so the
+		// server's fallback grant is always usable.
+		{name: "binary-pinned-client-gob-only-server", server: gobOnly, opts: transport.Options{WireCodec: transport.CodecBinary}, wantCodec: transport.CodecGob},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := quietServer(t, trainer)
+			if tc.server != nil {
+				tc.server(srv)
+			}
+			got, codec := runInteropClassify(t, srv, tc.opts, sample)
+			if got != want {
+				t.Fatalf("classification drifted across codecs: got %d, want %d", got, want)
+			}
+			if codec != tc.wantCodec {
+				t.Fatalf("negotiated %q, want %q", codec, tc.wantCodec)
+			}
+		})
+	}
+}
+
+// TestFastClientCodecInterop runs the fast batched session against a
+// gob-only trainer and a binary-capable one: same answers either way.
+func TestFastClientCodecInterop(t *testing.T) {
+	model, test := trainLinear(t, 82)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := test.X[:3]
+	want, err := classify.ClassifyBatch(trainer, samples, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name      string
+		gobOnly   bool
+		wantCodec string
+	}{
+		{name: "binary", wantCodec: transport.CodecBinary},
+		{name: "gob-fallback", gobOnly: true, wantCodec: transport.CodecGob},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := quietServer(t, trainer)
+			if tc.gobOnly {
+				srv.WireCodecs = []string{transport.CodecGob}
+			}
+			serverSide, clientSide := net.Pipe()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				srv.ServeConn(serverSide)
+			}()
+			fc, err := transport.NewFastClassifyClientContext(t.Context(), clientSide, transport.Options{}, rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if codec := fc.WireCodec(); codec != tc.wantCodec {
+				t.Fatalf("negotiated %q, want %q", codec, tc.wantCodec)
+			}
+			got, err := fc.ClassifyBatchContext(t.Context(), samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d: got %d, want %d", i, got[i], want[i])
+				}
+			}
+			if err := fc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Fatal("server session did not end")
+			}
+		})
+	}
+}
+
+// TestWireVersionMismatch hand-crafts a binary frame with a future
+// version byte: the receiver must fail fast with ErrWireVersion — before
+// reading any payload — not hang waiting for bytes that never come.
+func TestWireVersionMismatch(t *testing.T) {
+	serverSide, clientSide := net.Pipe()
+	defer serverSide.Close()
+	conn := transport.NewConn(clientSide)
+	if err := conn.UseCodec(transport.CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetMessageDeadline(2 * time.Second)
+	go func() {
+		// version 0x02, tag 1, stream 0, length 0 — and nothing after the
+		// header, so a decoder that ignores the version would block.
+		_, _ = serverSide.Write([]byte{0x02, 0x01, 0, 0, 0, 0, 0, 0, 0, 0})
+	}()
+	start := time.Now()
+	_, err := transport.Recv[*transport.Hello](conn)
+	if !errors.Is(err, transport.ErrWireVersion) {
+		t.Fatalf("got %v, want ErrWireVersion", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("version mismatch took %v to surface", elapsed)
+	}
+}
+
+// TestHostileGrantRejected plays a misbehaving trainer that grants a
+// codec the client never offered: the client must refuse the session
+// with ErrWireCodec instead of speaking a codec it did not agree to.
+func TestHostileGrantRejected(t *testing.T) {
+	serverSide, clientSide := net.Pipe()
+	srvDone := make(chan error, 1)
+	go func() {
+		conn := transport.NewConn(serverSide)
+		defer conn.Close()
+		if _, err := transport.Recv[*transport.Hello](conn); err != nil {
+			srvDone <- err
+			return
+		}
+		spec := classify.Spec{WireCodec: transport.CodecBinary}
+		srvDone <- conn.Send(&spec)
+	}()
+	opts := transport.Options{WireCodec: transport.CodecGob, MessageDeadline: 2 * time.Second}
+	_, err := transport.NewClassifyClientContext(t.Context(), clientSide, opts, rand.Reader)
+	if !errors.Is(err, transport.ErrWireCodec) {
+		t.Fatalf("got %v, want ErrWireCodec", err)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("fake trainer: %v", err)
+	}
+}

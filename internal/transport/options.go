@@ -64,6 +64,14 @@ type Options struct {
 	// default always interoperates. Set "big" to pin the math/big path
 	// (e.g. for backend-comparison benchmarks).
 	FieldBackend string
+
+	// WireCodec pins the envelope codec the client offers in its Hello.
+	// Empty offers both (binary preferred, gob fallback) and lets the
+	// server pick; CodecGob pins the legacy gob envelopes (e.g. when
+	// talking to a peer whose binary framing is suspect); CodecBinary
+	// offers only binary — a gob-only server will still answer in gob,
+	// and the client rejects the session rather than mis-frame.
+	WireCodec string
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +101,16 @@ func (o Options) requestedBackend() string {
 		return string(field.BackendLimb)
 	}
 	return o.FieldBackend
+}
+
+// offeredCodecs resolves the codec offer for the Hello: the default
+// offers binary with gob fallback; an explicit setting narrows the offer
+// to that codec alone.
+func (o Options) offeredCodecs() []string {
+	if o.WireCodec == "" {
+		return defaultWireCodecs()
+	}
+	return []string{o.WireCodec}
 }
 
 // messageDeadline resolves the effective per-message deadline (0 = none).

@@ -57,6 +57,11 @@ type Server struct {
 	Logf func(format string, args ...any)
 	// Rand is the entropy source (default crypto/rand.Reader).
 	Rand io.Reader
+	// WireCodecs lists the envelope codecs this server will grant, in
+	// preference order. Nil grants the defaults (binary when the client
+	// offers it, gob otherwise); []string{CodecGob} pins a gob-only
+	// trainer, which binary-preferring clients negotiate down to.
+	WireCodecs []string
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -238,9 +243,9 @@ func (s *Server) serveConn(rw io.ReadWriteCloser) {
 	case "classify":
 		err = s.serveClassify(conn, hello, rng)
 	case "similarity-linear":
-		err = s.serveSimilarity(conn, rng)
+		err = s.serveSimilarity(conn, hello, rng)
 	case "similarity-kernel":
-		err = s.serveKernelSimilarity(conn, rng)
+		err = s.serveKernelSimilarity(conn, hello, rng)
 	case "classify-fast":
 		err = s.serveClassifyFast(conn, hello, rng)
 	default:
@@ -258,15 +263,32 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// sessionSpec resolves the backend negotiation for one session: the
-// client's requested engine (from its Hello) is granted only when the
-// trainer supports it, and the granted spec is what goes back on the wire.
+// sessionSpec resolves the backend and codec negotiation for one
+// session: the client's requested engine (from its Hello) is granted
+// only when the trainer supports it, the codec grant is folded into the
+// spec's WireCodec field, and the granted spec is what goes back on the
+// wire.
 func (s *Server) sessionSpec(hello *Hello) (classify.Spec, error) {
 	requested, err := field.ResolveBackend(hello.FieldBackend)
 	if err != nil {
 		return classify.Spec{}, err
 	}
-	return s.trainer.SessionSpec(requested), nil
+	spec := s.trainer.SessionSpec(requested)
+	spec.WireCodec = s.grantCodec(hello)
+	return spec, nil
+}
+
+// supportedCodecs resolves the server's codec support list.
+func (s *Server) supportedCodecs() []string {
+	if len(s.WireCodecs) == 0 {
+		return defaultWireCodecs()
+	}
+	return s.WireCodecs
+}
+
+// grantCodec picks the session codec from the client's offer.
+func (s *Server) grantCodec(hello *Hello) string {
+	return grantWireCodec(hello.WireCodecs, s.supportedCodecs())
 }
 
 // serveClassify answers any number of classification queries on one
@@ -277,7 +299,12 @@ func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// The spec crosses in gob (it carries the codec grant); the switch
+	// happens right after, before any protocol message.
 	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	if err := conn.UseCodec(spec.WireCodec); err != nil {
 		return err
 	}
 	for {
@@ -322,7 +349,7 @@ func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
 }
 
 // serveSimilarity runs one linear similarity evaluation as Alice.
-func (s *Server) serveSimilarity(conn *Conn, rng io.Reader) error {
+func (s *Server) serveSimilarity(conn *Conn, hello *Hello, rng io.Reader) error {
 	if !s.simEnabled {
 		return errors.New("similarity service not enabled")
 	}
@@ -331,7 +358,11 @@ func (s *Server) serveSimilarity(conn *Conn, rng io.Reader) error {
 		return err
 	}
 	spec := alice.Spec()
+	spec.WireCodec = s.grantCodec(hello)
 	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	if err := conn.UseCodec(spec.WireCodec); err != nil {
 		return err
 	}
 	clear, err := Recv[*similarity.ClearShare](conn)
@@ -378,7 +409,7 @@ func (s *Server) serveSimilarity(conn *Conn, rng io.Reader) error {
 // serveKernelSimilarity runs one kernelized similarity evaluation as
 // Alice: clear share, area-scale announcement, then the centroid round,
 // |S_B| normal rounds, and the area round.
-func (s *Server) serveKernelSimilarity(conn *Conn, rng io.Reader) error {
+func (s *Server) serveKernelSimilarity(conn *Conn, hello *Hello, rng io.Reader) error {
 	if !s.kernelSimEnabled {
 		return errors.New("kernel similarity service not enabled")
 	}
@@ -387,7 +418,11 @@ func (s *Server) serveKernelSimilarity(conn *Conn, rng io.Reader) error {
 		return err
 	}
 	spec := alice.Spec()
+	spec.WireCodec = s.grantCodec(hello)
 	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	if err := conn.UseCodec(spec.WireCodec); err != nil {
 		return err
 	}
 	clear, err := Recv[*similarity.KernelClearShare](conn)
@@ -508,6 +543,9 @@ func (s *Server) serveClassifyFast(conn *Conn, hello *Hello, rng io.Reader) erro
 		return err
 	}
 	if err := conn.Send(&spec); err != nil {
+		return err
+	}
+	if err := conn.UseCodec(spec.WireCodec); err != nil {
 		return err
 	}
 	setup, err := Recv[*ot.IKNPBaseSetup](conn)

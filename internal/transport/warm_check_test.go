@@ -1,0 +1,18 @@
+package transport_test
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestWarmGob guards the canonical gob type-ID warm-up: every entry in
+// the wireTypes list must actually encode, otherwise ID assignment
+// falls back to first-encode order and gob byte streams stop being
+// reproducible across processes (the golden transcripts would drift
+// depending on which session type a process sent first).
+func TestWarmGob(t *testing.T) {
+	if err := transport.WarmGobForTest(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+package transport
+
+// Binary wire encodings for the transport-layer message types, plus the
+// frame tag registry mapping payload types to their wire tags. Tags are
+// part of the wire contract: existing values must never be renumbered,
+// new types append.
+
+import (
+	"io"
+
+	"repro/internal/classify"
+	"repro/internal/ompe"
+	"repro/internal/ot"
+	"repro/internal/similarity"
+	"repro/internal/wire"
+)
+
+// Frame tags. Tag 0 is reserved for the error frame (payload is the
+// remote error string, not a message).
+const (
+	tagErr                    byte = 0
+	tagHello                  byte = 1
+	tagClassifySpec           byte = 2
+	tagEvalRequest            byte = 3
+	tagBatchSetup             byte = 4
+	tagBatchChoice            byte = 5
+	tagBatchTransfer          byte = 6
+	tagSimilaritySpec         byte = 7
+	tagClearShare             byte = 8
+	tagKernelSpec             byte = 9
+	tagKernelClearShare       byte = 10
+	tagAreaScale              byte = 11
+	tagRoundHeader            byte = 12
+	tagDone                   byte = 13
+	tagIKNPBaseSetup          byte = 14
+	tagIKNPBaseChoice         byte = 15
+	tagIKNPBaseTransfer       byte = 16
+	tagFastRequest            byte = 17
+	tagFastResponse           byte = 18
+	tagFastBatchRequest       byte = 19
+	tagFastBatchResponse      byte = 20
+	tagClassifyBatchRequest   byte = 21
+	tagClassifyBatchSetups    byte = 22
+	tagClassifyBatchChoices   byte = 23
+	tagClassifyBatchTransfers byte = 24
+)
+
+// binMsg resolves a payload to its frame tag and wire encoder. The type
+// switch is the entire dispatch — no reflection on the send path.
+func binMsg(v any) (byte, wire.Msg, bool) {
+	switch m := v.(type) {
+	case *Hello:
+		return tagHello, m, true
+	case *classify.Spec:
+		return tagClassifySpec, m, true
+	case *ompe.EvalRequest:
+		return tagEvalRequest, m, true
+	case *ot.BatchSetup:
+		return tagBatchSetup, m, true
+	case *ot.BatchChoice:
+		return tagBatchChoice, m, true
+	case *ot.BatchTransfer:
+		return tagBatchTransfer, m, true
+	case *similarity.Spec:
+		return tagSimilaritySpec, m, true
+	case *similarity.ClearShare:
+		return tagClearShare, m, true
+	case *similarity.KernelSpec:
+		return tagKernelSpec, m, true
+	case *similarity.KernelClearShare:
+		return tagKernelClearShare, m, true
+	case *similarity.AreaScale:
+		return tagAreaScale, m, true
+	case *RoundHeader:
+		return tagRoundHeader, m, true
+	case *Done:
+		return tagDone, m, true
+	case *ot.IKNPBaseSetup:
+		return tagIKNPBaseSetup, m, true
+	case *ot.IKNPBaseChoice:
+		return tagIKNPBaseChoice, m, true
+	case *ot.IKNPBaseTransfer:
+		return tagIKNPBaseTransfer, m, true
+	case *ompe.FastRequest:
+		return tagFastRequest, m, true
+	case *ompe.FastResponse:
+		return tagFastResponse, m, true
+	case *ompe.FastBatchRequest:
+		return tagFastBatchRequest, m, true
+	case *ompe.FastBatchResponse:
+		return tagFastBatchResponse, m, true
+	case *ClassifyBatchRequest:
+		return tagClassifyBatchRequest, m, true
+	case *ClassifyBatchSetups:
+		return tagClassifyBatchSetups, m, true
+	case *ClassifyBatchChoices:
+		return tagClassifyBatchChoices, m, true
+	case *ClassifyBatchTransfers:
+		return tagClassifyBatchTransfers, m, true
+	default:
+		return 0, nil, false
+	}
+}
+
+// newBinPayload allocates the concrete payload type for a frame tag. The
+// returned value is both the decode target (wire.Msg) and the payload
+// handed to Recv's type assertions (any), so the concrete types here
+// must match what the gob path produces.
+func newBinPayload(tag byte) (wire.Msg, bool) {
+	switch tag {
+	case tagHello:
+		return new(Hello), true
+	case tagClassifySpec:
+		return new(classify.Spec), true
+	case tagEvalRequest:
+		return new(ompe.EvalRequest), true
+	case tagBatchSetup:
+		return new(ot.BatchSetup), true
+	case tagBatchChoice:
+		return new(ot.BatchChoice), true
+	case tagBatchTransfer:
+		return new(ot.BatchTransfer), true
+	case tagSimilaritySpec:
+		return new(similarity.Spec), true
+	case tagClearShare:
+		return new(similarity.ClearShare), true
+	case tagKernelSpec:
+		return new(similarity.KernelSpec), true
+	case tagKernelClearShare:
+		return new(similarity.KernelClearShare), true
+	case tagAreaScale:
+		return new(similarity.AreaScale), true
+	case tagRoundHeader:
+		return new(RoundHeader), true
+	case tagDone:
+		return new(Done), true
+	case tagIKNPBaseSetup:
+		return new(ot.IKNPBaseSetup), true
+	case tagIKNPBaseChoice:
+		return new(ot.IKNPBaseChoice), true
+	case tagIKNPBaseTransfer:
+		return new(ot.IKNPBaseTransfer), true
+	case tagFastRequest:
+		return new(ompe.FastRequest), true
+	case tagFastResponse:
+		return new(ompe.FastResponse), true
+	case tagFastBatchRequest:
+		return new(ompe.FastBatchRequest), true
+	case tagFastBatchResponse:
+		return new(ompe.FastBatchResponse), true
+	case tagClassifyBatchRequest:
+		return new(ClassifyBatchRequest), true
+	case tagClassifyBatchSetups:
+		return new(ClassifyBatchSetups), true
+	case tagClassifyBatchChoices:
+		return new(ClassifyBatchChoices), true
+	case tagClassifyBatchTransfers:
+		return new(ClassifyBatchTransfers), true
+	default:
+		return nil, false
+	}
+}
+
+// EncodeWire implements the wire codec.
+func (h *Hello) EncodeWire(w *wire.Writer) {
+	w.String(h.Service)
+	w.String(h.FieldBackend)
+	w.Count(len(h.WireCodecs))
+	for _, c := range h.WireCodecs {
+		w.String(c)
+	}
+}
+
+// DecodeWire implements the wire codec.
+func (h *Hello) DecodeWire(r *wire.Reader) {
+	h.Service = r.String()
+	h.FieldBackend = r.String()
+	n := r.Count()
+	if r.Err() != nil {
+		return
+	}
+	h.WireCodecs = nil
+	for i := 0; i < n; i++ {
+		h.WireCodecs = append(h.WireCodecs, r.String())
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *Hello) MarshalBinary() ([]byte, error) { return wire.Marshal(h) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *Hello) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, h) }
+
+// WriteTo implements io.WriterTo.
+func (h *Hello) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, h) }
+
+// ReadFrom implements io.ReaderFrom.
+func (h *Hello) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, h) }
+
+// EncodeWire implements the wire codec.
+func (h *RoundHeader) EncodeWire(w *wire.Writer) { w.Int(int(h.Round)) }
+
+// DecodeWire implements the wire codec.
+func (h *RoundHeader) DecodeWire(r *wire.Reader) { h.Round = similarity.Round(r.Int()) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *RoundHeader) MarshalBinary() ([]byte, error) { return wire.Marshal(h) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *RoundHeader) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, h) }
+
+// WriteTo implements io.WriterTo.
+func (h *RoundHeader) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, h) }
+
+// ReadFrom implements io.ReaderFrom.
+func (h *RoundHeader) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, h) }
+
+// EncodeWire implements the wire codec. Done carries no payload.
+func (d *Done) EncodeWire(w *wire.Writer) {}
+
+// DecodeWire implements the wire codec.
+func (d *Done) DecodeWire(r *wire.Reader) {}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (d *Done) MarshalBinary() ([]byte, error) { return wire.Marshal(d) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (d *Done) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, d) }
+
+// WriteTo implements io.WriterTo.
+func (d *Done) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, d) }
+
+// ReadFrom implements io.ReaderFrom.
+func (d *Done) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, d) }
+
+// encodePtrSeq writes a count-prefixed sequence of required pointers.
+func encodePtrSeq[T any, P interface {
+	*T
+	wire.Msg
+}](w *wire.Writer, seq []P) {
+	w.Count(len(seq))
+	for _, m := range seq {
+		if m == nil {
+			w.BigInt(nil) // typed ErrNilValue via the sticky writer
+			return
+		}
+		m.EncodeWire(w)
+	}
+}
+
+// decodePtrSeq reads a count-prefixed sequence of required pointers.
+func decodePtrSeq[T any, P interface {
+	*T
+	wire.Msg
+}](r *wire.Reader) []P {
+	n := r.Count()
+	if r.Err() != nil {
+		return nil
+	}
+	seq := make([]P, 0, wire.SliceCap(n))
+	for i := 0; i < n; i++ {
+		m := P(new(T))
+		m.DecodeWire(r)
+		if r.Err() != nil {
+			return nil
+		}
+		seq = append(seq, m)
+	}
+	return seq
+}
+
+// EncodeWire implements the wire codec.
+func (b *ClassifyBatchRequest) EncodeWire(w *wire.Writer) { encodePtrSeq(w, b.Evals) }
+
+// DecodeWire implements the wire codec.
+func (b *ClassifyBatchRequest) DecodeWire(r *wire.Reader) {
+	b.Evals = decodePtrSeq[ompe.EvalRequest, *ompe.EvalRequest](r)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *ClassifyBatchRequest) MarshalBinary() ([]byte, error) { return wire.Marshal(b) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *ClassifyBatchRequest) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, b) }
+
+// WriteTo implements io.WriterTo.
+func (b *ClassifyBatchRequest) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, b) }
+
+// ReadFrom implements io.ReaderFrom.
+func (b *ClassifyBatchRequest) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, b) }
+
+// EncodeWire implements the wire codec.
+func (b *ClassifyBatchSetups) EncodeWire(w *wire.Writer) { encodePtrSeq(w, b.Setups) }
+
+// DecodeWire implements the wire codec.
+func (b *ClassifyBatchSetups) DecodeWire(r *wire.Reader) {
+	b.Setups = decodePtrSeq[ot.BatchSetup, *ot.BatchSetup](r)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *ClassifyBatchSetups) MarshalBinary() ([]byte, error) { return wire.Marshal(b) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *ClassifyBatchSetups) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, b) }
+
+// WriteTo implements io.WriterTo.
+func (b *ClassifyBatchSetups) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, b) }
+
+// ReadFrom implements io.ReaderFrom.
+func (b *ClassifyBatchSetups) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, b) }
+
+// EncodeWire implements the wire codec.
+func (b *ClassifyBatchChoices) EncodeWire(w *wire.Writer) { encodePtrSeq(w, b.Choices) }
+
+// DecodeWire implements the wire codec.
+func (b *ClassifyBatchChoices) DecodeWire(r *wire.Reader) {
+	b.Choices = decodePtrSeq[ot.BatchChoice, *ot.BatchChoice](r)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *ClassifyBatchChoices) MarshalBinary() ([]byte, error) { return wire.Marshal(b) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *ClassifyBatchChoices) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, b) }
+
+// WriteTo implements io.WriterTo.
+func (b *ClassifyBatchChoices) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, b) }
+
+// ReadFrom implements io.ReaderFrom.
+func (b *ClassifyBatchChoices) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, b) }
+
+// EncodeWire implements the wire codec.
+func (b *ClassifyBatchTransfers) EncodeWire(w *wire.Writer) { encodePtrSeq(w, b.Transfers) }
+
+// DecodeWire implements the wire codec.
+func (b *ClassifyBatchTransfers) DecodeWire(r *wire.Reader) {
+	b.Transfers = decodePtrSeq[ot.BatchTransfer, *ot.BatchTransfer](r)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *ClassifyBatchTransfers) MarshalBinary() ([]byte, error) { return wire.Marshal(b) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *ClassifyBatchTransfers) UnmarshalBinary(data []byte) error { return wire.Unmarshal(data, b) }
+
+// WriteTo implements io.WriterTo.
+func (b *ClassifyBatchTransfers) WriteTo(w io.Writer) (int64, error) { return wire.WriteTo(w, b) }
+
+// ReadFrom implements io.ReaderFrom.
+func (b *ClassifyBatchTransfers) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, b) }

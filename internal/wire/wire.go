@@ -1,0 +1,494 @@
+// Package wire provides the primitives of the hand-rolled binary codec:
+// a sticky-error Writer/Reader pair over a small set of canonical field
+// encodings (bytes, varints, floats, big.Ints), plus adapters that derive
+// the four standard serialization interfaces — encoding.BinaryMarshaler,
+// encoding.BinaryUnmarshaler, io.WriterTo, io.ReaderFrom — from a single
+// EncodeWire/DecodeWire pair per message type.
+//
+// The encoding is deliberately boring: no reflection, no type
+// descriptors, no schema evolution inside a message. Fixed-width values
+// are big-endian; lengths and counts are unsigned varints; byte slices
+// and big.Int magnitudes are length-prefixed. Every length and count read
+// is bounds-checked before allocation, so a hostile peer cannot make a
+// decoder allocate more than the bytes it actually sent (slice inputs)
+// or more than MaxBytes/MaxCount (stream inputs). Versioning lives one
+// layer up, in the transport frame header — a message encoding never
+// changes shape silently; incompatible changes get a new frame version.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+)
+
+// Decode-side resource bounds. Slice-mode reads are additionally bounded
+// by the bytes actually present; these caps are the last line of defense
+// for stream-mode reads where the total is not known up front.
+const (
+	// MaxBytes bounds any single length-prefixed byte field (256 MiB).
+	MaxBytes = 1 << 28
+	// MaxCount bounds any element count (16M elements).
+	MaxCount = 1 << 24
+)
+
+// Typed decode errors. Every malformed input surfaces as one of these
+// (wrapped with context), never as a panic.
+var (
+	// ErrTruncated reports input that ends mid-field.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrOversize reports a length or count beyond the decoder's bounds.
+	ErrOversize = errors.New("wire: length exceeds bound")
+	// ErrInvalid reports a syntactically well-formed but semantically
+	// impossible value (e.g. a bool byte that is neither 0 nor 1).
+	ErrInvalid = errors.New("wire: invalid value")
+	// ErrNilValue reports an attempt to encode a nil required field.
+	ErrNilValue = errors.New("wire: nil value")
+	// ErrTrailing reports leftover bytes after a complete message.
+	ErrTrailing = errors.New("wire: trailing bytes after message")
+)
+
+// Msg is the single pair of methods a type implements to join the codec;
+// the package-level adapters derive the four standard interfaces from it.
+type Msg interface {
+	EncodeWire(*Writer)
+	DecodeWire(*Reader)
+}
+
+// Writer serializes canonical field encodings into either an append
+// buffer or an io.Writer. Errors are sticky: after the first failure
+// every subsequent call is a no-op and Err returns the cause, so message
+// encoders read as straight-line field lists.
+type Writer struct {
+	w       io.Writer // stream sink; nil in append mode
+	buf     []byte    // append-mode accumulator
+	n       int64     // bytes written (stream mode)
+	err     error
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a stream-mode Writer. Each field costs one small
+// Write on w; pass a buffered writer on hot paths.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// NewAppendWriter returns an append-mode Writer accumulating onto buf
+// (which may be nil, or a recycled buffer sliced to length 0).
+func NewAppendWriter(buf []byte) *Writer { return &Writer{buf: buf} }
+
+// Bytes returns the append-mode accumulator.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// N returns the number of bytes written in stream mode.
+func (w *Writer) N() int64 { return w.n }
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if w.w == nil {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	if err != nil {
+		w.fail(err)
+	}
+}
+
+// Byte writes one raw byte.
+func (w *Writer) Byte(b byte) { w.write([]byte{b}) }
+
+// Bool writes a bool as a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.scratch[:], v)
+	w.write(w.scratch[:n])
+}
+
+// Int writes a signed int as a zigzag varint.
+func (w *Writer) Int(v int) {
+	n := binary.PutVarint(w.scratch[:], int64(v))
+	w.write(w.scratch[:n])
+}
+
+// Uint writes an unsigned int as an unsigned varint.
+func (w *Writer) Uint(v uint) { w.Uvarint(uint64(v)) }
+
+// Float64 writes the IEEE-754 bits, big-endian.
+func (w *Writer) Float64(v float64) {
+	binary.BigEndian.PutUint64(w.scratch[:8], math.Float64bits(v))
+	w.write(w.scratch[:8])
+}
+
+// ByteSlice writes a length-prefixed byte slice (nil encodes as empty).
+func (w *Writer) ByteSlice(p []byte) {
+	if len(p) > MaxBytes {
+		w.fail(fmt.Errorf("%w: %d bytes", ErrOversize, len(p)))
+		return
+	}
+	w.Uvarint(uint64(len(p)))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	if len(s) > MaxBytes {
+		w.fail(fmt.Errorf("%w: %d bytes", ErrOversize, len(s)))
+		return
+	}
+	w.Uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	if w.w == nil {
+		w.buf = append(w.buf, s...)
+		return
+	}
+	n, err := io.WriteString(w.w, s)
+	w.n += int64(n)
+	if err != nil {
+		w.fail(err)
+	}
+}
+
+// Count writes an element count for a following sequence.
+func (w *Writer) Count(n int) {
+	if n < 0 || n > MaxCount {
+		w.fail(fmt.Errorf("%w: count %d", ErrOversize, n))
+		return
+	}
+	w.Uvarint(uint64(n))
+}
+
+// BigInt writes a non-negative big.Int as its length-prefixed big-endian
+// magnitude (zero encodes as an empty slice). Nil and negative values are
+// encoding errors: the protocols only put field/group elements on the
+// wire, and those are canonical non-negative residues.
+func (w *Writer) BigInt(x *big.Int) {
+	if x == nil {
+		w.fail(fmt.Errorf("%w: big.Int", ErrNilValue))
+		return
+	}
+	if x.Sign() < 0 {
+		w.fail(fmt.Errorf("%w: negative big.Int", ErrInvalid))
+		return
+	}
+	w.ByteSlice(x.Bytes())
+}
+
+// Reader deserializes canonical field encodings from either a byte slice
+// (zero-copy bounds checks against the remaining input) or an io.Reader
+// (bounds checks against MaxBytes/MaxCount). Errors are sticky; decoded
+// values after a failure are zero.
+type Reader struct {
+	buf     []byte // slice mode
+	off     int
+	r       io.Reader     // stream mode
+	br      io.ByteReader // stream mode varint source
+	n       int64         // bytes consumed (stream mode)
+	err     error
+	scratch [8]byte
+}
+
+// NewReader returns a slice-mode Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// byteReaderShim adapts a plain io.Reader to io.ByteReader.
+type byteReaderShim struct{ r io.Reader }
+
+func (s byteReaderShim) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(s.r, b[:])
+	return b[0], err
+}
+
+// NewStreamReader returns a stream-mode Reader over r. Reads are exact:
+// the Reader never consumes bytes past the end of one message, so a
+// following message on the same stream is untouched. Pass a buffered
+// reader on hot paths (an unbuffered one costs a syscall-sized read per
+// field).
+func NewStreamReader(r io.Reader) *Reader {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = byteReaderShim{r}
+	}
+	return &Reader{r: r, br: br}
+}
+
+// N returns the number of bytes consumed in stream mode.
+func (r *Reader) N() int64 { return r.n }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Done checks that a slice-mode Reader consumed its entire input.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.r == nil && r.off != len(r.buf) {
+		r.fail(fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailing, r.off, len(r.buf)))
+	}
+	return r.err
+}
+
+// remaining reports the unread byte count in slice mode (stream mode has
+// no known bound and returns MaxBytes).
+func (r *Reader) remaining() int {
+	if r.r == nil {
+		return len(r.buf) - r.off
+	}
+	return MaxBytes
+}
+
+// take reads exactly n bytes into the scratch buffer (n <= 8).
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return r.scratch[:n]
+	}
+	if r.r == nil {
+		if len(r.buf)-r.off < n {
+			r.fail(fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, n, len(r.buf)-r.off))
+			return r.scratch[:n]
+		}
+		copy(r.scratch[:n], r.buf[r.off:])
+		r.off += n
+		return r.scratch[:n]
+	}
+	m, err := io.ReadFull(r.r, r.scratch[:n])
+	r.n += int64(m)
+	if err != nil {
+		r.fail(fmt.Errorf("%w: %v", ErrTruncated, err))
+	}
+	return r.scratch[:n]
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte { return r.take(1)[0] }
+
+// Bool reads a 0/1 byte; any other value is ErrInvalid.
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if r.err != nil {
+		return false
+	}
+	switch b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("%w: bool byte 0x%02x", ErrInvalid, b))
+		return false
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.r == nil {
+		v, n := binary.Uvarint(r.buf[r.off:])
+		if n <= 0 {
+			r.fail(fmt.Errorf("%w: uvarint", ErrTruncated))
+			return 0
+		}
+		r.off += n
+		return v
+	}
+	v, err := binary.ReadUvarint(countingByteReader{r})
+	if err != nil {
+		r.fail(fmt.Errorf("%w: uvarint: %v", ErrTruncated, err))
+		return 0
+	}
+	return v
+}
+
+// countingByteReader advances the stream Reader's byte count as varint
+// bytes are consumed.
+type countingByteReader struct{ r *Reader }
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.br.ReadByte()
+	if err == nil {
+		c.r.n++
+	}
+	return b, err
+}
+
+// Int reads a zigzag varint into an int.
+func (r *Reader) Int() int {
+	if r.err != nil {
+		return 0
+	}
+	if r.r == nil {
+		v, n := binary.Varint(r.buf[r.off:])
+		if n <= 0 {
+			r.fail(fmt.Errorf("%w: varint", ErrTruncated))
+			return 0
+		}
+		r.off += n
+		return int(v)
+	}
+	v, err := binary.ReadVarint(countingByteReader{r})
+	if err != nil {
+		r.fail(fmt.Errorf("%w: varint: %v", ErrTruncated, err))
+		return 0
+	}
+	return int(v)
+}
+
+// Uint reads an unsigned varint into a uint.
+func (r *Reader) Uint() uint { return uint(r.Uvarint()) }
+
+// Float64 reads big-endian IEEE-754 bits.
+func (r *Reader) Float64() float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(r.take(8)))
+}
+
+// Count reads an element count, bounded by MaxCount and — in slice mode —
+// by the remaining input (every element costs at least one byte, so a
+// count beyond that is provably truncated or hostile).
+func (r *Reader) Count() int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > MaxCount {
+		r.fail(fmt.Errorf("%w: count %d > %d", ErrOversize, v, MaxCount))
+		return 0
+	}
+	if rem := r.remaining(); v > uint64(rem) {
+		r.fail(fmt.Errorf("%w: count %d with %d bytes left", ErrTruncated, v, rem))
+		return 0
+	}
+	return int(v)
+}
+
+// ByteSlice reads a length-prefixed byte slice. The result is a fresh
+// copy: UnmarshalBinary callers may reuse the input buffer.
+func (r *Reader) ByteSlice() []byte {
+	v := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if v > MaxBytes {
+		r.fail(fmt.Errorf("%w: %d bytes > %d", ErrOversize, v, MaxBytes))
+		return nil
+	}
+	n := int(v)
+	if r.r == nil {
+		if len(r.buf)-r.off < n {
+			r.fail(fmt.Errorf("%w: %d-byte field with %d bytes left", ErrTruncated, n, len(r.buf)-r.off))
+			return nil
+		}
+		out := make([]byte, n)
+		copy(out, r.buf[r.off:])
+		r.off += n
+		return out
+	}
+	// Stream mode: grow in bounded chunks so a hostile length prefix
+	// cannot force a huge up-front allocation before any payload bytes
+	// actually arrive off the stream.
+	const chunk = 1 << 20
+	out := make([]byte, min(n, chunk))
+	filled := 0
+	for {
+		m, err := io.ReadFull(r.r, out[filled:])
+		r.n += int64(m)
+		if err != nil {
+			r.fail(fmt.Errorf("%w: %v", ErrTruncated, err))
+			return nil
+		}
+		filled = len(out)
+		if filled == n {
+			return out
+		}
+		out = append(out, make([]byte, min(n-filled, chunk))...)
+	}
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.ByteSlice()) }
+
+// BigInt reads a length-prefixed big-endian magnitude into a fresh
+// non-negative big.Int.
+func (r *Reader) BigInt() *big.Int {
+	p := r.ByteSlice()
+	if r.err != nil {
+		return nil
+	}
+	return new(big.Int).SetBytes(p)
+}
+
+// Marshal encodes m into a fresh buffer (the BinaryMarshaler body).
+func Marshal(m Msg) ([]byte, error) {
+	w := NewAppendWriter(nil)
+	m.EncodeWire(w)
+	return w.Bytes(), w.Err()
+}
+
+// Append encodes m onto buf, returning the extended buffer. Callers that
+// recycle buf get allocation-free steady-state encoding.
+func Append(buf []byte, m Msg) ([]byte, error) {
+	w := NewAppendWriter(buf)
+	m.EncodeWire(w)
+	return w.Bytes(), w.Err()
+}
+
+// Unmarshal decodes m from data, requiring the message to consume the
+// input exactly (the BinaryUnmarshaler body).
+func Unmarshal(data []byte, m Msg) error {
+	r := NewReader(data)
+	m.DecodeWire(r)
+	return r.Done()
+}
+
+// WriteTo streams m's encoding to w (the io.WriterTo body).
+func WriteTo(w io.Writer, m Msg) (int64, error) {
+	ww := NewWriter(w)
+	m.EncodeWire(ww)
+	return ww.N(), ww.Err()
+}
+
+// ReadFrom decodes one message from r, consuming exactly the message's
+// bytes (the io.ReaderFrom body).
+func ReadFrom(r io.Reader, m Msg) (int64, error) {
+	rr := NewStreamReader(r)
+	m.DecodeWire(rr)
+	return rr.N(), rr.Err()
+}
+
+// SliceCap bounds the initial capacity of a count-prefixed slice
+// allocation. Decode loops append up to the claimed count, but a hostile
+// count must not force a large up-front allocation before the elements
+// actually arrive; loops grow past this hint via append.
+func SliceCap(n int) int { return min(n, 4096) }

@@ -1,0 +1,307 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/big"
+	"testing"
+)
+
+// testMsg exercises every primitive through the Msg adapters.
+type testMsg struct {
+	B   byte
+	OK  bool
+	U   uint64
+	I   int
+	UN  uint
+	F   float64
+	P   []byte
+	S   string
+	X   *big.Int
+	Seq []*big.Int
+}
+
+func (m *testMsg) EncodeWire(w *Writer) {
+	w.Byte(m.B)
+	w.Bool(m.OK)
+	w.Uvarint(m.U)
+	w.Int(m.I)
+	w.Uint(m.UN)
+	w.Float64(m.F)
+	w.ByteSlice(m.P)
+	w.String(m.S)
+	w.BigInt(m.X)
+	w.Count(len(m.Seq))
+	for _, x := range m.Seq {
+		w.BigInt(x)
+	}
+}
+
+func (m *testMsg) DecodeWire(r *Reader) {
+	m.B = r.Byte()
+	m.OK = r.Bool()
+	m.U = r.Uvarint()
+	m.I = r.Int()
+	m.UN = r.Uint()
+	m.F = r.Float64()
+	m.P = r.ByteSlice()
+	m.S = r.String()
+	m.X = r.BigInt()
+	n := r.Count()
+	if r.Err() != nil {
+		return
+	}
+	m.Seq = m.Seq[:0]
+	for i := 0; i < n; i++ {
+		m.Seq = append(m.Seq, r.BigInt())
+	}
+}
+
+func sampleMsg() *testMsg {
+	return &testMsg{
+		B:   0xAB,
+		OK:  true,
+		U:   1 << 60,
+		I:   -123456789,
+		UN:  42,
+		F:   -math.Pi,
+		P:   []byte{1, 2, 3},
+		S:   "hello, wire",
+		X:   new(big.Int).Lsh(big.NewInt(0x1234), 500),
+		Seq: []*big.Int{big.NewInt(0), big.NewInt(7), new(big.Int).SetUint64(math.MaxUint64)},
+	}
+}
+
+func msgEqual(a, b *testMsg) bool {
+	if a.B != b.B || a.OK != b.OK || a.U != b.U || a.I != b.I || a.UN != b.UN ||
+		a.F != b.F || !bytes.Equal(a.P, b.P) || a.S != b.S || a.X.Cmp(b.X) != 0 ||
+		len(a.Seq) != len(b.Seq) {
+		return false
+	}
+	for i := range a.Seq {
+		if a.Seq[i].Cmp(b.Seq[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripAppendAndStream(t *testing.T) {
+	in := sampleMsg()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	// Append mode and stream mode must produce identical bytes.
+	var sb bytes.Buffer
+	n, err := WriteTo(&sb, in)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("WriteTo wrote %d bytes, Marshal produced %d", n, len(data))
+	}
+	if !bytes.Equal(sb.Bytes(), data) {
+		t.Fatalf("stream and append encodings differ")
+	}
+
+	var outA testMsg
+	if err := Unmarshal(data, &outA); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !msgEqual(in, &outA) {
+		t.Fatalf("slice round trip mismatch: %+v != %+v", in, &outA)
+	}
+
+	var outS testMsg
+	m, err := ReadFrom(bytes.NewReader(data), &outS)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if m != int64(len(data)) {
+		t.Fatalf("ReadFrom consumed %d bytes, want %d", m, len(data))
+	}
+	if !msgEqual(in, &outS) {
+		t.Fatalf("stream round trip mismatch")
+	}
+}
+
+func TestReadFromStopsAtMessageBoundary(t *testing.T) {
+	in := sampleMsg()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Two messages back to back on one stream: the first decode must not
+	// consume a single byte of the second.
+	stream := bytes.NewReader(append(append([]byte{}, data...), data...))
+	for i := 0; i < 2; i++ {
+		var out testMsg
+		if _, err := ReadFrom(stream, &out); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !msgEqual(in, &out) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Fatalf("%d stray bytes after two messages", stream.Len())
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	data, err := Marshal(sampleMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testMsg
+	err = Unmarshal(append(data, 0x00), &out)
+	if !errors.Is(err, ErrTrailing) {
+		t.Fatalf("got %v, want ErrTrailing", err)
+	}
+}
+
+func TestTruncationEveryPrefix(t *testing.T) {
+	data, err := Marshal(sampleMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		var out testMsg
+		err := Unmarshal(data[:n], &out)
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", n, len(data))
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrTrailing) && !errors.Is(err, ErrInvalid) {
+			t.Fatalf("prefix %d: untyped error %v", n, err)
+		}
+		var outS testMsg
+		if _, err := ReadFrom(bytes.NewReader(data[:n]), &outS); err == nil {
+			t.Fatalf("stream prefix of %d/%d bytes decoded cleanly", n, len(data))
+		}
+	}
+}
+
+func TestBoolRejectsOtherBytes(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrInvalid) {
+		t.Fatalf("got %v, want ErrInvalid", r.Err())
+	}
+}
+
+func TestCountBounds(t *testing.T) {
+	// A count larger than the remaining input is provably truncated.
+	w := NewAppendWriter(nil)
+	w.Uvarint(1000)
+	r := NewReader(w.Bytes())
+	r.Count()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("slice-mode count: got %v, want ErrTruncated", r.Err())
+	}
+
+	// Stream mode has no remaining bound; MaxCount is the cap.
+	w2 := NewAppendWriter(nil)
+	w2.Uvarint(MaxCount + 1)
+	r2 := NewStreamReader(bytes.NewReader(w2.Bytes()))
+	r2.Count()
+	if !errors.Is(r2.Err(), ErrOversize) {
+		t.Fatalf("stream-mode count: got %v, want ErrOversize", r2.Err())
+	}
+}
+
+func TestByteSliceOversize(t *testing.T) {
+	w := NewAppendWriter(nil)
+	w.Uvarint(MaxBytes + 1)
+	r := NewStreamReader(bytes.NewReader(w.Bytes()))
+	r.ByteSlice()
+	if !errors.Is(r.Err(), ErrOversize) {
+		t.Fatalf("got %v, want ErrOversize", r.Err())
+	}
+}
+
+func TestByteSliceIsFreshCopy(t *testing.T) {
+	w := NewAppendWriter(nil)
+	w.ByteSlice([]byte{1, 2, 3})
+	data := w.Bytes()
+	r := NewReader(data)
+	out := r.ByteSlice()
+	data[len(data)-1] = 99
+	if out[2] != 3 {
+		t.Fatalf("decoded slice aliases the input buffer")
+	}
+}
+
+func TestBigIntErrors(t *testing.T) {
+	w := NewAppendWriter(nil)
+	w.BigInt(nil)
+	if !errors.Is(w.Err(), ErrNilValue) {
+		t.Fatalf("nil: got %v, want ErrNilValue", w.Err())
+	}
+	w2 := NewAppendWriter(nil)
+	w2.BigInt(big.NewInt(-1))
+	if !errors.Is(w2.Err(), ErrInvalid) {
+		t.Fatalf("negative: got %v, want ErrInvalid", w2.Err())
+	}
+}
+
+func TestBigIntZeroRoundTrip(t *testing.T) {
+	w := NewAppendWriter(nil)
+	w.BigInt(big.NewInt(0))
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	x := r.BigInt()
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Sign() != 0 {
+		t.Fatalf("got %v, want 0", x)
+	}
+}
+
+func TestStickyWriterError(t *testing.T) {
+	w := NewAppendWriter(nil)
+	w.BigInt(nil)
+	before := len(w.Bytes())
+	w.Int(7)
+	w.String("more")
+	if len(w.Bytes()) != before {
+		t.Fatalf("writes continued after sticky error")
+	}
+}
+
+// failWriter errors after the first write.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n > 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.n++
+	return len(p), nil
+}
+
+func TestStreamWriterPropagatesSinkError(t *testing.T) {
+	w := NewWriter(&failWriter{})
+	w.Float64(1)
+	w.Float64(2)
+	if w.Err() == nil {
+		t.Fatalf("sink error not propagated")
+	}
+}
+
+func TestAppendRecyclesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	out, err := Append(buf, sampleMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatalf("Append reallocated despite sufficient capacity")
+	}
+}
