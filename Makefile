@@ -3,7 +3,8 @@
 # targets briefly (CI runs it as a separate job).
 .PHONY: check vet build test bench-smoke bench fuzz-smoke \
 	lint cover bench-json bench-json-batch bench-json-fieldsweep \
-	bench-update tidy-check wire-regen
+	bench-update tidy-check wire-regen \
+	fleet-smoke fleet-soak-json fleet-update
 
 check: vet build test bench-smoke
 
@@ -90,6 +91,37 @@ bench-update:
 		-json -out BENCH_classify_batch.json bench
 	go run ./cmd/ppdc-bench -parallelism 1 -queries 1024 -batch 64 -inflight 2 \
 		-json -out BENCH_field_backends.json fieldsweep
+
+# fleet-smoke exercises the fleet serving stack end to end: the
+# experiments-level soak tests (mem + tcp transports) plus a small
+# real-socket soak through ppdc-loadgen — 3 replicas behind a gateway,
+# pipelined clients, every hop a loopback TCP connection.
+fleet-smoke:
+	go test ./internal/experiments -run TestBenchFleet -count=1
+	go run ./cmd/ppdc-loadgen -replicas 3 -clients 24 -queries 4 -transport tcp soak
+
+# fleet-soak-json emits the fleet soak document on the pinned CI config
+# (3 replicas, 200 concurrent pipelined clients over loopback TCP). CI
+# compares it against the committed bench_fleet_baseline.json with the
+# same 20% throughput gate as the protocol benches; flag changes here
+# must be mirrored into a regenerated baseline.
+fleet-soak-json:
+	go run ./cmd/ppdc-loadgen -replicas 3 -clients 200 -queries 8 \
+		-batch 4 -inflight 2 -transport tcp \
+		-json -out BENCH_fleet.current.json soak
+
+# fleet-update regenerates both committed fleet documents in place: the
+# CI baseline (TCP, 200 clients) and the showcase soak (in-process mem
+# transport, 10k concurrent pipelined clients — fd-free, so the only
+# limits are memory and CPU). The 10k run takes several minutes on one
+# core; wall numbers reflect the machine it runs on.
+fleet-update:
+	go run ./cmd/ppdc-loadgen -replicas 3 -clients 200 -queries 8 \
+		-batch 4 -inflight 2 -transport tcp \
+		-json -out bench_fleet_baseline.json soak
+	go run ./cmd/ppdc-loadgen -replicas 3 -clients 10000 -queries 8 \
+		-batch 4 -inflight 2 -transport mem \
+		-json -out BENCH_fleet.json soak
 
 tidy-check:
 	go mod tidy -diff

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/field"
+	"repro/internal/gateway"
 	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/transport"
@@ -48,6 +49,7 @@ func run(args []string) error {
 		n        = fs.Int("n", 5, "number of test samples to classify")
 		seed     = fs.Uint64("seed", 2, "synthetic data seed (client side)")
 		fast     = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
+		redial   = fs.Int("redial", 0, "with -fast: redial up to this many times when the session dies mid-query (against a ppdc-gateway fleet, a fresh session fails over to a surviving replica)")
 		backend  = fs.String("field-backend", "", "field engine to request: limb (default) or big; the session falls back to big unless the trainer supports limb")
 		codec    = fs.String("codec", "", "envelope codec to offer: empty negotiates (binary preferred, gob fallback), gob pins legacy envelopes, binary offers only binary")
 		batch    = fs.Int("batch", 0, "samples per batched request (0 = one request per sample)")
@@ -98,7 +100,10 @@ func run(args []string) error {
 		if *inflight > 1 && (*batch == 0 || !*fast) {
 			return fmt.Errorf("-inflight > 1 needs -fast and -batch > 0 (pipelining rides the fast-session stream framing)")
 		}
-		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, *batch, *inflight, opts)
+		if *redial > 0 && !*fast {
+			return fmt.Errorf("-redial needs -fast (session recovery rides the fast-session client)")
+		}
+		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, *batch, *inflight, *redial, opts)
 	case "similarity":
 		return runSimilarity(*addr, *dsName, *seed, opts)
 	default:
@@ -106,12 +111,28 @@ func run(args []string) error {
 	}
 }
 
-func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, batch, inflight int, opts transport.Options) error {
+func runClassify(addr, sampleCSV, dsName string, n int, seed uint64, fast bool, batch, inflight, redial int, opts transport.Options) error {
 	ctx := context.Background()
 	var classifyFn func([]float64) (int, error)
 	var batchFn func([][]float64) ([]int, error)
 	var spec classifySpec
-	if fast {
+	if fast && redial > 0 {
+		client := gateway.NewFleetClient(nil, addr, opts, rand.Reader, redial)
+		defer func() { _ = client.Close() }()
+		classifyFn = func(sample []float64) (int, error) {
+			labels, err := client.ClassifyBatch(ctx, [][]float64{sample})
+			if err != nil {
+				return 0, err
+			}
+			return labels[0], nil
+		}
+		if batch > 0 {
+			batchFn = func(samples [][]float64) ([]int, error) {
+				return client.ClassifyPipelined(ctx, samples, batch, inflight)
+			}
+		}
+		fmt.Printf("fleet client: sessions redial up to %d time(s) on failure\n", redial)
+	} else if fast {
 		client, err := transport.DialClassifyFastContext(ctx, addr, opts, rand.Reader)
 		if err != nil {
 			return err

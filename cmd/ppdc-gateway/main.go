@@ -1,0 +1,130 @@
+// Command ppdc-gateway fronts a fleet of ppdc-trainer replicas: it
+// accepts client connections, routes each session to the least-loaded
+// healthy replica, and splices bytes for the session's lifetime. Clients
+// speak the ordinary protocol to the gateway address; the gateway adds
+// failover (a dead replica is skipped and probed back in when it
+// recovers) and load shedding (sessions beyond -max-sessions are
+// answered with a typed fleet-busy error).
+//
+// Usage:
+//
+//	ppdc-gateway -replicas host1:7707,host2:7707,host3:7707 \
+//	             [-addr :7700] [-max-sessions 0] [-health-interval 500ms] \
+//	             [-dial-timeout 2s] [-drain-timeout 30s] \
+//	             [-metrics-addr 127.0.0.1:7701]
+//
+// On SIGINT/SIGTERM the gateway drains: it stops accepting, lets spliced
+// sessions run to completion for up to -drain-timeout, then force-closes
+// the rest.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppdc-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppdc-gateway", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", ":7700", "listen address for client sessions")
+		replicas       = fs.String("replicas", "", "comma-separated trainer replica addresses (required)")
+		maxSessions    = fs.Int("max-sessions", 0, "max concurrent spliced sessions (0 = unlimited); extra clients are shed with a fleet-busy error")
+		healthInterval = fs.Duration("health-interval", 500*time.Millisecond, "pause between replica health-probe sweeps")
+		dialTimeout    = fs.Duration("dial-timeout", 2*time.Second, "per-replica dial budget before failing the session over")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+		metricsAddr    = fs.String("metrics-addr", "", "serve plain-text /metrics and /debug/pprof on this address (empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var replicaAddrs []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			replicaAddrs = append(replicaAddrs, a)
+		}
+	}
+	if len(replicaAddrs) == 0 {
+		return errors.New("-replicas is required (comma-separated trainer addresses)")
+	}
+
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		maddr, srv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		msrv = srv
+		defer func() { _ = msrv.Close() }()
+		log.Printf("metrics and pprof on http://%s/metrics", maddr)
+	}
+
+	gw, err := gateway.New(replicaAddrs, gateway.Options{
+		MaxSessions:    *maxSessions,
+		HealthInterval: *healthInterval,
+		DialTimeout:    *dialTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("gateway on %s fronting %d replica(s): %s", ln.Addr(), len(replicaAddrs), strings.Join(replicaAddrs, ", "))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var draining atomic.Bool
+	drained := make(chan error, 1)
+	go func() {
+		sig, ok := <-sigCh
+		if !ok {
+			return
+		}
+		log.Printf("%v: draining sessions for up to %v", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		draining.Store(true)
+		drainErr := gw.Shutdown(ctx)
+		if msrv != nil {
+			if err := msrv.Shutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+		}
+		drained <- drainErr
+	}()
+	err = gw.Serve(ln)
+	if draining.Load() {
+		if shutdownErr := <-drained; shutdownErr != nil && !errors.Is(shutdownErr, net.ErrClosed) {
+			return fmt.Errorf("drain: %w", shutdownErr)
+		}
+		stats := gw.Stats()
+		log.Printf("drained; routed=%d shed=%d failovers=%d; bye", stats.Routed, stats.Shed, stats.Failovers)
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,169 @@
+// Command ppdc-loadgen soaks a local classification fleet: it spins up N
+// trainer replicas behind a gateway inside its own process, drives
+// thousands of concurrent pipelined client sessions through the gateway,
+// and reports fleet throughput, per-batch latency quantiles, and the
+// gateway's routing ledger as a schema-stable BENCH_fleet.json document.
+//
+// Usage:
+//
+//	ppdc-loadgen [flags] soak      # run the fleet soak
+//	ppdc-loadgen [flags] compare   # gate a soak against a committed baseline
+//
+// The default -transport mem runs the whole fleet over in-process pipes,
+// so client counts are bounded by memory and CPU rather than file
+// descriptors — this is how the committed 10k-client BENCH_fleet.json is
+// produced on one machine. -transport tcp puts every hop on a loopback
+// socket (~4 fds per client session); CI soaks a few hundred clients
+// that way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/field"
+	"repro/internal/ot"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppdc-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppdc-loadgen", flag.ContinueOnError)
+	var (
+		seed      = fs.Uint64("seed", 1, "deterministic data seed")
+		group     = fs.String("group", "512", "OT group: 512 (toy/fast), 1024, 1536, 2048, x25519")
+		backend   = fs.String("field-backend", "", "field arithmetic engine: big (default) or limb")
+		codec     = fs.String("codec", "", "envelope codec: empty negotiates (binary preferred), gob or binary pin one")
+		par       = fs.Int("parallelism", 0, "worker pool bound per endpoint (0 = all cores, 1 = serial)")
+		replicas  = fs.Int("replicas", 3, "trainer replicas behind the gateway")
+		clients   = fs.Int("clients", 200, "concurrent client sessions held through the measured phase")
+		queries   = fs.Int("queries", 8, "measured queries per client")
+		batch     = fs.Int("batch", 4, "samples per pipelined batch")
+		inflight  = fs.Int("inflight", 2, "batches each client keeps on the wire")
+		trans     = fs.String("transport", experiments.FleetTransportMem, "fleet transport: mem (in-process pipes, fd-free) or tcp (loopback sockets)")
+		handshake = fs.Int("handshake-concurrency", 128, "concurrent session handshakes during the connect phase")
+		jsonOut   = fs.Bool("json", false, "soak: emit the machine-readable BENCH_fleet.json document")
+		outPath   = fs.String("out", "", "soak: write the JSON document here instead of BENCH_fleet.json")
+		basePath  = fs.String("baseline", "bench_fleet_baseline.json", "compare: committed baseline document")
+		curPath   = fs.String("current", "", "compare: freshly produced BENCH_fleet.json document")
+		maxReg    = fs.Float64("max-regress", 0.20, "compare: maximum tolerated throughput regression (fraction)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need one subcommand: soak or compare")
+	}
+	switch fs.Arg(0) {
+	case "soak":
+	case "compare":
+		return runCompare(*basePath, *curPath, *maxReg)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want soak or compare)", fs.Arg(0))
+	}
+
+	g, err := ot.GroupByName(*group)
+	if err != nil {
+		return err
+	}
+	fb, err := field.ResolveBackend(*backend)
+	if err != nil {
+		return err
+	}
+	wc, err := transport.ResolveWireCodec(*codec)
+	if err != nil {
+		return err
+	}
+	opts := experiments.Options{
+		Seed:         *seed,
+		Group:        g,
+		Parallelism:  *par,
+		FieldBackend: fb,
+		WireCodec:    wc,
+	}
+	params := experiments.FleetParams{
+		Replicas:             *replicas,
+		Clients:              *clients,
+		QueriesPerClient:     *queries,
+		BatchSize:            *batch,
+		Inflight:             *inflight,
+		Transport:            *trans,
+		HandshakeConcurrency: *handshake,
+	}
+
+	fmt.Fprintf(os.Stderr, "soaking %d replica(s) with %d clients x %d queries (batch %d, inflight %d, %s transport)...\n",
+		params.Replicas, params.Clients, params.QueriesPerClient, params.BatchSize, params.Inflight, params.Transport)
+	start := time.Now()
+	doc, err := experiments.BenchFleet(opts, params)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "soak done in %v (measured phase %v)\n", time.Since(start).Round(time.Millisecond), time.Duration(doc.WallNS).Round(time.Millisecond))
+
+	if *jsonOut {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_fleet.json"
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	fmt.Printf("fleet_soak: %d queries in %v = %.1f qps | batch p50 %v p99 %v | routed %d shed %d failovers %d retries %d\n",
+		doc.Queries, time.Duration(doc.WallNS).Round(time.Millisecond), doc.ThroughputQPS,
+		time.Duration(doc.BatchP50NS).Round(time.Microsecond), time.Duration(doc.BatchP99NS).Round(time.Microsecond),
+		doc.Routed, doc.Shed, doc.Failovers, doc.Retries)
+	for i, n := range doc.ReplicaRouted {
+		fmt.Printf("  replica %d: %d session(s)\n", i, n)
+	}
+	return nil
+}
+
+func readFleetDoc(path string) (*experiments.FleetBenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc experiments.FleetBenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func runCompare(basePath, curPath string, maxRegress float64) error {
+	if curPath == "" {
+		return fmt.Errorf("compare: -current is required")
+	}
+	base, err := readFleetDoc(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readFleetDoc(curPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.CompareFleet(base, cur, maxRegress); err != nil {
+		return err
+	}
+	fmt.Printf("fleet compare: ok (%.1f qps baseline -> %.1f qps current, gate %.0f%%)\n",
+		base.ThroughputQPS, cur.ThroughputQPS, 100*maxRegress)
+	return nil
+}

@@ -10,8 +10,14 @@
 //	             [-max-sessions 0] [-msg-deadline 2m] [-drain-timeout 30s] \
 //	             [-metrics-addr 127.0.0.1:7708]
 //
+// The model serves through a version registry: on SIGHUP the process
+// re-reads -load-model and atomically hot-swaps the new version in — new
+// sessions bind to it immediately, in-flight sessions drain on the
+// version they started with.
+//
 // On SIGINT/SIGTERM the server drains: it stops accepting, lets in-flight
-// sessions finish for up to -drain-timeout, then force-closes stragglers.
+// sessions finish for up to -drain-timeout, then force-closes stragglers
+// (and shuts the -metrics-addr listener down with the same budget).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/ot"
+	"repro/internal/registry"
 	"repro/internal/similarity"
 	"repro/internal/svm"
 	"repro/internal/transport"
@@ -67,10 +75,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var msrv *http.Server
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		obs.SetDefault(reg)
-		maddr, msrv, err := obs.ServeMetrics(*metricsAddr, reg)
+		var maddr net.Addr
+		var err error
+		maddr, msrv, err = obs.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
@@ -140,11 +151,14 @@ func run(args []string) error {
 		log.Printf("saved model to %s", *saveModel)
 	}
 
-	trainer, err := classify.NewTrainer(model, classify.Params{Group: group, FieldBackend: fieldBackend})
-	if err != nil {
+	// Serve through a version registry: the boot model is version 1, and
+	// SIGHUP republishes -load-model as the next version without dropping
+	// in-flight sessions.
+	modelReg := registry.New(classify.Params{Group: group, FieldBackend: fieldBackend})
+	if _, err := modelReg.Publish(model); err != nil {
 		return err
 	}
-	srv := transport.NewServer(trainer)
+	srv := transport.NewServerSource(modelReg)
 	srv.MaxSessions = *maxSessions
 	switch *codec {
 	case "":
@@ -174,8 +188,33 @@ func run(args []string) error {
 	log.Printf("serving privacy-preserving classification on %s (OT group %s, field backend %s)",
 		ln.Addr(), group.Name(), fieldBackend)
 
+	// Hot-reload on SIGHUP: republish -load-model as the next version.
+	// In-flight sessions drain on the version they started with; only the
+	// classification model swaps (the similarity service stays pinned to
+	// the boot model's weights).
+	hupCh := make(chan os.Signal, 1)
+	signal.Notify(hupCh, syscall.SIGHUP)
+	defer signal.Stop(hupCh)
+	go func() {
+		for range hupCh {
+			if *loadModel == "" {
+				log.Printf("SIGHUP: hot-reload re-reads -load-model, which is not set; ignoring")
+				continue
+			}
+			e, err := modelReg.PublishFile(*loadModel)
+			if err != nil {
+				log.Printf("SIGHUP: reload failed, still serving version %d: %v", modelReg.Version(), err)
+				continue
+			}
+			log.Printf("SIGHUP: published model version %d from %s (%d support vectors)",
+				e.Version, *loadModel, e.Model.NumSupportVectors())
+		}
+	}()
+
 	// Drain gracefully on SIGINT/SIGTERM: stop accepting, let in-flight
-	// sessions finish for up to -drain-timeout, force-close the rest.
+	// sessions finish for up to -drain-timeout, force-close the rest. The
+	// metrics listener shuts down under the same budget so the process
+	// exits with no lingering HTTP socket.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
@@ -190,7 +229,13 @@ func run(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		draining.Store(true)
-		drained <- srv.Shutdown(ctx)
+		drainErr := srv.Shutdown(ctx)
+		if msrv != nil {
+			if err := msrv.Shutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+		}
+		drained <- drainErr
 	}()
 	err = srv.Serve(ln)
 	if draining.Load() {

@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/gateway"
+	"repro/internal/memnet"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/svm"
+	"repro/internal/transport"
+)
+
+// Fleet transports selectable in FleetParams.Transport.
+const (
+	// FleetTransportMem runs the whole fleet over in-process pipes
+	// (memnet): zero file descriptors per session, so client counts are
+	// bounded by memory and CPU, not the process fd limit. This is how
+	// the 10k-client soak runs on one machine.
+	FleetTransportMem = "mem"
+	// FleetTransportTCP runs gateway and replicas on loopback TCP
+	// listeners — every hop a real socket. Each client session costs
+	// ~4 fds (client->gateway, gateway->replica, both ends), so scale
+	// within the fd limit; CI soaks a few hundred clients this way.
+	FleetTransportTCP = "tcp"
+)
+
+// FleetParams sizes a fleet soak.
+type FleetParams struct {
+	// Replicas is the trainer replica count behind the gateway.
+	Replicas int
+	// Clients is the number of concurrent client sessions, each holding
+	// its own session through the gateway for the whole measured phase.
+	Clients int
+	// QueriesPerClient is each client's measured query count.
+	QueriesPerClient int
+	// BatchSize and Inflight are each client's pipelining shape.
+	BatchSize int
+	Inflight  int
+	// Transport selects FleetTransportMem or FleetTransportTCP.
+	Transport string
+	// HandshakeConcurrency bounds how many clients handshake at once
+	// during the connect phase (default 128). Handshakes are the
+	// CPU-expensive part of a session; bounding them keeps the connect
+	// phase from thrashing while changing nothing about the measured
+	// phase, where all clients run concurrently.
+	HandshakeConcurrency int
+}
+
+func (p FleetParams) withDefaults() FleetParams {
+	if p.Replicas < 1 {
+		p.Replicas = 1
+	}
+	if p.Clients < 1 {
+		p.Clients = 1
+	}
+	if p.QueriesPerClient < 1 {
+		p.QueriesPerClient = 1
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = 1
+	}
+	if p.Inflight < 1 {
+		p.Inflight = 1
+	}
+	if p.Transport == "" {
+		p.Transport = FleetTransportMem
+	}
+	if p.HandshakeConcurrency < 1 {
+		p.HandshakeConcurrency = 128
+	}
+	return p
+}
+
+// FleetConfig pins a fleet soak's workload inside its document so the CI
+// gate refuses apples-to-oranges comparisons.
+type FleetConfig struct {
+	Dataset          string `json:"dataset"`
+	Group            string `json:"group"`
+	Seed             uint64 `json:"seed"`
+	Parallelism      int    `json:"parallelism"`
+	Replicas         int    `json:"replicas"`
+	Clients          int    `json:"clients"`
+	QueriesPerClient int    `json:"queries_per_client"`
+	BatchSize        int    `json:"batch_size"`
+	Inflight         int    `json:"inflight"`
+	Transport        string `json:"transport"`
+	FieldBackend     string `json:"field_backend,omitempty"`
+}
+
+// FleetBenchDoc is the schema-stable BENCH_fleet.json document: fleet
+// throughput, per-batch latency quantiles, and the gateway's routing
+// ledger for the run.
+type FleetBenchDoc struct {
+	Schema        int         `json:"schema"`
+	Name          string      `json:"name"`
+	Config        FleetConfig `json:"config"`
+	Queries       int         `json:"queries"`
+	WallNS        int64       `json:"wall_ns"`
+	ThroughputQPS float64     `json:"throughput_qps"`
+	// Batch latency quantiles over the measured phase (per pipelined
+	// batch round trip, nanoseconds).
+	BatchP50NS int64 `json:"batch_p50_ns"`
+	BatchP99NS int64 `json:"batch_p99_ns"`
+	// Gateway ledger: sessions routed/shed/drained, dial failovers, and
+	// client-side session redials over the whole run.
+	Routed    int64 `json:"routed"`
+	Shed      int64 `json:"shed"`
+	Drained   int64 `json:"drained"`
+	Failovers int64 `json:"failovers"`
+	Retries   int64 `json:"retries"`
+	// ReplicaRouted is each replica's share of routed sessions, in
+	// replica order.
+	ReplicaRouted []int64 `json:"replica_routed"`
+}
+
+// classifyParams maps experiment options onto serving parameters.
+func classifyParams(o Options) classify.Params {
+	return classify.Params{Group: o.Group, Parallelism: o.Parallelism, FieldBackend: o.FieldBackend}
+}
+
+// fleetHarness is a running fleet: N replica servers behind one gateway,
+// reachable through dial.
+type fleetHarness struct {
+	reg      *registry.Registry
+	servers  []*transport.Server
+	gw       *gateway.Gateway
+	dial     func(ctx context.Context) (net.Conn, error)
+	shutdown func()
+}
+
+// startFleet builds the fleet on the requested transport. The model is
+// trained once and published through a single registry feeding all
+// replicas (in production each replica holds its own registry copy; for
+// a single-process fleet one registry is the same serving path with
+// less redundant training).
+func startFleet(opts Options, p FleetParams) (*fleetHarness, [][]float64, error) {
+	const dsName = "diabetes"
+	spec, err := dataset.SpecByName(dsName)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test, err := dataset.Generate(spec, dataset.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := svm.Train(train.X, train.Y, svm.Config{Kernel: svm.Linear(), C: spec.LinC})
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := registry.New(classifyParams(opts))
+	if _, err := reg.Publish(model); err != nil {
+		return nil, nil, err
+	}
+
+	h := &fleetHarness{reg: reg}
+	var replicaAddrs []string
+	var gwDial gateway.Dialer
+	var closers []func()
+
+	newServer := func() *transport.Server {
+		srv := transport.NewServerSource(reg)
+		srv.Logf = nil
+		srv.Rand = opts.Rand
+		srv.MessageDeadline = transport.NoDeadline
+		h.servers = append(h.servers, srv)
+		return srv
+	}
+
+	switch p.Transport {
+	case FleetTransportMem:
+		network := memnet.NewNetwork()
+		for i := 0; i < p.Replicas; i++ {
+			name := fmt.Sprintf("replica-%d", i)
+			ln := network.Listen(name)
+			srv := newServer()
+			go func() { _ = srv.Serve(ln) }()
+			replicaAddrs = append(replicaAddrs, name)
+		}
+		gwDial = network.Dial
+		gwLn := network.Listen("gateway")
+		gw, err := gateway.New(replicaAddrs, gateway.Options{
+			Dial:           gwDial,
+			HealthInterval: time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		go func() { _ = gw.Serve(gwLn) }()
+		h.gw = gw
+		h.dial = func(ctx context.Context) (net.Conn, error) { return network.Dial(ctx, "gateway") }
+	case FleetTransportTCP:
+		for i := 0; i < p.Replicas; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			srv := newServer()
+			go func() { _ = srv.Serve(ln) }()
+			replicaAddrs = append(replicaAddrs, ln.Addr().String())
+			closers = append(closers, func() { _ = ln.Close() })
+		}
+		gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		gw, err := gateway.New(replicaAddrs, gateway.Options{
+			HealthInterval: time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		go func() { _ = gw.Serve(gwLn) }()
+		h.gw = gw
+		gwAddr := gwLn.Addr().String()
+		h.dial = func(ctx context.Context) (net.Conn, error) {
+			return transport.DialContext(ctx, gwAddr, transport.Options{MaxAttempts: 1})
+		}
+	default:
+		return nil, nil, fmt.Errorf("fleet: unknown transport %q (want %q or %q)", p.Transport, FleetTransportMem, FleetTransportTCP)
+	}
+
+	h.shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = h.gw.Shutdown(ctx)
+		for _, c := range closers {
+			c()
+		}
+		for _, srv := range h.servers {
+			_ = srv.Shutdown(ctx)
+		}
+	}
+	return h, test.X, nil
+}
+
+// BenchFleet soaks a local fleet: p.Replicas trainer replicas behind one
+// gateway, p.Clients concurrent sessions each pushing pipelined batches.
+// The run has two phases — connect (every client dials through the
+// gateway and completes its session handshake, concurrency-bounded) and
+// a measured load phase entered together once all clients hold live
+// sessions — so throughput and latency quantiles cover steady-state
+// serving, not handshake amortization.
+//
+// Like the other benches it swaps the process-default metrics registry
+// for the run, so it must not race with other instrumented work.
+func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
+	opts = opts.withDefaults()
+	p = p.withDefaults()
+
+	mreg := obs.NewRegistry()
+	prev := obs.SwapDefault(mreg)
+	defer obs.SetDefault(prev)
+
+	h, samples, err := startFleet(opts, p)
+	if err != nil {
+		return nil, err
+	}
+	defer h.shutdown()
+
+	clientOpts := transport.Options{
+		FieldBackend:    string(opts.FieldBackend),
+		WireCodec:       opts.WireCodec,
+		MessageDeadline: transport.NoDeadline,
+	}
+
+	// Connect phase: every client dials through the gateway and runs one
+	// warmup query, leaving a live session. Handshakes are bounded by a
+	// semaphore; failures abort the soak (a bench with broken sessions is
+	// not a measurement).
+	clients := make([]*gateway.FleetClient, p.Clients)
+	dial := func(ctx context.Context, _ string) (net.Conn, error) { return h.dial(ctx) }
+	sem := make(chan struct{}, p.HandshakeConcurrency)
+	var connectWG sync.WaitGroup
+	var connectErr atomic.Pointer[error]
+	for i := range clients {
+		connectWG.Add(1)
+		go func(i int) {
+			defer connectWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fc := gateway.NewFleetClient(dial, "gateway", clientOpts, opts.Rand, 2)
+			if _, err := fc.ClassifyBatch(context.Background(), samples[:1]); err != nil {
+				err = fmt.Errorf("fleet: client %d connect: %w", i, err)
+				connectErr.CompareAndSwap(nil, &err)
+				return
+			}
+			clients[i] = fc
+		}(i)
+	}
+	connectWG.Wait()
+	if errp := connectErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	// The measured phase observes only its own batches: delta the batch
+	// histogram against the post-connect snapshot.
+	before := mreg.Snapshot()
+
+	perClient := make([][]float64, p.QueriesPerClient)
+	for i := range perClient {
+		perClient[i] = samples[i%len(samples)]
+	}
+	start := make(chan struct{})
+	var loadWG sync.WaitGroup
+	var loadErr atomic.Pointer[error]
+	for i, fc := range clients {
+		loadWG.Add(1)
+		go func(i int, fc *gateway.FleetClient) {
+			defer loadWG.Done()
+			<-start
+			if _, err := fc.ClassifyPipelined(context.Background(), perClient, p.BatchSize, p.Inflight); err != nil {
+				err = fmt.Errorf("fleet: client %d load: %w", i, err)
+				loadErr.CompareAndSwap(nil, &err)
+			}
+		}(i, fc)
+	}
+	t0 := time.Now()
+	close(start)
+	loadWG.Wait()
+	wall := time.Since(t0)
+	if errp := loadErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	var retries int64
+	for _, fc := range clients {
+		retries += fc.Retries()
+		_ = fc.Close()
+	}
+
+	after := mreg.Snapshot()
+	batchHist := histDelta(before.Histograms[obs.PhaseClassifyBatch], after.Histograms[obs.PhaseClassifyBatch])
+	stats := h.gw.Stats()
+
+	queries := p.Clients * p.QueriesPerClient
+	doc := &FleetBenchDoc{
+		Schema: BenchSchemaVersion,
+		Name:   "fleet_soak",
+		Config: FleetConfig{
+			Dataset:          "diabetes",
+			Group:            opts.Group.Name(),
+			Seed:             opts.Seed,
+			Parallelism:      opts.Parallelism,
+			Replicas:         p.Replicas,
+			Clients:          p.Clients,
+			QueriesPerClient: p.QueriesPerClient,
+			BatchSize:        p.BatchSize,
+			Inflight:         p.Inflight,
+			Transport:        p.Transport,
+			FieldBackend:     backendConfigName(opts.FieldBackend),
+		},
+		Queries:       queries,
+		WallNS:        int64(wall),
+		ThroughputQPS: float64(queries) / wall.Seconds(),
+		BatchP50NS:    batchHist.Quantile(0.50),
+		BatchP99NS:    batchHist.Quantile(0.99),
+		Routed:        stats.Routed,
+		Shed:          stats.Shed,
+		Drained:       stats.Drained,
+		Failovers:     stats.Failovers,
+		Retries:       retries,
+	}
+	for _, r := range stats.Replicas {
+		doc.ReplicaRouted = append(doc.ReplicaRouted, r.Routed)
+	}
+	if batchHist.Count == 0 {
+		return nil, fmt.Errorf("fleet: no batches recorded in measured phase (instrumentation gap)")
+	}
+	return doc, nil
+}
+
+// histDelta subtracts one snapshot of a histogram from a later one,
+// yielding the observations that landed in between. Min/Max carry over
+// from the later snapshot (they cannot be un-merged, and Quantile only
+// uses them to clamp interpolation to the observed range).
+func histDelta(before, after obs.HistSnapshot) obs.HistSnapshot {
+	d := obs.HistSnapshot{
+		Count: after.Count - before.Count,
+		Sum:   after.Sum - before.Sum,
+		Min:   after.Min,
+		Max:   after.Max,
+	}
+	d.Buckets = make([]int64, len(after.Buckets))
+	copy(d.Buckets, after.Buckets)
+	for i := range before.Buckets {
+		if i < len(d.Buckets) {
+			d.Buckets[i] -= before.Buckets[i]
+		}
+	}
+	return d
+}
+
+// CompareFleet gates a fleet soak against its committed baseline: it
+// fails when fleet throughput regressed by more than maxRegress, and
+// refuses comparisons across different schemas, workloads, or configs.
+func CompareFleet(baseline, current *FleetBenchDoc, maxRegress float64) error {
+	if baseline == nil || current == nil {
+		return fmt.Errorf("fleet compare: nil document")
+	}
+	if baseline.Schema != current.Schema {
+		return fmt.Errorf("fleet compare: schema %d vs %d", baseline.Schema, current.Schema)
+	}
+	if baseline.Name != current.Name {
+		return fmt.Errorf("fleet compare: workload %q vs %q", baseline.Name, current.Name)
+	}
+	if baseline.Config != current.Config {
+		return fmt.Errorf("fleet compare: config mismatch (%+v vs %+v)", baseline.Config, current.Config)
+	}
+	if baseline.ThroughputQPS <= 0 {
+		return fmt.Errorf("fleet compare: baseline throughput %.3f qps is not positive", baseline.ThroughputQPS)
+	}
+	floor := baseline.ThroughputQPS * (1 - maxRegress)
+	if current.ThroughputQPS < floor {
+		return fmt.Errorf("fleet compare: throughput regressed %.1f%% (%.2f -> %.2f qps, floor %.2f)",
+			100*(1-current.ThroughputQPS/baseline.ThroughputQPS),
+			baseline.ThroughputQPS, current.ThroughputQPS, floor)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fleetSmokeParams is a deliberately small fleet: enough clients to
+// exercise concurrent routing across both replicas, small enough to run
+// in seconds.
+func fleetSmokeParams(transport string) FleetParams {
+	return FleetParams{
+		Replicas:         2,
+		Clients:          8,
+		QueriesPerClient: 4,
+		BatchSize:        2,
+		Inflight:         2,
+		Transport:        transport,
+	}
+}
+
+func checkFleetDoc(t *testing.T, doc *FleetBenchDoc, p FleetParams) {
+	t.Helper()
+	if doc.Schema != BenchSchemaVersion {
+		t.Errorf("schema = %d, want %d", doc.Schema, BenchSchemaVersion)
+	}
+	if doc.Name != "fleet_soak" {
+		t.Errorf("name = %q", doc.Name)
+	}
+	if want := p.Clients * p.QueriesPerClient; doc.Queries != want {
+		t.Errorf("queries = %d, want %d", doc.Queries, want)
+	}
+	if doc.ThroughputQPS <= 0 {
+		t.Errorf("throughput = %f, want > 0", doc.ThroughputQPS)
+	}
+	// Connect phase opens one session per client; no retries, shedding,
+	// or failovers should happen in a healthy soak.
+	if doc.Routed < int64(p.Clients) {
+		t.Errorf("routed = %d, want >= %d", doc.Routed, p.Clients)
+	}
+	if doc.Shed != 0 || doc.Failovers != 0 || doc.Retries != 0 {
+		t.Errorf("unexpected disruption: shed=%d failovers=%d retries=%d", doc.Shed, doc.Failovers, doc.Retries)
+	}
+	if len(doc.ReplicaRouted) != p.Replicas {
+		t.Fatalf("replica_routed has %d entries, want %d", len(doc.ReplicaRouted), p.Replicas)
+	}
+	// Least-loaded routing over concurrent long-lived sessions must not
+	// pile everything on one replica.
+	for i, n := range doc.ReplicaRouted {
+		if n == 0 {
+			t.Errorf("replica %d routed 0 sessions: %v", i, doc.ReplicaRouted)
+		}
+	}
+	if doc.BatchP50NS <= 0 || doc.BatchP99NS < doc.BatchP50NS {
+		t.Errorf("quantiles p50=%d p99=%d", doc.BatchP50NS, doc.BatchP99NS)
+	}
+}
+
+func TestBenchFleetMem(t *testing.T) {
+	p := fleetSmokeParams(FleetTransportMem)
+	doc, err := BenchFleet(Options{Quick: true}, p)
+	if err != nil {
+		t.Fatalf("BenchFleet: %v", err)
+	}
+	checkFleetDoc(t, doc, p)
+	if doc.Config.Transport != FleetTransportMem {
+		t.Errorf("config transport = %q", doc.Config.Transport)
+	}
+}
+
+func TestBenchFleetTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp fleet soak in -short mode")
+	}
+	p := fleetSmokeParams(FleetTransportTCP)
+	doc, err := BenchFleet(Options{Quick: true}, p)
+	if err != nil {
+		t.Fatalf("BenchFleet: %v", err)
+	}
+	checkFleetDoc(t, doc, p)
+}
+
+func TestBenchFleetUnknownTransport(t *testing.T) {
+	_, err := BenchFleet(Options{Quick: true}, FleetParams{Transport: "carrier-pigeon"})
+	if err == nil || !strings.Contains(err.Error(), "unknown transport") {
+		t.Fatalf("err = %v, want unknown transport", err)
+	}
+}
+
+func TestCompareFleet(t *testing.T) {
+	base := &FleetBenchDoc{
+		Schema:        BenchSchemaVersion,
+		Name:          "fleet_soak",
+		Config:        FleetConfig{Clients: 8, Replicas: 2, Transport: FleetTransportMem},
+		ThroughputQPS: 100,
+	}
+	cur := *base
+
+	cur.ThroughputQPS = 85
+	if err := CompareFleet(base, &cur, 0.20); err != nil {
+		t.Errorf("15%% regression rejected under 20%% gate: %v", err)
+	}
+	cur.ThroughputQPS = 75
+	if err := CompareFleet(base, &cur, 0.20); err == nil {
+		t.Error("25% regression passed a 20% gate")
+	}
+	cur.ThroughputQPS = 100
+	cur.Config.Clients = 16
+	if err := CompareFleet(base, &cur, 0.20); err == nil {
+		t.Error("config mismatch passed")
+	}
+	cur.Config.Clients = 8
+	cur.Schema = BenchSchemaVersion + 1
+	if err := CompareFleet(base, &cur, 0.20); err == nil {
+		t.Error("schema mismatch passed")
+	}
+	if err := CompareFleet(nil, &cur, 0.20); err == nil {
+		t.Error("nil baseline passed")
+	}
+}

@@ -1,0 +1,198 @@
+package gateway
+
+// Fleet chaos cases: replica death under live sessions, registry
+// hot-swap under load, and session churn racing model swaps. These run
+// the full private-classification protocol over in-memory fleets, so
+// every assertion is about end-to-end behavior a client can observe.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFleetReplicaDeathFailover kills a replica that holds a live
+// session: the victim client's next batch fails mid-session, and the
+// fleet client must transparently redial through the gateway onto the
+// surviving replica. The survivor's own in-flight session must not
+// notice anything.
+func TestFleetReplicaDeathFailover(t *testing.T) {
+	f := startTestFleet(t, 2, Options{DialTimeout: time.Second})
+
+	// victim lands on replica 0 (first choice at equal load), survivorC
+	// on replica 1.
+	victim := f.newClient()
+	defer func() { _ = victim.Close() }()
+	if _, err := victim.ClassifyBatch(context.Background(), f.samples[:1]); err != nil {
+		t.Fatalf("victim warmup: %v", err)
+	}
+	survivorC := f.newClient()
+	defer func() { _ = survivorC.Close() }()
+	if _, err := survivorC.ClassifyBatch(context.Background(), f.samples[:1]); err != nil {
+		t.Fatalf("survivor warmup: %v", err)
+	}
+	if stats := f.gw.Stats(); stats.Replicas[0].Routed != 1 || stats.Replicas[1].Routed != 1 {
+		t.Fatalf("unexpected initial placement: %+v", stats.Replicas)
+	}
+
+	f.killReplica(0)
+
+	// The victim's session died with the replica; the batch must still
+	// succeed via redial -> gateway -> replica 1.
+	labels, err := victim.ClassifyPipelined(context.Background(), f.samples, 2, 2)
+	if err != nil {
+		t.Fatalf("batch after replica death: %v", err)
+	}
+	if err := f.checkPredictions(labels, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := victim.Retries(); got < 1 {
+		t.Errorf("victim retries = %d, want >= 1", got)
+	}
+	stats := f.gw.Stats()
+	if stats.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", stats.Failovers)
+	}
+	if stats.Replicas[0].Healthy {
+		t.Error("dead replica still marked healthy")
+	}
+
+	// The survivor's in-flight session was untouched: same session, no
+	// redial, correct answers.
+	labels, err = survivorC.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		t.Fatalf("survivor after death: %v", err)
+	}
+	if err := f.checkPredictions(labels, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorC.Retries(); got != 0 {
+		t.Errorf("survivor retries = %d, want 0 (session must survive sibling death)", got)
+	}
+}
+
+// TestFleetHotSwapUnderLoad publishes a new model version (trained on
+// inverted labels, so every prediction flips) while sessions are live.
+// The invariant under test: a session observes exactly one version for
+// its whole lifetime — never a torn mix — and sessions opened after the
+// swap observe the new version.
+func TestFleetHotSwapUnderLoad(t *testing.T) {
+	f := startTestFleet(t, 2, Options{})
+
+	// Sanity: the two models must disagree everywhere for the tear check
+	// to have teeth.
+	for i := range f.expected[0] {
+		if f.expected[0][i] == f.expected[1][i] {
+			t.Fatalf("models agree on sample %d; inverted training lost its signal", i)
+		}
+	}
+
+	// Pre-swap sessions, one per replica.
+	pre := make([]*FleetClient, 2)
+	for i := range pre {
+		pre[i] = f.newClient()
+		defer func(c *FleetClient) { _ = c.Close() }(pre[i])
+		labels, err := pre[i].ClassifyBatch(context.Background(), f.samples)
+		if err != nil {
+			t.Fatalf("pre-swap client %d: %v", i, err)
+		}
+		if err := f.checkPredictions(labels, 0); err != nil {
+			t.Fatalf("pre-swap client %d: %v", i, err)
+		}
+	}
+
+	if _, err := f.reg.Publish(f.model2); err != nil {
+		t.Fatalf("hot-swap publish: %v", err)
+	}
+
+	// In-flight sessions keep serving version 1 — they captured their
+	// trainer at handshake and must drain on it.
+	for i, c := range pre {
+		labels, err := c.ClassifyBatch(context.Background(), f.samples)
+		if err != nil {
+			t.Fatalf("post-swap batch on pre-swap session %d: %v", i, err)
+		}
+		if err := f.checkPredictions(labels, 0); err != nil {
+			t.Errorf("pre-swap session %d observed the swap (torn session): %v", i, err)
+		}
+	}
+
+	// New sessions bind to version 2.
+	post := f.newClient()
+	defer func() { _ = post.Close() }()
+	labels, err := post.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		t.Fatalf("post-swap client: %v", err)
+	}
+	if err := f.checkPredictions(labels, 1); err != nil {
+		t.Errorf("post-swap session did not get version 2: %v", err)
+	}
+	if v := f.reg.Version(); v != 2 {
+		t.Errorf("registry version = %d, want 2", v)
+	}
+}
+
+// TestFleetSwapChurnRace races continuous hot-swaps against session
+// churn through the gateway (run under -race via `make test`). Every
+// batch must match exactly one published version — a mixed batch means
+// a session saw a torn model.
+func TestFleetSwapChurnRace(t *testing.T) {
+	f := startTestFleet(t, 2, Options{})
+
+	stop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := f.model1
+			if i%2 == 0 {
+				m = f.model2
+			}
+			if _, err := f.reg.Publish(m); err != nil {
+				t.Errorf("swap publish: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const churners = 3
+	const sessionsPerChurner = 5
+	var wg sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for s := 0; s < sessionsPerChurner; s++ {
+				fc := f.newClient()
+				labels, err := fc.ClassifyPipelined(context.Background(), f.samples, 4, 2)
+				if err != nil {
+					t.Errorf("churner %d session %d: %v", c, s, err)
+					_ = fc.Close()
+					return
+				}
+				// The whole result set must come from one version.
+				v1err := f.checkPredictions(labels, 0)
+				v2err := f.checkPredictions(labels, 1)
+				if v1err != nil && v2err != nil {
+					t.Errorf("churner %d session %d observed a torn model: %v / %v", c, s, v1err, v2err)
+				}
+				_ = fc.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+
+	if stats := f.gw.Stats(); stats.Routed < churners*sessionsPerChurner {
+		t.Errorf("routed = %d, want >= %d", stats.Routed, churners*sessionsPerChurner)
+	}
+}

@@ -1,0 +1,469 @@
+// Package gateway is the fleet's front door: it shards client sessions
+// across N trainer replicas. The protocol is session-oriented — one
+// connection carries one negotiated session (handshake, codec switch,
+// then any number of pipelined queries) — so affinity is structural: the
+// gateway picks a replica per accepted connection and splices raw bytes
+// both ways for the connection's lifetime. The replica sees the pristine
+// client byte stream (the gateway never re-frames, so codec negotiation,
+// golden transcripts, and wire determinism are untouched), and a session
+// can never straddle two replicas.
+//
+// On top of the splice the gateway adds fleet mechanics: least-loaded
+// routing over healthy replicas, dial failover (a replica that refuses a
+// connection is marked down and the session lands on the next choice),
+// background health probing that revives recovered replicas, per-replica
+// draining, load shedding with the typed ErrFleetBusy answer, and a
+// graceful Shutdown that drains spliced sessions under a budget.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// ErrFleetBusy is reported to clients shed at the gateway's MaxSessions
+// cap. It crosses the wire as a transport error envelope; clients detect
+// it with IsFleetBusy.
+var ErrFleetBusy = errors.New("gateway: fleet at capacity")
+
+// ErrNoReplicas is reported to clients when no healthy replica accepted
+// the session (all down, draining, or failing to dial).
+var ErrNoReplicas = errors.New("gateway: no healthy replicas")
+
+// ErrShuttingDown is reported to clients that connect while the gateway
+// drains.
+var ErrShuttingDown = errors.New("gateway: shutting down")
+
+// IsFleetBusy reports whether err is ErrFleetBusy, locally or as the
+// remote form a shed client receives (remote errors cross as text inside
+// an ErrRemote envelope, so sentinel identity does not survive the wire).
+func IsFleetBusy(err error) bool {
+	return errors.Is(err, ErrFleetBusy) ||
+		(errors.Is(err, transport.ErrRemote) && strings.Contains(err.Error(), ErrFleetBusy.Error()))
+}
+
+// IsNoReplicas reports whether err is ErrNoReplicas, locally or in its
+// remote form.
+func IsNoReplicas(err error) bool {
+	return errors.Is(err, ErrNoReplicas) ||
+		(errors.Is(err, transport.ErrRemote) && strings.Contains(err.Error(), ErrNoReplicas.Error()))
+}
+
+// IsShuttingDown reports whether err is ErrShuttingDown, locally or in
+// its remote form.
+func IsShuttingDown(err error) bool {
+	return errors.Is(err, ErrShuttingDown) ||
+		(errors.Is(err, transport.ErrRemote) && strings.Contains(err.Error(), ErrShuttingDown.Error()))
+}
+
+// Dialer opens a connection to a replica address. The default dials TCP
+// with transport's retry policy; in-memory fleets (tests, the 10k soak)
+// plug a memnet dialer in instead.
+type Dialer func(ctx context.Context, addr string) (net.Conn, error)
+
+// Options configures a Gateway.
+type Options struct {
+	// MaxSessions caps concurrently spliced sessions; connections beyond
+	// the cap are shed with ErrFleetBusy. Zero means unlimited.
+	MaxSessions int
+	// HealthInterval is the pause between health-probe sweeps (default
+	// 500ms). Probes dial each replica and immediately close.
+	HealthInterval time.Duration
+	// DialTimeout bounds each replica dial attempt (default 2s). Routing
+	// makes one attempt per replica and fails over instead of retrying in
+	// place, so a dead replica costs one timeout, not a backoff ladder.
+	DialTimeout time.Duration
+	// Dial overrides the replica dialer (default: TCP via transport).
+	Dial Dialer
+	// Logf logs fleet events (default log.Printf; set to a no-op for
+	// quiet operation).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 500 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// replica is one trainer endpoint's routing state.
+type replica struct {
+	index    int
+	addr     string
+	down     atomic.Bool
+	draining atomic.Bool
+	active   atomic.Int64
+	routed   atomic.Int64
+}
+
+// Gateway shards client sessions across trainer replicas.
+type Gateway struct {
+	opts     Options
+	replicas []*replica
+
+	routed    atomic.Int64
+	shed      atomic.Int64
+	failovers atomic.Int64
+	drained   atomic.Int64
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	ln       net.Listener
+	closed   bool
+	sessions map[net.Conn]struct{}
+	stopCh   chan struct{}
+}
+
+// New builds a gateway over the given replica addresses.
+func New(replicaAddrs []string, opts Options) (*Gateway, error) {
+	if len(replicaAddrs) == 0 {
+		return nil, errors.New("gateway: no replicas configured")
+	}
+	opts = opts.withDefaults()
+	if opts.Dial == nil {
+		dialOpts := transport.Options{DialTimeout: opts.DialTimeout, MaxAttempts: 1}
+		opts.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return transport.DialContext(ctx, addr, dialOpts)
+		}
+	}
+	g := &Gateway{
+		opts:     opts,
+		sessions: make(map[net.Conn]struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	for i, addr := range replicaAddrs {
+		g.replicas = append(g.replicas, &replica{index: i, addr: addr})
+	}
+	g.publishHealth()
+	go g.probeLoop()
+	return g, nil
+}
+
+func (g *Gateway) logf(format string, args ...any) { g.opts.Logf(format, args...) }
+
+// Serve accepts client sessions on the listener until Shutdown. It
+// returns net.ErrClosed after a clean shutdown.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return net.ErrClosed
+	}
+	g.ln = ln
+	g.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go g.ServeConn(conn)
+	}
+}
+
+// ServeConn routes one accepted client connection (exported so in-memory
+// fleets can feed pipe connections in without a listener).
+func (g *Gateway) ServeConn(client net.Conn) {
+	if err := g.register(client); err != nil {
+		g.reject(client, err)
+		return
+	}
+	defer g.deregister(client)
+	upstream, rep, err := g.dialReplica(context.Background())
+	if err != nil {
+		g.reject(client, err)
+		return
+	}
+	rep.routed.Add(1)
+	g.routed.Add(1)
+	obs.Add(obs.CtrGatewayRouted, 1)
+	obs.Set(obs.GaugeReplicaSessions(rep.index), rep.active.Load())
+	g.splice(client, upstream)
+	rep.active.Add(-1)
+	obs.Set(obs.GaugeReplicaSessions(rep.index), rep.active.Load())
+}
+
+// register admits a session under the drain flag and the shed cap.
+func (g *Gateway) register(client net.Conn) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrShuttingDown
+	}
+	if g.opts.MaxSessions > 0 && len(g.sessions) >= g.opts.MaxSessions {
+		g.shed.Add(1)
+		obs.Add(obs.CtrGatewayShed, 1)
+		return ErrFleetBusy
+	}
+	g.sessions[client] = struct{}{}
+	g.wg.Add(1)
+	obs.Set(obs.GaugeGatewaySessions, int64(len(g.sessions)))
+	return nil
+}
+
+func (g *Gateway) deregister(client net.Conn) {
+	g.mu.Lock()
+	delete(g.sessions, client)
+	obs.Set(obs.GaugeGatewaySessions, int64(len(g.sessions)))
+	g.mu.Unlock()
+	g.wg.Done()
+}
+
+// reject answers the client's session attempt with a typed error on the
+// protocol's error envelope: the Hello is drained first (over
+// synchronous pipes, writing before reading would deadlock both sides),
+// the error goes out, and the client's handshake surfaces it as
+// ErrRemote text matched by IsFleetBusy/IsNoReplicas.
+func (g *Gateway) reject(client net.Conn, cause error) {
+	g.logf("gateway: reject session: %v", cause)
+	conn := transport.NewConn(client)
+	conn.SetMessageDeadline(5 * time.Second)
+	_, _ = transport.Recv[*transport.Hello](conn)
+	_ = conn.SendErr(cause)
+	_ = conn.Close()
+}
+
+// dialReplica picks a replica and dials it, failing over down the
+// preference order (least active sessions first, among healthy
+// non-draining replicas). A replica whose dial fails is marked down on
+// the spot — the prober revives it — and any session that lands past its
+// first choice counts as a failover.
+func (g *Gateway) dialReplica(ctx context.Context) (net.Conn, *replica, error) {
+	order := g.routeOrder()
+	if len(order) == 0 {
+		obs.Add(obs.CtrGatewayUnrouteable, 1)
+		return nil, nil, ErrNoReplicas
+	}
+	for i, rep := range order {
+		// Reserve the session slot before dialing: concurrent arrivals
+		// must see each other's placements, or they all pick the same
+		// "least-loaded" replica and pile onto it.
+		rep.active.Add(1)
+		dialCtx, cancel := context.WithTimeout(ctx, g.opts.DialTimeout)
+		conn, err := g.opts.Dial(dialCtx, rep.addr)
+		cancel()
+		if err == nil {
+			if i > 0 {
+				g.failovers.Add(1)
+				obs.Add(obs.CtrGatewayFailovers, 1)
+			}
+			return conn, rep, nil
+		}
+		rep.active.Add(-1)
+		g.markDown(rep, err)
+	}
+	obs.Add(obs.CtrGatewayUnrouteable, 1)
+	return nil, nil, fmt.Errorf("%w (%d tried)", ErrNoReplicas, len(order))
+}
+
+// routeOrder returns the healthy, non-draining replicas sorted by
+// current load (ties keep configuration order, which spreads equally
+// loaded replicas by arrival since load changes between calls).
+func (g *Gateway) routeOrder() []*replica {
+	order := make([]*replica, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		if !rep.down.Load() && !rep.draining.Load() {
+			order = append(order, rep)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].active.Load() < order[j-1].active.Load(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+func (g *Gateway) markDown(rep *replica, cause error) {
+	if !rep.down.Swap(true) {
+		obs.Add(obs.CtrGatewayReplicaDown, 1)
+		g.logf("gateway: replica %s down: %v", rep.addr, cause)
+		g.publishHealth()
+	}
+}
+
+func (g *Gateway) markUp(rep *replica) {
+	if rep.down.Swap(false) {
+		g.logf("gateway: replica %s recovered", rep.addr)
+		g.publishHealth()
+	}
+}
+
+// publishHealth refreshes the healthy-replica gauge.
+func (g *Gateway) publishHealth() {
+	healthy := int64(0)
+	for _, rep := range g.replicas {
+		if !rep.down.Load() {
+			healthy++
+		}
+	}
+	obs.Set(obs.GaugeGatewayHealthy, healthy)
+}
+
+// probeLoop sweeps the replicas on the health interval: each probe is a
+// dial-and-close. Probing runs for down replicas (to revive them) and up
+// ones (to catch silent deaths before a client session pays the dial
+// timeout).
+func (g *Gateway) probeLoop() {
+	ticker := time.NewTicker(g.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-ticker.C:
+		}
+		for _, rep := range g.replicas {
+			ctx, cancel := context.WithTimeout(context.Background(), g.opts.DialTimeout)
+			conn, err := g.opts.Dial(ctx, rep.addr)
+			cancel()
+			if err != nil {
+				g.markDown(rep, err)
+				continue
+			}
+			_ = conn.Close()
+			g.markUp(rep)
+		}
+	}
+}
+
+// SetDraining marks a replica as draining (true: routing skips it while
+// its in-flight sessions run to completion) or re-admits it. Unknown
+// addresses are an error.
+func (g *Gateway) SetDraining(addr string, draining bool) error {
+	for _, rep := range g.replicas {
+		if rep.addr == addr {
+			rep.draining.Store(draining)
+			return nil
+		}
+	}
+	return fmt.Errorf("gateway: unknown replica %s", addr)
+}
+
+// splice copies bytes between the client and the replica until either
+// side ends. When one direction finishes, both connections are closed to
+// unblock the other copier: the protocol ends sessions by closing, so
+// half-open lingering only pins resources.
+func (g *Gateway) splice(client, upstream net.Conn) {
+	var once sync.Once
+	closeBoth := func() {
+		_ = client.Close()
+		_ = upstream.Close()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	copyDir := func(dst, src net.Conn) {
+		defer wg.Done()
+		buf := make([]byte, 16<<10)
+		_, _ = io.CopyBuffer(dst, src, buf)
+		once.Do(closeBoth)
+	}
+	go copyDir(upstream, client)
+	copyDir(client, upstream)
+	wg.Wait()
+}
+
+// ActiveSessions reports the number of spliced sessions.
+func (g *Gateway) ActiveSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
+}
+
+// Close stops accepting and waits for spliced sessions to end, with no
+// bound on the wait.
+func (g *Gateway) Close() error { return g.Shutdown(context.Background()) }
+
+// Shutdown gracefully stops the gateway: it closes the listener, sheds
+// new sessions with ErrShuttingDown, stops the health prober, and waits
+// for spliced sessions to end. If ctx expires first the remaining
+// sessions are force-closed and ctx.Err() is returned.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	alreadyClosed := g.closed
+	g.closed = true
+	ln := g.ln
+	g.mu.Unlock()
+	if !alreadyClosed {
+		close(g.stopCh)
+	}
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lnErr
+	case <-ctx.Done():
+		g.mu.Lock()
+		n := int64(len(g.sessions))
+		g.drained.Add(n)
+		obs.Add(obs.CtrGatewayDrained, n)
+		for c := range g.sessions {
+			_ = c.Close()
+		}
+		g.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ReplicaStats is one replica's routing snapshot.
+type ReplicaStats struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Active   int64  `json:"active"`
+	Routed   int64  `json:"routed"`
+}
+
+// Stats is a point-in-time fleet snapshot.
+type Stats struct {
+	Replicas  []ReplicaStats `json:"replicas"`
+	Routed    int64          `json:"routed"`
+	Shed      int64          `json:"shed"`
+	Failovers int64          `json:"failovers"`
+	Drained   int64          `json:"drained"`
+}
+
+// Stats snapshots the gateway's routing state.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		Routed:    g.routed.Load(),
+		Shed:      g.shed.Load(),
+		Failovers: g.failovers.Load(),
+		Drained:   g.drained.Load(),
+	}
+	for _, rep := range g.replicas {
+		s.Replicas = append(s.Replicas, ReplicaStats{
+			Addr:     rep.addr,
+			Healthy:  !rep.down.Load(),
+			Draining: rep.draining.Load(),
+			Active:   rep.active.Load(),
+			Routed:   rep.routed.Load(),
+		})
+	}
+	return s
+}

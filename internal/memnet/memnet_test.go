@@ -1,0 +1,108 @@
+package memnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestListenerDialAccept(t *testing.T) {
+	ln := Listen("svc")
+	defer func() { _ = ln.Close() }()
+	if ln.Addr().String() != "svc" || ln.Addr().Network() != "mem" {
+		t.Fatalf("addr = %v/%v", ln.Addr().Network(), ln.Addr())
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	conn, err := ln.Dial(context.Background())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	ln := Listen("svc")
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept after close: %v", err)
+	}
+	if _, err := ln.Dial(context.Background()); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("dial after close: %v", err)
+	}
+	// Double close is a no-op.
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialHonorsContextWhenBacklogFull(t *testing.T) {
+	ln := Listen("svc")
+	defer func() { _ = ln.Close() }()
+	// Fill the backlog; nothing accepts.
+	for i := 0; i < cap(ln.backlog); i++ {
+		if _, err := ln.Dial(context.Background()); err != nil {
+			t.Fatalf("fill dial %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := ln.Dial(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dial with full backlog: %v", err)
+	}
+}
+
+func TestNetworkDirectory(t *testing.T) {
+	n := NewNetwork()
+	ln := n.Listen("replica-0")
+	defer func() { _ = ln.Close() }()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			_ = conn.Close()
+		}
+	}()
+	conn, err := n.Dial(context.Background(), "replica-0")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	_ = conn.Close()
+
+	if _, err := n.Dial(context.Background(), "nope"); err == nil {
+		t.Fatal("dialing an unregistered name should fail")
+	}
+}

@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -193,13 +194,49 @@ const (
 	CtrClassifyBatches = "classify.batches"
 	// CtrSimilarityRounds counts completed similarity OMPE rounds.
 	CtrSimilarityRounds = "similarity.rounds"
+
+	// CtrRegistrySwaps counts model hot-swaps published to a registry.
+	CtrRegistrySwaps = "registry.swaps"
+
+	// CtrGatewayRouted counts sessions the gateway admitted and spliced
+	// to a replica.
+	CtrGatewayRouted = "gateway.sessions_routed"
+	// CtrGatewayShed counts sessions the gateway rejected at its own
+	// capacity cap (the typed ErrFleetBusy path).
+	CtrGatewayShed = "gateway.sessions_shed"
+	// CtrGatewayUnrouteable counts sessions rejected because no healthy
+	// replica could be dialed.
+	CtrGatewayUnrouteable = "gateway.sessions_unrouteable"
+	// CtrGatewayFailovers counts sessions that landed on a replica other
+	// than the router's first choice because dialing it failed.
+	CtrGatewayFailovers = "gateway.failovers"
+	// CtrGatewayReplicaDown counts healthy→down transitions observed by
+	// the gateway (probe failures and dial failures alike).
+	CtrGatewayReplicaDown = "gateway.replica_down_transitions"
+	// CtrGatewayDrained counts spliced sessions force-closed when a
+	// gateway Shutdown budget expired.
+	CtrGatewayDrained = "gateway.sessions_drained"
 )
 
 // Gauge names.
 const (
 	// GaugeSessionsActive is the server's current in-flight session count.
 	GaugeSessionsActive = "transport.sessions_active"
+	// GaugeRegistryVersion is the registry's currently published model
+	// version.
+	GaugeRegistryVersion = "registry.model_version"
+	// GaugeGatewaySessions is the gateway's current spliced-session count.
+	GaugeGatewaySessions = "gateway.sessions_active"
+	// GaugeGatewayHealthy is the gateway's current healthy-replica count.
+	GaugeGatewayHealthy = "gateway.replicas_healthy"
 )
+
+// GaugeReplicaSessions names the gateway's per-replica active-session
+// gauge for replica index i (stable across health transitions, so fleet
+// dashboards can plot each replica as one series).
+func GaugeReplicaSessions(i int) string {
+	return fmt.Sprintf("gateway.replica_sessions.%d", i)
+}
 
 // Magnitude histogram names (raw values, not nanoseconds).
 const (

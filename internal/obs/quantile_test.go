@@ -1,0 +1,82 @@
+package obs
+
+import "testing"
+
+func TestQuantileEmpty(t *testing.T) {
+	var h HistSnapshot
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	reg := NewRegistry()
+	// 100 observations of the same value land in one bucket; any quantile
+	// must interpolate inside it and clamp to the observed range.
+	for i := 0; i < 100; i++ {
+		reg.Observe("h", 2000)
+	}
+	h := reg.Snapshot().Histograms["h"]
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		v := h.Quantile(q)
+		if v != 2000 {
+			t.Errorf("q%.2f = %d, want clamped to 2000", q, v)
+		}
+	}
+	if h.Quantile(0) != h.Min || h.Quantile(1) != h.Max {
+		t.Error("q0/q1 must be min/max")
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	reg := NewRegistry()
+	// 90 fast observations, 10 slow ones two buckets up: the median must
+	// come from the fast bucket, the p99 from the slow one.
+	for i := 0; i < 90; i++ {
+		reg.Observe("h", 1500) // bucket (1024, 4096]
+	}
+	for i := 0; i < 10; i++ {
+		reg.Observe("h", 30000) // bucket (16384, 65536]
+	}
+	h := reg.Snapshot().Histograms["h"]
+	p50 := h.Quantile(0.50)
+	if p50 < 1024 || p50 > 4096 {
+		t.Errorf("p50 = %d, want inside (1024, 4096]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 16384 || p99 > 30000 {
+		t.Errorf("p99 = %d, want inside (16384, 30000]", p99)
+	}
+	if p99 <= p50 {
+		t.Errorf("p99 %d <= p50 %d", p99, p50)
+	}
+}
+
+func TestQuantileOverflowBucketClampsToMax(t *testing.T) {
+	reg := NewRegistry()
+	bounds := Bounds()
+	huge := bounds[len(bounds)-1] * 3 // beyond the last finite bound
+	for i := 0; i < 10; i++ {
+		reg.Observe("h", huge)
+	}
+	h := reg.Snapshot().Histograms["h"]
+	if q := h.Quantile(0.99); q != huge {
+		t.Fatalf("overflow p99 = %d, want clamped to max %d", q, huge)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	reg := NewRegistry()
+	for i := int64(1); i <= 1000; i++ {
+		reg.Observe("h", i*i) // spread across several buckets
+	}
+	h := reg.Snapshot().Histograms["h"]
+	prev := int64(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q%.3f = %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -156,6 +156,14 @@ func backoffDelay(retry int, o Options, rng *mrand.Rand) time.Duration {
 	return d/2 + time.Duration(frac*float64(d/2))
 }
 
+// DialContext dials addr with the per-attempt timeout, retry, and
+// exponential-backoff policy in opts, honoring ctx throughout. It is the
+// raw-stream entry point the fleet layer (gateway replica dialing,
+// health probing) shares with the protocol clients.
+func DialContext(ctx context.Context, addr string, opts Options) (net.Conn, error) {
+	return dialRetry(ctx, addr, opts)
+}
+
 // dialRetry dials addr with per-attempt timeouts and exponential backoff
 // between attempts, honoring ctx throughout.
 func dialRetry(ctx context.Context, addr string, o Options) (net.Conn, error) {

@@ -28,12 +28,29 @@ type (
 	batchTransfer = ot.BatchTransfer
 )
 
+// TrainerSource supplies the trainer a new session binds to. A static
+// source (one fixed trainer) is what NewServer installs; a model
+// registry implements the same interface to hot-swap models — each
+// session captures the source's current trainer exactly once at
+// handshake time and keeps it for its whole lifetime, so a swap never
+// tears a session between two models, and in-flight sessions drain on
+// the version they started with.
+type TrainerSource interface {
+	CurrentTrainer() *classify.Trainer
+}
+
+// StaticTrainer adapts a fixed trainer to the TrainerSource interface.
+type StaticTrainer struct{ Trainer *classify.Trainer }
+
+// CurrentTrainer implements TrainerSource.
+func (s StaticTrainer) CurrentTrainer() *classify.Trainer { return s.Trainer }
+
 // Server hosts a trainer's protocol endpoints: privacy-preserving
 // classification (one-shot and IKNP fast sessions) and, when enabled,
 // linear and kernelized similarity evaluation. It serves concurrent
 // sessions, one goroutine per connection.
 type Server struct {
-	trainer *classify.Trainer
+	source TrainerSource
 
 	// simWeights/simBias enable the linear similarity service when set.
 	simWeights []float64
@@ -77,10 +94,16 @@ var ErrServerBusy = errors.New("server at capacity")
 // drains.
 var ErrShuttingDown = errors.New("server shutting down")
 
-// NewServer builds a server around a classification trainer.
+// NewServer builds a server around a fixed classification trainer.
 func NewServer(trainer *classify.Trainer) *Server {
+	return NewServerSource(StaticTrainer{trainer})
+}
+
+// NewServerSource builds a server whose sessions bind to whatever
+// trainer the source publishes at their handshake (see TrainerSource).
+func NewServerSource(source TrainerSource) *Server {
 	return &Server{
-		trainer:         trainer,
+		source:          source,
 		MessageDeadline: DefaultMessageDeadline,
 		Logf:            log.Printf,
 		Rand:            rand.Reader,
@@ -239,15 +262,26 @@ func (s *Server) serveConn(rw io.ReadWriteCloser) {
 	// buffer is safe here and turns per-draw getrandom syscalls into a few
 	// page-sized reads.
 	rng := entropy.Buffered(s.Rand)
+	// Capture the session's trainer exactly once: every protocol step of
+	// this session — specs, one-shot senders, fast sessions, kernel
+	// similarity — derives from this one value, so a registry hot-swap
+	// concurrent with the session can never mix model versions.
+	trainer := s.source.CurrentTrainer()
+	if trainer == nil {
+		err := errors.New("transport: no model published")
+		s.logf("transport: reject session: %v", err)
+		_ = conn.SendErr(err)
+		return
+	}
 	switch hello.Service {
 	case "classify":
-		err = s.serveClassify(conn, hello, rng)
+		err = s.serveClassify(conn, trainer, hello, rng)
 	case "similarity-linear":
 		err = s.serveSimilarity(conn, hello, rng)
 	case "similarity-kernel":
-		err = s.serveKernelSimilarity(conn, hello, rng)
+		err = s.serveKernelSimilarity(conn, trainer, hello, rng)
 	case "classify-fast":
-		err = s.serveClassifyFast(conn, hello, rng)
+		err = s.serveClassifyFast(conn, trainer, hello, rng)
 	default:
 		err = fmt.Errorf("unknown service %q", hello.Service)
 	}
@@ -268,12 +302,12 @@ func (s *Server) logf(format string, args ...any) {
 // only when the trainer supports it, the codec grant is folded into the
 // spec's WireCodec field, and the granted spec is what goes back on the
 // wire.
-func (s *Server) sessionSpec(hello *Hello) (classify.Spec, error) {
+func (s *Server) sessionSpec(trainer *classify.Trainer, hello *Hello) (classify.Spec, error) {
 	requested, err := field.ResolveBackend(hello.FieldBackend)
 	if err != nil {
 		return classify.Spec{}, err
 	}
-	spec := s.trainer.SessionSpec(requested)
+	spec := trainer.SessionSpec(requested)
 	spec.WireCodec = s.grantCodec(hello)
 	return spec, nil
 }
@@ -294,8 +328,8 @@ func (s *Server) grantCodec(hello *Hello) string {
 // serveClassify answers any number of classification queries on one
 // session: EvalRequest → BatchSetup → BatchChoice → BatchTransfer, until
 // Done or EOF.
-func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
-	spec, err := s.sessionSpec(hello)
+func (s *Server) serveClassify(conn *Conn, trainer *classify.Trainer, hello *Hello, rng io.Reader) error {
+	spec, err := s.sessionSpec(trainer, hello)
 	if err != nil {
 		return err
 	}
@@ -316,7 +350,7 @@ func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
 		case *Done:
 			return nil
 		case *evalRequest:
-			sender, err := s.trainer.NewSessionFor(spec)
+			sender, err := trainer.NewSessionFor(spec)
 			if err != nil {
 				return err
 			}
@@ -339,7 +373,7 @@ func (s *Server) serveClassify(conn *Conn, hello *Hello, rng io.Reader) error {
 				return err
 			}
 		case *ClassifyBatchRequest:
-			if err := s.serveClassifyBatch(conn, spec, msg, rng); err != nil {
+			if err := s.serveClassifyBatch(conn, trainer, spec, msg, rng); err != nil {
 				return err
 			}
 		default:
@@ -409,11 +443,11 @@ func (s *Server) serveSimilarity(conn *Conn, hello *Hello, rng io.Reader) error 
 // serveKernelSimilarity runs one kernelized similarity evaluation as
 // Alice: clear share, area-scale announcement, then the centroid round,
 // |S_B| normal rounds, and the area round.
-func (s *Server) serveKernelSimilarity(conn *Conn, hello *Hello, rng io.Reader) error {
+func (s *Server) serveKernelSimilarity(conn *Conn, trainer *classify.Trainer, hello *Hello, rng io.Reader) error {
 	if !s.kernelSimEnabled {
 		return errors.New("kernel similarity service not enabled")
 	}
-	alice, err := similarity.NewKernelAlice(s.trainer.Model(), s.kernelSimParams, rng)
+	alice, err := similarity.NewKernelAlice(trainer.Model(), s.kernelSimParams, rng)
 	if err != nil {
 		return err
 	}
@@ -481,7 +515,7 @@ func (s *Server) serveKernelSimilarity(conn *Conn, hello *Hello, rng io.Reader) 
 // serveClassifyBatch answers one slow-path batch: B one-shot senders, one
 // envelope per protocol step. Senders draw randomness in sample order, so
 // a fixed server rng still yields deterministic wire bytes.
-func (s *Server) serveClassifyBatch(conn *Conn, spec classify.Spec, req *ClassifyBatchRequest, rng io.Reader) error {
+func (s *Server) serveClassifyBatch(conn *Conn, trainer *classify.Trainer, spec classify.Spec, req *ClassifyBatchRequest, rng io.Reader) error {
 	if len(req.Evals) == 0 {
 		return fmt.Errorf("transport: empty classify batch")
 	}
@@ -489,7 +523,7 @@ func (s *Server) serveClassifyBatch(conn *Conn, spec classify.Spec, req *Classif
 	senders := make([]*ompe.Sender, len(req.Evals))
 	setups := &ClassifyBatchSetups{Setups: make([]*batchSetup, len(req.Evals))}
 	for i, eval := range req.Evals {
-		sender, err := s.trainer.NewSessionFor(spec)
+		sender, err := trainer.NewSessionFor(spec)
 		if err != nil {
 			return err
 		}
@@ -537,8 +571,8 @@ const fastJobQueue = 64
 // evaluates them in arrival order — pipelined clients are never blocked on
 // the server's crypto, and FIFO answering keeps the OT-extension batch
 // counters in lockstep.
-func (s *Server) serveClassifyFast(conn *Conn, hello *Hello, rng io.Reader) error {
-	spec, err := s.sessionSpec(hello)
+func (s *Server) serveClassifyFast(conn *Conn, trainer *classify.Trainer, hello *Hello, rng io.Reader) error {
+	spec, err := s.sessionSpec(trainer, hello)
 	if err != nil {
 		return err
 	}
@@ -552,7 +586,7 @@ func (s *Server) serveClassifyFast(conn *Conn, hello *Hello, rng io.Reader) erro
 	if err != nil {
 		return err
 	}
-	fast, choice, err := s.trainer.NewFastSessionFor(spec, setup, rng)
+	fast, choice, err := trainer.NewFastSessionFor(spec, setup, rng)
 	if err != nil {
 		return err
 	}
