@@ -3,7 +3,7 @@
 # targets briefly (CI runs it as a separate job).
 .PHONY: check vet build test bench-smoke bench fuzz-smoke \
 	lint cover bench-json bench-json-batch bench-json-fieldsweep \
-	bench-update tidy-check wire-regen \
+	bench-update profile-batch tidy-check wire-regen \
 	fleet-smoke fleet-soak-json fleet-update
 
 check: vet build test bench-smoke
@@ -63,14 +63,16 @@ bench-json:
 	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json bench
 
 # bench-json-batch emits the batched fast-session workload document on the
-# pinned config: the fast engine pair (limb field backend, x25519 base OT),
-# batch=64, inflight=2. queries=2048 so the post-handshake wall is long
-# enough to measure steady-state throughput (at these speeds a 128-query
-# run finishes in ~10ms and the number is scheduler noise). CI compares it
-# against the committed BENCH_classify_batch.json with the same 20% gate.
+# pinned config: the fast engine pair (limb field backend, x25519 base OT,
+# fixed-key AES OT pads), batch=64, inflight=2. queries=8192 so the
+# post-handshake wall is long enough to measure steady-state throughput (at
+# these speeds a 128-query run finishes in ~10ms and even a ~100ms wall
+# swings tens of percent run to run on shared hosts; ~400ms of steady
+# state keeps the number inside a few percent). CI compares it against the
+# committed BENCH_classify_batch.json with the same 20% gate.
 bench-json-batch:
-	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -parallelism 1 \
-		-queries 2048 -batch 64 -inflight 2 \
+	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -pad aes -parallelism 1 \
+		-queries 8192 -batch 64 -inflight 2 \
 		-json -out BENCH_classify_batch.current.json bench
 
 # bench-json-fieldsweep emits the field-backend × OT-group comparison table
@@ -80,14 +82,24 @@ bench-json-fieldsweep:
 	go run ./cmd/ppdc-bench -parallelism 1 -queries 1024 -batch 64 -inflight 2 \
 		-json -out BENCH_field_backends.current.json fieldsweep
 
+# profile-batch runs the pinned batched workload under the CPU and heap
+# profilers and leaves batch.cpu.pprof / batch.mem.pprof behind for
+# `go tool pprof`. Same flags as bench-json-batch so the hot paths match
+# what the regression gate measures.
+profile-batch:
+	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -pad aes -parallelism 1 \
+		-queries 8192 -batch 64 -inflight 2 \
+		-cpuprofile batch.cpu.pprof -memprofile batch.mem.pprof \
+		-json -out BENCH_classify_batch.profile.json bench
+
 # bench-update regenerates the committed baselines in place with the
 # exact pinned flags (deterministic workload; wall times reflect the
 # machine it runs on). Run it when a change legitimately moves protocol
 # cost, then commit the refreshed documents.
 bench-update:
 	go run ./cmd/ppdc-bench -group 512 -parallelism 1 -queries 16 -json -out bench_baseline.json bench
-	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -parallelism 1 \
-		-queries 2048 -batch 64 -inflight 2 \
+	go run ./cmd/ppdc-bench -group x25519 -field-backend limb -pad aes -parallelism 1 \
+		-queries 8192 -batch 64 -inflight 2 \
 		-json -out BENCH_classify_batch.json bench
 	go run ./cmd/ppdc-bench -parallelism 1 -queries 1024 -batch 64 -inflight 2 \
 		-json -out BENCH_field_backends.json fieldsweep

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"text/tabwriter"
 	"time"
@@ -39,6 +41,9 @@ func run(args []string) error {
 		group     = fs.String("group", "512", "OT group: 512 (toy/fast), 1024, 1536, 2048, x25519")
 		backend   = fs.String("field-backend", "", "field arithmetic engine: big (default) or limb")
 		codec     = fs.String("codec", "", "envelope codec: empty negotiates (binary preferred), gob or binary pin one")
+		padName   = fs.String("pad", "", "OT pad function the client offers: empty or sha256 (legacy), aes (fixed-key AES)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile (after the experiment) to this file")
 		quick     = fs.Bool("quick", false, "subsample protocol-heavy experiments")
 		fullScale = fs.Bool("full", false, "use the paper's full test-set sizes")
 		csvPath   = fs.String("csv", "", "also write the experiment's series to a CSV file (single experiments only)")
@@ -71,6 +76,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	pad, err := ot.ResolvePad(*padName)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		Seed:         *seed,
 		Group:        g,
@@ -79,10 +88,40 @@ func run(args []string) error {
 		Parallelism:  *par,
 		FieldBackend: fb,
 		WireCodec:    wc,
+		PadFunc:      pad,
 	}
 	csvOut = *csvPath
 	if csvOut != "" && fs.Arg(0) == "all" {
 		return fmt.Errorf("-csv works with a single experiment, not \"all\"")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ppdc-bench: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ppdc-bench: memprofile:", err)
+			}
+			_ = f.Close()
+		}()
 	}
 	switch fs.Arg(0) {
 	case "table1":
@@ -467,15 +506,23 @@ func runFieldSweep(opts experiments.Options, queries, batch, inflight int, jsonO
 		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("fieldsweep: limb+x25519 %.2fx qps, mask %.2fx, interpolate %.2fx vs big+modp512-test (document written to %s)\n",
-			doc.QPSSpeedup, doc.SenderMaskSpeedup, doc.ReceiverInterpolateSpeedup, outPath)
+		fmt.Printf("fieldsweep: limb+x25519 %.2fx qps, mask %.2fx, interpolate %.2fx vs big+modp512-test; aes pad %.2fx vs sha256 (document written to %s)\n",
+			doc.QPSSpeedup, doc.SenderMaskSpeedup, doc.ReceiverInterpolateSpeedup, doc.PadSpeedup, outPath)
 		return nil
 	}
 	fmt.Printf("Field backend sweep: %s, %d queries, batch %d, inflight %d, parallelism %d, seed %d\n",
 		doc.Dataset, doc.Queries, doc.BatchSize, doc.Inflight, doc.Parallelism, doc.Seed)
-	w := newTable("backend\tgroup\tqps\tmask mean\tinterpolate mean")
+	w := newTable("backend\tgroup\tpad\tpar\tqps\tmask mean\tinterpolate mean")
 	for _, c := range doc.Combos {
-		fmt.Fprintf(w, "%s\t%s\t%.1f\t%v\t%v\n", c.FieldBackend, c.Group, c.ThroughputQPS,
+		padCell := c.PadFunc
+		if padCell == "" {
+			padCell = "sha256"
+		}
+		parCell := strconv.Itoa(c.Parallelism)
+		if c.Parallelism == 0 {
+			parCell = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.1f\t%v\t%v\n", c.FieldBackend, c.Group, padCell, parCell, c.ThroughputQPS,
 			time.Duration(c.PhaseMeansNS["ompe.sender.mask_ns"]).Round(time.Microsecond),
 			time.Duration(c.PhaseMeansNS["ompe.receiver.interpolate_ns"]).Round(time.Microsecond))
 	}
@@ -484,6 +531,7 @@ func runFieldSweep(opts experiments.Options, queries, batch, inflight int, jsonO
 	}
 	fmt.Printf("limb+x25519 vs big+modp512-test: %.2fx qps, %.2fx sender mask, %.2fx receiver interpolate\n",
 		doc.QPSSpeedup, doc.SenderMaskSpeedup, doc.ReceiverInterpolateSpeedup)
+	fmt.Printf("aes pad vs sha256 (limb+x25519): %.2fx qps\n", doc.PadSpeedup)
 	return nil
 }
 

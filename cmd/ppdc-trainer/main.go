@@ -62,6 +62,7 @@ func run(args []string) error {
 		groupName  = fs.String("group", "2048", "OT group: 512 (toy), 1024, 1536, 2048, x25519")
 		backend    = fs.String("field-backend", "", "field arithmetic engine offered to clients: big (default) or limb")
 		codec      = fs.String("codec", "", "envelope codec policy: empty grants binary to capable clients with gob fallback; gob pins legacy gob-only envelopes")
+		padName    = fs.String("pad", "", "OT pad policy: empty grants the fixed-key AES pads to clients that offer them (SHA-256 otherwise); sha256 pins the legacy pads for every session")
 		seed       = fs.Uint64("seed", 1, "synthetic data seed")
 		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
 		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
@@ -167,6 +168,11 @@ func run(args []string) error {
 		srv.WireCodecs = []string{transport.CodecGob}
 	default:
 		return fmt.Errorf("-codec must be empty or %q", transport.CodecGob)
+	}
+	if pad, err := ot.ResolvePad(*padName); err != nil {
+		return err
+	} else if *padName != "" {
+		srv.PadFuncs = []string{string(pad)}
 	}
 	if *msgDeadline <= 0 {
 		srv.MessageDeadline = transport.NoDeadline

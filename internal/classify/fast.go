@@ -71,6 +71,10 @@ func (t *Trainer) NewFastSessionFor(spec Spec, setup *ot.IKNPBaseSetup, rng io.R
 	return &FastTrainer{session: session}, choice, nil
 }
 
+// Spec reports the session spec the client was built from (including the
+// negotiated wire codec and pad function).
+func (fc *FastClient) Spec() Spec { return fc.client.Spec() }
+
 // FinishBase completes the client's base phase.
 func (fc *FastClient) FinishBase(choice *ot.IKNPBaseChoice, rng io.Reader) (*ot.IKNPBaseTransfer, error) {
 	return fc.session.FinishBaseReceiver(choice, rng)

@@ -48,6 +48,11 @@ type Spec struct {
 	// crosses in gob so legacy peers — whose decoders drop the unknown
 	// field — stay on gob. See internal/transport.
 	WireCodec string
+	// PadFunc names the OT-extension pad family granted for this session
+	// ("aes" or empty for the legacy SHA-256 pad). Like WireCodec it is
+	// a per-session negotiation outcome, not part of the trainer's
+	// contract: legacy peers drop the unknown field and run SHA-256.
+	PadFunc string
 }
 
 // Codec reconstructs the protocol codec from the spec.
@@ -77,6 +82,10 @@ func (s Spec) OMPEParams() (ompe.Params, error) {
 	if err != nil {
 		return ompe.Params{}, err
 	}
+	pad, err := ot.ResolvePad(s.PadFunc)
+	if err != nil {
+		return ompe.Params{}, err
+	}
 	return ompe.Params{
 		Field:         codec.Field(),
 		PolyDegree:    degree,
@@ -85,6 +94,7 @@ func (s Spec) OMPEParams() (ompe.Params, error) {
 		AmplifierBits: s.AmplifierBits,
 		Group:         group,
 		Backend:       backend,
+		Pad:           pad,
 	}, nil
 }
 
@@ -202,6 +212,7 @@ func (t *Trainer) sessionParams(spec Spec) (ompe.Params, error) {
 	contract := spec
 	contract.FieldBackend = t.spec.FieldBackend
 	contract.WireCodec = t.spec.WireCodec
+	contract.PadFunc = t.spec.PadFunc
 	if contract != t.spec {
 		return ompe.Params{}, fmt.Errorf("classify: session spec does not match the trainer's contract")
 	}

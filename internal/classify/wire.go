@@ -23,6 +23,12 @@ func (s *Spec) EncodeWire(w *wire.Writer) {
 	w.String(s.GroupName)
 	w.String(s.FieldBackend)
 	w.String(s.WireCodec)
+	// Optional tail (see wire.Reader.More): omitted for the legacy
+	// SHA-256 pad, so an un-negotiated Spec is byte-identical to a
+	// pre-negotiation build's and old recordings decode unchanged.
+	if s.PadFunc != "" {
+		w.String(s.PadFunc)
+	}
 }
 
 // DecodeWire implements the wire codec.
@@ -39,6 +45,10 @@ func (s *Spec) DecodeWire(r *wire.Reader) {
 	s.GroupName = r.String()
 	s.FieldBackend = r.String()
 	s.WireCodec = r.String()
+	s.PadFunc = ""
+	if r.More() {
+		s.PadFunc = r.String()
+	}
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

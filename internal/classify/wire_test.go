@@ -21,6 +21,7 @@ func TestSpecWireRoundTrip(t *testing.T) {
 		GroupName:     "x25519",
 		FieldBackend:  "limb",
 		WireCodec:     "binary",
+		PadFunc:       "aes",
 	}
 	data, err := in.MarshalBinary()
 	if err != nil {
@@ -47,9 +48,32 @@ func TestSpecWireRoundTrip(t *testing.T) {
 	if out2 != *in {
 		t.Fatalf("stream round trip mismatch")
 	}
+	// The pad field is an optional tail: cutting the encoding exactly
+	// before it yields a legacy (pre-negotiation) Spec encoding, which
+	// must decode cleanly to the pad-less spec. Every other prefix is a
+	// genuine truncation and must fail.
+	noPad := *in
+	noPad.PadFunc = ""
+	base, err := noPad.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary (no pad): %v", err)
+	}
+	if !bytes.Equal(base, data[:len(base)]) {
+		t.Fatalf("pad tail is not an append-only extension")
+	}
 	for n := 0; n < len(data); n++ {
 		var tr Spec
-		if err := tr.UnmarshalBinary(data[:n]); err == nil {
+		err := tr.UnmarshalBinary(data[:n])
+		if n == len(base) {
+			if err != nil {
+				t.Fatalf("legacy-layout prefix failed to decode: %v", err)
+			}
+			if tr != noPad {
+				t.Fatalf("legacy-layout prefix decoded to %+v, want %+v", tr, noPad)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
 		}
 	}

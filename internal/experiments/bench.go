@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/ot"
 	"repro/internal/svm"
 	"repro/internal/transport"
 )
@@ -40,6 +41,10 @@ type BenchConfig struct {
 	// means math/big, so documents from before the limb backend existed
 	// still compare equal.
 	FieldBackend string `json:"field_backend,omitempty"`
+	// PadFunc names the negotiated OT-extension pad family; empty means
+	// the legacy SHA-256 pad, so documents from before pad negotiation
+	// existed still compare equal.
+	PadFunc string `json:"pad_func,omitempty"`
 }
 
 // BenchDoc is the schema-stable BENCH_*.json document emitted by
@@ -52,8 +57,12 @@ type BenchDoc struct {
 	Queries       int                   `json:"queries"`
 	WallNS        int64                 `json:"wall_ns"`
 	ThroughputQPS float64               `json:"throughput_qps"`
-	BytesIn       int64                 `json:"bytes_in"`
-	BytesOut      int64                 `json:"bytes_out"`
+	// BytesIn/BytesOut are the client's received/sent wire bytes (the
+	// role-split counters): in-process benches run both endpoints in one
+	// registry, so the role-less totals would double-count and report
+	// in == out tautologically.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
 	MsgsIn        int64                 `json:"msgs_in"`
 	MsgsOut       int64                 `json:"msgs_out"`
 	OTInstances   int64                 `json:"ot_instances"`
@@ -126,7 +135,7 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	cc, err := transport.NewClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec}, opts.Rand)
+	cc, err := transport.NewClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec, PadFunc: string(opts.PadFunc)}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +163,13 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 			Seed:         opts.Seed,
 			Parallelism:  opts.Parallelism,
 			FieldBackend: backendConfigName(opts.FieldBackend),
+			PadFunc:      padConfigName(opts.PadFunc),
 		},
 		Queries:       queries,
 		WallNS:        int64(wall),
 		ThroughputQPS: float64(queries) / wall.Seconds(),
-		BytesIn:       snap.Counters[obs.CtrBytesIn],
-		BytesOut:      snap.Counters[obs.CtrBytesOut],
+		BytesIn:       snap.Counters[obs.CtrClientBytesIn],
+		BytesOut:      snap.Counters[obs.CtrClientBytesOut],
 		MsgsIn:        snap.Counters[obs.CtrMsgsIn],
 		MsgsOut:       snap.Counters[obs.CtrMsgsOut],
 		OTInstances:   snap.Counters[obs.CtrOTInstances],
@@ -178,11 +188,15 @@ func BenchClassifyRoundTrip(opts Options, queries int) (*BenchDoc, error) {
 // batchBenchPhases lists the phases the batched fast-session workload
 // must surface. The fast path runs no per-query public-key OT, so the
 // Naor–Pinkas phase set does not apply; what matters per batch is the
-// sender's masked evaluations, the receiver's Lagrange recovery, and the
-// end-to-end batch round trip.
+// sender's masked evaluations, the receiver's Lagrange recovery, the
+// OT-extension kernel phases (PRG fill, transpose, pad application),
+// and the end-to-end batch round trip.
 var batchBenchPhases = []string{
 	obs.PhaseSenderMask,
 	obs.PhaseReceiverInterpolate,
+	obs.PhaseOTExtend,
+	obs.PhaseOTTranspose,
+	obs.PhaseOTPad,
 	obs.PhaseClassifyBatch,
 }
 
@@ -248,7 +262,7 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 		defer close(done)
 		srv.ServeConn(serverSide)
 	}()
-	fc, err := transport.NewFastClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec}, opts.Rand)
+	fc, err := transport.NewFastClassifyClientContext(context.Background(), clientSide, transport.Options{FieldBackend: string(opts.FieldBackend), WireCodec: opts.WireCodec, PadFunc: string(opts.PadFunc)}, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
@@ -276,12 +290,13 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 			BatchSize:    batchSize,
 			Inflight:     inflight,
 			FieldBackend: backendConfigName(opts.FieldBackend),
+			PadFunc:      padConfigName(opts.PadFunc),
 		},
 		Queries:       queries,
 		WallNS:        int64(wall),
 		ThroughputQPS: float64(queries) / wall.Seconds(),
-		BytesIn:       snap.Counters[obs.CtrBytesIn],
-		BytesOut:      snap.Counters[obs.CtrBytesOut],
+		BytesIn:       snap.Counters[obs.CtrClientBytesIn],
+		BytesOut:      snap.Counters[obs.CtrClientBytesOut],
 		MsgsIn:        snap.Counters[obs.CtrMsgsIn],
 		MsgsOut:       snap.Counters[obs.CtrMsgsOut],
 		OTInstances:   snap.Counters[obs.CtrOTInstances],
@@ -302,6 +317,15 @@ func BenchClassifyBatch(opts Options, queries, batchSize, inflight int) (*BenchD
 func backendConfigName(b field.Backend) string {
 	if b.OrDefault() == field.BackendLimb {
 		return string(field.BackendLimb)
+	}
+	return ""
+}
+
+// padConfigName maps a pad option to its config encoding (empty for the
+// legacy SHA-256 pad, keeping old baselines comparable).
+func padConfigName(p ot.PadFunc) string {
+	if p == ot.PadAES {
+		return string(ot.PadAES)
 	}
 	return ""
 }

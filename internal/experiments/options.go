@@ -44,6 +44,10 @@ type Options struct {
 	// WireCodec pins the envelope codec for transport experiments
 	// (empty negotiates the default: binary preferred, gob fallback).
 	WireCodec string
+	// PadFunc selects the OT-extension pad family the client offers for
+	// fast sessions (zero value: the legacy SHA-256 pad; ot.PadAES
+	// offers the fixed-key AES pad, granted when the server supports it).
+	PadFunc ot.PadFunc
 }
 
 func (o Options) withDefaults() Options {

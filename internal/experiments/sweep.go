@@ -14,6 +14,12 @@ import (
 type FieldBackendCombo struct {
 	FieldBackend string `json:"field_backend"`
 	Group        string `json:"group"`
+	// PadFunc is the OT pad function the cell negotiated; empty means the
+	// legacy SHA-256 pad (pre-negotiation builds and default sessions).
+	PadFunc string `json:"pad_func,omitempty"`
+	// Parallelism is the cell's per-endpoint worker bound when it overrides
+	// the sweep-wide setting; zero means the document's Parallelism applies.
+	Parallelism int `json:"parallelism,omitempty"`
 
 	ThroughputQPS float64 `json:"throughput_qps"`
 	WallNS        int64   `json:"wall_ns"`
@@ -26,9 +32,10 @@ type FieldBackendCombo struct {
 
 // FieldBackendSweepDoc is the schema-stable BENCH_field_backends.json
 // document: the same pinned batched workload measured across the
-// {math/big, limb} × {modp512-test, x25519} engine grid, plus the headline
-// speedups of the fast pair (limb+x25519) over the legacy pair
-// (big+modp512-test).
+// {math/big, limb} × {modp512-test, x25519} engine grid — extended with a
+// fixed-key AES pad cell and an AES+parallelism-4 cell on the fast pair —
+// plus the headline speedups of the fast pair (limb+x25519) over the
+// legacy pair (big+modp512-test) and of the AES pad over SHA-256.
 type FieldBackendSweepDoc struct {
 	Schema  int    `json:"schema"`
 	Name    string `json:"name"`
@@ -47,22 +54,31 @@ type FieldBackendSweepDoc struct {
 	QPSSpeedup                 float64 `json:"qps_speedup"`
 	SenderMaskSpeedup          float64 `json:"sender_mask_speedup"`
 	ReceiverInterpolateSpeedup float64 `json:"receiver_interpolate_speedup"`
+	// PadSpeedup compares the AES pad cell against the SHA-256 cell on the
+	// same fast engine pair (limb+x25519, sweep parallelism). A ratio below
+	// 1 means the fixed-key AES pad regressed below the hash pad.
+	PadSpeedup float64 `json:"pad_speedup"`
 }
 
 // BenchFieldBackendSweep runs the pinned batched classify workload across
-// the engine grid. Options.Group and Options.FieldBackend are ignored —
-// the sweep owns both axes; everything else (seed, parallelism, rand) is
-// honored per cell. Cells run sequentially so each measurement gets the
-// whole machine.
+// the engine grid. Options.Group, Options.FieldBackend and Options.PadFunc
+// are ignored — the sweep owns those axes; everything else (seed,
+// parallelism, rand) is honored per cell unless a cell pins its own
+// parallelism. Cells run sequentially so each measurement gets the whole
+// machine.
 func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*FieldBackendSweepDoc, error) {
 	grid := []struct {
 		backend field.Backend
 		group   ot.Group
+		pad     ot.PadFunc
+		par     int // 0 = inherit opts.Parallelism
 	}{
-		{field.BackendBig, ot.Group512Test()},
-		{field.BackendBig, ot.X25519()},
-		{field.BackendLimb, ot.Group512Test()},
-		{field.BackendLimb, ot.X25519()},
+		{field.BackendBig, ot.Group512Test(), "", 0},
+		{field.BackendBig, ot.X25519(), "", 0},
+		{field.BackendLimb, ot.Group512Test(), "", 0},
+		{field.BackendLimb, ot.X25519(), "", 0},
+		{field.BackendLimb, ot.X25519(), ot.PadAES, 0},
+		{field.BackendLimb, ot.X25519(), ot.PadAES, 4},
 	}
 	doc := &FieldBackendSweepDoc{
 		Schema:      BenchSchemaVersion,
@@ -73,11 +89,15 @@ func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*Fi
 		BatchSize:   batchSize,
 		Inflight:    inflight,
 	}
-	var legacy, fast *FieldBackendCombo
+	var legacy, fast, aes *FieldBackendCombo
 	for _, cell := range grid {
 		cellOpts := opts
 		cellOpts.Group = cell.group
 		cellOpts.FieldBackend = cell.backend
+		cellOpts.PadFunc = cell.pad
+		if cell.par > 0 {
+			cellOpts.Parallelism = cell.par
+		}
 		run, err := BenchClassifyBatch(cellOpts, queries, batchSize, inflight)
 		if err != nil {
 			return nil, fmt.Errorf("sweep %s+%s: %w", cell.backend, cell.group.Name(), err)
@@ -87,6 +107,8 @@ func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*Fi
 		combo := FieldBackendCombo{
 			FieldBackend:  string(cell.backend),
 			Group:         cell.group.Name(),
+			PadFunc:       padConfigName(cell.pad),
+			Parallelism:   cell.par,
 			ThroughputQPS: run.ThroughputQPS,
 			WallNS:        run.WallNS,
 			BytesIn:       run.BytesIn,
@@ -97,11 +119,14 @@ func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*Fi
 			combo.PhaseMeansNS[name] = p.MeanNS
 		}
 		doc.Combos = append(doc.Combos, combo)
+		last := &doc.Combos[len(doc.Combos)-1]
 		switch {
 		case cell.backend == field.BackendBig && cell.group.Name() == "modp512-test":
-			legacy = &doc.Combos[len(doc.Combos)-1]
-		case cell.backend == field.BackendLimb && cell.group.Name() == "x25519":
-			fast = &doc.Combos[len(doc.Combos)-1]
+			legacy = last
+		case cell.backend == field.BackendLimb && cell.group.Name() == "x25519" && cell.pad == "" && cell.par == 0:
+			fast = last
+		case cell.backend == field.BackendLimb && cell.group.Name() == "x25519" && cell.pad == ot.PadAES && cell.par == 0:
+			aes = last
 		}
 	}
 	if legacy != nil && fast != nil {
@@ -112,6 +137,9 @@ func BenchFieldBackendSweep(opts Options, queries, batchSize, inflight int) (*Fi
 		doc.ReceiverInterpolateSpeedup = ratio(
 			float64(legacy.PhaseMeansNS[obs.PhaseReceiverInterpolate]),
 			float64(fast.PhaseMeansNS[obs.PhaseReceiverInterpolate]))
+	}
+	if fast != nil && aes != nil {
+		doc.PadSpeedup = ratio(aes.ThroughputQPS, fast.ThroughputQPS)
 	}
 	return doc, nil
 }

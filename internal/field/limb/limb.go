@@ -181,6 +181,14 @@ func madd(a, b, t, c uint64) (hi, lo uint64) {
 // Mul sets z = x·y mod p (inputs and output in Montgomery form) by the
 // 4-limb CIOS method: interleaved multiply and Montgomery reduction with a
 // single final conditional subtraction.
+//
+// The reduction step exploits p = 2^255 − 19: adding m·p is adding
+// (m << 255) − 19·m, which costs one 64×64 multiply (19·m), a borrow
+// chain, and two word-shifted adds — instead of the four madds a generic
+// modulus needs. The intermediate t − 19·m may dip negative before the
+// (m << 255) term lands; the chain runs in two's complement over the
+// six-word window, and the final sum is exact because the true value is
+// non-negative and fits the window.
 func (z *Element) Mul(x, y *Element) *Element {
 	var t [Limbs + 1]uint64
 	var tExtra uint64 // the (s+2)-th word of CIOS; always 0 or 1
@@ -194,14 +202,21 @@ func (z *Element) Mul(x, y *Element) *Element {
 		var o uint64
 		t[4], o = bits.Add64(t[4], c, 0)
 		tExtra += o
-		// Reduce: add m·p with m chosen so the low word cancels, shift.
+		// Reduce: add m·p = (m << 255) − 19·m with m chosen so the low
+		// word cancels, then shift one word.
 		m := t[0] * montInv
-		c, _ = madd(m, pLimbs[0], t[0], 0)
-		c, t[0] = madd(m, pLimbs[1], t[1], c)
-		c, t[1] = madd(m, pLimbs[2], t[2], c)
-		c, t[2] = madd(m, pLimbs[3], t[3], c)
-		t[3], o = bits.Add64(t[4], c, 0)
-		t[4] = tExtra + o
+		hi19, lo19 := bits.Mul64(m, 19)
+		var b uint64
+		_, b = bits.Sub64(t[0], lo19, 0) // ≡ 0 mod 2^64 by choice of m
+		r1, b := bits.Sub64(t[1], hi19, b)
+		r2, b := bits.Sub64(t[2], 0, b)
+		r3, b := bits.Sub64(t[3], 0, b)
+		r4, b := bits.Sub64(t[4], 0, b)
+		r5 := tExtra - b
+		r3, c = bits.Add64(r3, m<<63, 0)
+		r4, c = bits.Add64(r4, m>>1, c)
+		r5 += c
+		t[0], t[1], t[2], t[3], t[4] = r1, r2, r3, r4, r5
 		tExtra = 0
 	}
 	z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]

@@ -141,6 +141,16 @@ const (
 	// messages.
 	PhaseOTReceiverRecover = "ot.receiver.recover_ns"
 
+	// PhaseOTExtend times the IKNP extension's PRG column fills (the
+	// AES-CTR expansion of the base seeds, both endpoints).
+	PhaseOTExtend = "ot.extend_ns"
+	// PhaseOTTranspose times the κ-column → m-row bit transpose.
+	PhaseOTTranspose = "ot.transpose_ns"
+	// PhaseOTPad times pad application: correlation-robust row hashes
+	// plus tree-key encryption/decryption of the k-of-n payloads. This is
+	// the symmetric tail the PadFunc negotiation exists to shrink.
+	PhaseOTPad = "ot.pad_ns"
+
 	// PhaseClassifyRoundTrip times one complete private classification
 	// (request construction through label interpretation).
 	PhaseClassifyRoundTrip = "classify.roundtrip_ns"
@@ -163,9 +173,20 @@ const (
 const (
 	// CtrBytesIn / CtrBytesOut count wire bytes at the transport
 	// envelope (gob stream, both directions named from the local
-	// process's point of view).
+	// process's point of view), summed over every endpoint in the
+	// process regardless of role.
 	CtrBytesIn  = "transport.bytes_in"
 	CtrBytesOut = "transport.bytes_out"
+	// Role-split byte counters: when client and server share a process
+	// (benches, in-process fleets over memnet), the totals above count
+	// every byte twice — once per endpoint — and in == out tautologically.
+	// The per-role counters keep the directions meaningful: a bench's
+	// request bytes are CtrClientBytesOut ( == CtrServerBytesIn ), its
+	// response bytes CtrClientBytesIn.
+	CtrClientBytesIn  = "transport.client.bytes_in"
+	CtrClientBytesOut = "transport.client.bytes_out"
+	CtrServerBytesIn  = "transport.server.bytes_in"
+	CtrServerBytesOut = "transport.server.bytes_out"
 	// CtrMsgsIn / CtrMsgsOut count transport envelopes.
 	CtrMsgsIn  = "transport.msgs_in"
 	CtrMsgsOut = "transport.msgs_out"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/field"
 	"repro/internal/field/limb"
@@ -122,20 +123,22 @@ func newReceiverLimb(params Params, input field.Vec, rng io.Reader) (*Receiver, 
 	return r, &EvalRequest{Packed: packed}, nil
 }
 
-// distinctNonZeroLimb samples n distinct non-zero limb elements. Elements
-// are comparable values, so the dedup map keys on them directly.
+// distinctNonZeroLimb samples n distinct non-zero limb elements. n is a
+// few dozen at most, so a linear rescan beats allocating and hashing a
+// dedup map on every query.
 func distinctNonZeroLimb(n int, rng io.Reader) ([]limb.Element, error) {
 	out := make([]limb.Element, 0, n)
-	seen := make(map[limb.Element]bool, n)
 	var x limb.Element
+sample:
 	for len(out) < n {
 		if err := x.RandNonZero(rng); err != nil {
 			return nil, err
 		}
-		if seen[x] {
-			continue
+		for i := range out {
+			if out[i] == x {
+				continue sample
+			}
 		}
-		seen[x] = true
 		out = append(out, x)
 	}
 	return out, nil
@@ -157,22 +160,42 @@ func checkPackedShape(params Params, numVars int, req *EvalRequest) error {
 	return nil
 }
 
+// flatPool recycles the parsed-record buffers of parsePackedRequest: the
+// sender decodes one per sample, and at batch sizes in the tens of
+// samples the per-query slice was a measurable share of the serving
+// allocation profile. putFlat returns a buffer once the masking pass is
+// done with it.
+var flatPool sync.Pool
+
+func getFlat(n int) []limb.Element {
+	if v := flatPool.Get(); v != nil {
+		s := v.([]limb.Element)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]limb.Element, n)
+}
+
+func putFlat(s []limb.Element) { flatPool.Put(s) } //nolint:staticcheck // slice header churn is fine here
+
 // parsePackedRequest decodes and fully validates a packed request,
 // returning the records as a flat slice of (1+numVars)-element groups:
-// flat[i*(1+numVars)] is v_i, the rest of the group is z_i.
+// flat[i*(1+numVars)] is v_i, the rest of the group is z_i. The returned
+// slice comes from flatPool; callers hand it back via putFlat when done.
 func parsePackedRequest(params Params, numVars int, req *EvalRequest) ([]limb.Element, error) {
 	if err := checkPackedShape(params, numVars, req); err != nil {
 		return nil, err
 	}
 	total := params.TotalPairs()
 	stride := 1 + numVars
-	flat := make([]limb.Element, total*stride)
-	seen := make(map[limb.Element]bool, total)
+	flat := getFlat(total * stride)
 	for i := 0; i < total; i++ {
 		rec := flat[i*stride : (i+1)*stride]
 		raw := req.Packed[i*stride*limb.ElementLen:]
 		for j := 0; j < stride; j++ {
 			if err := rec[j].SetBytes(raw[j*limb.ElementLen : (j+1)*limb.ElementLen]); err != nil {
+				putFlat(flat)
 				if j == 0 {
 					return nil, fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
 				}
@@ -180,12 +203,17 @@ func parsePackedRequest(params Params, numVars int, req *EvalRequest) ([]limb.El
 			}
 		}
 		if rec[0].IsZero() {
+			putFlat(flat)
 			return nil, fmt.Errorf("%w: pair %d has invalid evaluation point", ErrBadRequest, i)
 		}
-		if seen[rec[0]] {
-			return nil, fmt.Errorf("%w: pair %d repeats evaluation point", ErrBadRequest, i)
+		// Totals are a few dozen pairs; a linear rescan of the earlier
+		// evaluation points is cheaper than a per-query dedup map.
+		for k := 0; k < i; k++ {
+			if flat[k*stride] == rec[0] {
+				putFlat(flat)
+				return nil, fmt.Errorf("%w: pair %d repeats evaluation point", ErrBadRequest, i)
+			}
 		}
-		seen[rec[0]] = true
 	}
 	return flat, nil
 }
@@ -195,13 +223,22 @@ func parsePackedRequest(params Params, numVars int, req *EvalRequest) ([]limb.El
 // compute every pair's y_i = h(v_i) + amp·P(z_i) + shift into a single
 // flat buffer (one 32-byte slot per pair).
 func maskedSampleLimb(params Params, eval Evaluator, amplifier, shift *big.Int, req *EvalRequest, rng io.Reader) ([][]byte, error) {
-	numVars := eval.NumVars()
-	flat, err := parsePackedRequest(params, numVars, req)
+	var zero limb.Element
+	h, err := poly.RandomLimb(rng, params.ComposedDegree(), &zero)
 	if err != nil {
 		return nil, err
 	}
-	var zero limb.Element
-	h, err := poly.RandomLimb(rng, params.ComposedDegree(), &zero)
+	return maskedSampleLimbWith(params, eval, h, amplifier, shift, req, params.Parallelism)
+}
+
+// maskedSampleLimbWith is the pure half of maskedSampleLimb: every rng
+// draw (the masking polynomial, the caller's amplifier) already happened,
+// so it can run inside a parallel region — the batch path fans samples
+// out across workers and passes parallelism 1 here to keep the worker
+// pool flat.
+func maskedSampleLimbWith(params Params, eval Evaluator, h *poly.LimbPoly, amplifier, shift *big.Int, req *EvalRequest, parallelism int) ([][]byte, error) {
+	numVars := eval.NumVars()
+	flat, err := parsePackedRequest(params, numVars, req)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +252,7 @@ func maskedSampleLimb(params Params, eval Evaluator, amplifier, shift *big.Int, 
 	msgs := make([][]byte, total)
 	le, native := eval.(LimbEvaluator)
 	f := params.Field
-	perr := parallel.For(params.Parallelism, total, func(i int) error {
+	perr := parallel.For(parallelism, total, func(i int) error {
 		rec := flat[i*stride : (i+1)*stride]
 		var pv, y limb.Element
 		if native {
@@ -242,6 +279,7 @@ func maskedSampleLimb(params Params, eval Evaluator, amplifier, shift *big.Int, 
 		msgs[i] = m
 		return nil
 	})
+	putFlat(flat)
 	if perr != nil {
 		return nil, perr
 	}

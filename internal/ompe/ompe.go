@@ -102,6 +102,11 @@ type Params struct {
 	// results are bit-identical at every parallelism degree given the same
 	// rng stream.
 	Parallelism int
+	// Pad selects the OT extension's symmetric pad family (row hashes and
+	// tree-key pads) for fast sessions. Both parties must agree on it per
+	// session, like Group; the zero value is the legacy SHA-256 pad, so
+	// un-negotiated sessions interoperate with old peers byte-for-byte.
+	Pad ot.PadFunc
 }
 
 // DefaultAmplifierBits bounds fresh amplifiers to 64 bits, large enough to
@@ -126,6 +131,9 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: nil OT group", ErrParams)
 	}
 	if err := p.Field.CheckBackend(p.Backend); err != nil {
+		return fmt.Errorf("%w: %v", ErrParams, err)
+	}
+	if _, err := ot.ResolvePad(string(p.Pad)); err != nil {
 		return fmt.Errorf("%w: %v", ErrParams, err)
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/field/limb"
 	"repro/internal/obs"
 	"repro/internal/ot"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -61,6 +62,8 @@ func NewSessionReceiverBase(params Params, rng io.Reader) (*SessionReceiver, *ot
 	if err != nil {
 		return nil, nil, err
 	}
+	iknp.SetPad(params.Pad)
+	iknp.SetParallelism(params.Parallelism)
 	return &SessionReceiver{params: params, iknp: iknp}, setup, nil
 }
 
@@ -77,6 +80,8 @@ func NewSessionSenderBase(params Params, eval Evaluator, setup *ot.IKNPBaseSetup
 	if err != nil {
 		return nil, nil, err
 	}
+	iknp.SetPad(params.Pad)
+	iknp.SetParallelism(params.Parallelism)
 	return &SessionSender{params: params, eval: eval, iknp: iknp}, choice, nil
 }
 
@@ -253,9 +258,58 @@ func (sr *SessionReceiver) NewBatch(inputs []field.Vec, rng io.Reader) (*Session
 	return b, &FastBatchRequest{Evals: evals, OT: otReq}, nil
 }
 
+// senderMask bundles one sample's serially-drawn sender randomness (the
+// amplifier and the masking polynomial, on whichever field engine the
+// session runs) so the pure evaluation half can run on any worker.
+type senderMask struct {
+	amp   *big.Int
+	hBig  *poly.Poly
+	hLimb *poly.LimbPoly
+}
+
+// drawSenderMask draws one sample's amplifier and masking polynomial from
+// rng in exactly the order the serial sender does, preserving the
+// serial-rng discipline that keeps wire bytes bit-identical at every
+// parallelism degree.
+func drawSenderMask(params Params, rng io.Reader) (senderMask, error) {
+	var m senderMask
+	amp, err := sampleAmplifier(rng, params.amplifierBitsOrDefault())
+	if err != nil {
+		return m, err
+	}
+	m.amp = amp
+	if params.limbBackend() {
+		var zero limb.Element
+		h, err := poly.RandomLimb(rng, params.ComposedDegree(), &zero)
+		if err != nil {
+			return m, err
+		}
+		m.hLimb = h
+		return m, nil
+	}
+	f := params.Field
+	h, err := poly.Random(f, rng, params.ComposedDegree(), f.Zero())
+	if err != nil {
+		return m, err
+	}
+	m.hBig = h
+	return m, nil
+}
+
+// maskedSampleWith is the pure evaluation half of maskedSample, given a
+// pre-drawn senderMask. parallelism bounds the inner per-pair fan-out.
+func maskedSampleWith(params Params, eval Evaluator, m senderMask, shift *big.Int, req *EvalRequest, parallelism int) ([][]byte, error) {
+	if params.limbBackend() {
+		return maskedSampleLimbWith(params, eval, m.hLimb, m.amp, shift, req, parallelism)
+	}
+	return maskedEvaluations(params.Field, eval, m.hBig, m.amp, shift, req, parallelism)
+}
+
 // HandleBatch answers one batched query. Randomness (per-sample mask,
-// amplifier, and transfer keys) is drawn serially in sample order; only
-// the pure-arithmetic masked evaluations fan out across the worker pool.
+// amplifier, and transfer keys) is drawn serially in sample order; the
+// pure-arithmetic masked evaluations then fan the B samples out across
+// the worker pool (each sample computed serially inside its worker, so
+// the pool stays flat at Parallelism workers).
 func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*FastBatchResponse, error) {
 	if req == nil || req.OT == nil || len(req.Evals) == 0 {
 		return nil, fmt.Errorf("%w: nil fast batch request", ErrBadRequest)
@@ -264,7 +318,7 @@ func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*Fas
 		return nil, fmt.Errorf("%w: %d eval requests for OT batch of %d", ErrBadRequest, len(req.Evals), req.OT.B)
 	}
 	span := obs.Start(obs.PhaseSenderMask)
-	msgs := make([][][]byte, len(req.Evals))
+	masks := make([]senderMask, len(req.Evals))
 	for i, eval := range req.Evals {
 		if eval == nil {
 			return nil, fmt.Errorf("%w: nil eval request %d", ErrBadRequest, i)
@@ -272,17 +326,25 @@ func (ss *SessionSender) HandleBatch(req *FastBatchRequest, rng io.Reader) (*Fas
 		if err := validateEvalRequest(ss.params, ss.eval.NumVars(), eval); err != nil {
 			return nil, fmt.Errorf("ompe: batch sample %d: %w", i, err)
 		}
-		amp, err := sampleAmplifier(rng, ss.params.amplifierBitsOrDefault())
+		m, err := drawSenderMask(ss.params, rng)
 		if err != nil {
 			return nil, err
 		}
-		sample, err := maskedSample(ss.params, ss.eval, amp, zeroShift, eval, rng)
+		masks[i] = m
+	}
+	msgs := make([][][]byte, len(req.Evals))
+	err := parallel.For(ss.params.Parallelism, len(req.Evals), func(i int) error {
+		sample, err := maskedSampleWith(ss.params, ss.eval, masks[i], zeroShift, req.Evals[i], 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		msgs[i] = sample
-	}
+		return nil
+	})
 	span.End()
+	if err != nil {
+		return nil, err
+	}
 	otResp, err := ot.ExtKofNBatchRespond(ss.iknp, req.OT, msgs, rng)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,9 @@ package ot
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Extended k-out-of-n transfer: after one IKNP base phase per session,
@@ -42,6 +45,7 @@ type ExtKofNQuery struct {
 	indices []int
 	n       int
 	depth   int
+	pad     PadFunc
 }
 
 // checkKofNIndices validates one sample's index set for a k-of-n query.
@@ -92,6 +96,7 @@ func NewExtKofNQuery(r *IKNPReceiver, n int, indices []int) (*ExtKofNQuery, *Ext
 		indices: append([]int(nil), indices...),
 		n:       n,
 		depth:   depth,
+		pad:     r.pad,
 	}
 	return q, &ExtKofNRequest{IKNP: msg, K: len(indices), N: n}, nil
 }
@@ -122,7 +127,7 @@ func drawTreeKeys(rng io.Reader, k, depth int, x0, x1 [][]byte) ([][][2][]byte, 
 // encryptInstances writes the k×n ciphertext block of one sample into dst
 // (k·n·msgLen bytes, instance-major): message m is encrypted under
 // instance i's key path for index m.
-func encryptInstances(keys [][][2][]byte, msgs [][]byte, depth int, dst []byte) {
+func encryptInstances(pad PadFunc, keys [][][2][]byte, msgs [][]byte, depth int, dst []byte) {
 	k := len(keys)
 	n := len(msgs)
 	msgLen := len(msgs[0])
@@ -132,7 +137,7 @@ func encryptInstances(keys [][][2][]byte, msgs [][]byte, depth int, dst []byte) 
 			for j := 0; j < depth; j++ {
 				path[j] = keys[i][j][(m>>j)&1]
 			}
-			treePadXor(dst[(i*n+m)*msgLen:(i*n+m+1)*msgLen], msgs[m], path, m)
+			pad.treePadXor(dst[(i*n+m)*msgLen:(i*n+m+1)*msgLen], msgs[m], path, m)
 		}
 	}
 }
@@ -177,14 +182,16 @@ func ExtKofNRespond(s *IKNPSender, req *ExtKofNRequest, msgs [][]byte, rng io.Re
 	}
 	msgLen := len(msgs[0])
 	cts := make([]byte, k*n*msgLen)
-	encryptInstances(keys, msgs, depth, cts)
+	span := obs.Start(obs.PhaseOTPad)
+	encryptInstances(s.pad, keys, msgs, depth, cts)
+	span.End()
 	return &ExtKofNResponse{IKNP: iknpResp, Cts: cts, MsgLen: msgLen}, nil
 }
 
 // recoverSample decrypts one sample's chosen messages from its flat
 // ciphertext block, given that sample's path keys in (instance, level)
 // order.
-func recoverSample(cts []byte, msgLen int, pathKeys [][]byte, indices []int, n, depth int) ([][]byte, error) {
+func recoverSample(pad PadFunc, cts []byte, msgLen int, pathKeys [][]byte, indices []int, n, depth int) ([][]byte, error) {
 	if msgLen < 0 || len(cts) != len(indices)*n*msgLen {
 		return nil, fmt.Errorf("%w: ciphertext block length %d for k=%d n=%d msgLen=%d", ErrIKNP, len(cts), len(indices), n, msgLen)
 	}
@@ -201,7 +208,7 @@ func recoverSample(cts []byte, msgLen int, pathKeys [][]byte, indices []int, n, 
 		}
 		ct := cts[(i*n+idx)*msgLen : (i*n+idx+1)*msgLen]
 		x := flat[i*msgLen : (i+1)*msgLen]
-		treePadXor(x, ct, path, idx)
+		pad.treePadXor(x, ct, path, idx)
 		out[i] = x
 	}
 	return out, nil
@@ -216,7 +223,7 @@ func (q *ExtKofNQuery) Recover(resp *ExtKofNResponse) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return recoverSample(resp.Cts, resp.MsgLen, pathKeys, q.indices, q.n, q.depth)
+	return recoverSample(q.pad, resp.Cts, resp.MsgLen, pathKeys, q.indices, q.n, q.depth)
 }
 
 // Batched k-of-n: one IKNP Extend call covers all B samples' choice bits,
@@ -250,6 +257,8 @@ type ExtKofNBatchQuery struct {
 	indices [][]int
 	n       int
 	depth   int
+	pad     PadFunc
+	par     int
 }
 
 // NewExtKofNBatchQuery opens B k-of-n transfers — one per index set — over
@@ -279,7 +288,7 @@ func NewExtKofNBatchQuery(r *IKNPReceiver, n int, indices [][]int) (*ExtKofNBatc
 	if err != nil {
 		return nil, nil, err
 	}
-	q := &ExtKofNBatchQuery{ext: ext, indices: kept, n: n, depth: depth}
+	q := &ExtKofNBatchQuery{ext: ext, indices: kept, n: n, depth: depth, pad: r.pad, par: r.par}
 	return q, &ExtKofNBatchRequest{IKNP: msg, K: k, N: n, B: len(indices)}, nil
 }
 
@@ -328,9 +337,15 @@ func ExtKofNBatchRespond(s *IKNPSender, req *ExtKofNBatchRequest, msgs [][][]byt
 	}
 	block := k * n * msgLen
 	cts := make([]byte, req.B*block)
-	for b := 0; b < req.B; b++ {
-		encryptInstances(perSample[b], msgs[b], depth, cts[b*block:(b+1)*block])
-	}
+	// All randomness (tree keys) was drawn serially above, so sharding
+	// the per-sample tree encryption across workers is pure arithmetic:
+	// the ciphertext blob is bit-identical at every parallelism degree.
+	span := obs.Start(obs.PhaseOTPad)
+	_ = parallel.For(s.par, req.B, func(b int) error {
+		encryptInstances(s.pad, perSample[b], msgs[b], depth, cts[b*block:(b+1)*block])
+		return nil
+	})
+	span.End()
 	return &ExtKofNBatchResponse{IKNP: iknpResp, Cts: cts, MsgLen: msgLen}, nil
 }
 
@@ -353,14 +368,24 @@ func (q *ExtKofNBatchQuery) Recover(resp *ExtKofNBatchResponse) ([][][]byte, err
 		return nil, err
 	}
 	out := make([][][]byte, len(q.indices))
-	stride := 0
-	for b, idx := range q.indices {
-		got, err := recoverSample(resp.Cts[b*block:(b+1)*block], resp.MsgLen, pathKeys[stride:stride+len(idx)*q.depth], idx, q.n, q.depth)
+	span := obs.Start(obs.PhaseOTPad)
+	defer span.End()
+	k2 := 0
+	if len(q.indices) > 0 {
+		k2 = len(q.indices[0])
+	}
+	err = parallel.For(q.par, len(q.indices), func(b int) error {
+		idx := q.indices[b]
+		stride := b * k2 * q.depth
+		got, err := recoverSample(q.pad, resp.Cts[b*block:(b+1)*block], resp.MsgLen, pathKeys[stride:stride+len(idx)*q.depth], idx, q.n, q.depth)
 		if err != nil {
-			return nil, fmt.Errorf("ot: batch sample %d: %w", b, err)
+			return fmt.Errorf("ot: batch sample %d: %w", b, err)
 		}
 		out[b] = got
-		stride += len(idx) * q.depth
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // IKNP oblivious-transfer extension (Ishai–Kilian–Nissim–Petrank, semi-
@@ -66,7 +67,14 @@ type IKNPSenderMsg struct {
 type IKNPSender struct {
 	s       []byte // κ choice bits, packed
 	ciphers []cipher.Block
-	batch   uint32 // lockstep batch counter: fresh PRG columns per batch
+	batch   uint32  // lockstep batch counter: fresh PRG columns per batch
+	pad     PadFunc // negotiated row/tree pad family
+	par     int     // parallelism degree for the pure fan-out regions
+
+	// Per-batch scratch reused across Respond calls (the response only
+	// references its own fresh Y0/Y1 buffers, never these).
+	qFlat []byte
+	rows  []byte
 
 	baseReceivers []*Receiver // base-phase state, nil once finished
 }
@@ -78,7 +86,9 @@ type IKNPReceiver struct {
 	seed1    [][]byte
 	ciphers0 []cipher.Block
 	ciphers1 []cipher.Block
-	batch    uint32 // lockstep batch counter: fresh PRG columns per batch
+	batch    uint32  // lockstep batch counter: fresh PRG columns per batch
+	pad     PadFunc // negotiated row/tree pad family
+	par     int     // parallelism degree for the pure fan-out regions
 
 	baseSenders []*Sender // base-phase state, nil once finished
 }
@@ -90,9 +100,11 @@ type IKNPReceiver struct {
 // sender answers batches in Extend order (its lockstep batch counter must
 // advance in the same sequence).
 type IKNPExtension struct {
-	r []byte // m choice bits, packed
-	m int
-	t [][]byte // κ columns of m bits
+	r   []byte // m choice bits, packed
+	m   int
+	t   [][]byte // κ columns of m bits
+	pad PadFunc  // copied from the receiver at Extend time
+	par int
 }
 
 // Base-phase messages: κ parallel 1-of-2 transfers in which the
@@ -108,6 +120,23 @@ type (
 	// IKNPBaseTransfer completes the seed delivery.
 	IKNPBaseTransfer struct{ Transfers []*SenderTransfer }
 )
+
+// SetPad selects the pad family this endpoint derives row hashes and tree
+// pads with. Both endpoints of a session must agree (the transport
+// negotiates it in the Hello); the zero value is the legacy SHA-256 pad.
+func (s *IKNPSender) SetPad(pad PadFunc) { s.pad = pad }
+
+// SetPad selects the receiver's pad family (see IKNPSender.SetPad).
+func (r *IKNPReceiver) SetPad(pad PadFunc) { r.pad = pad }
+
+// SetParallelism bounds the worker fan-out of the sender's pure crypto
+// regions (PRG fills, row pads, tree encryption). Randomness is never
+// drawn inside those regions, so wire bytes are bit-identical at every
+// setting; 1 (or 0 meaning all cores, per parallel.Degree) is always safe.
+func (s *IKNPSender) SetParallelism(n int) { s.par = n }
+
+// SetParallelism bounds the receiver's pure fan-out regions.
+func (r *IKNPReceiver) SetParallelism(n int) { r.par = n }
 
 // NewIKNPReceiverBase creates the extension receiver and its base-phase
 // setup message (it acts as the base-OT sender of κ seed pairs).
@@ -255,21 +284,30 @@ func (r *IKNPReceiver) Extend(choices []int) (*IKNPExtension, *IKNPReceiverMsg, 
 	}
 	cols := (m + 7) / 8
 	r.batch++
+	ext.pad = r.pad
+	ext.par = r.par
 	ext.t = make([][]byte, iknpKappa)
 	tFlat := make([]byte, iknpKappa*cols)
 	uFlat := make([]byte, iknpKappa*cols)
-	for i := 0; i < iknpKappa; i++ {
+	span := obs.Start(obs.PhaseOTExtend)
+	batch := r.batch
+	_ = parallel.For(r.par, iknpKappa, func(i int) error {
 		// Fresh pseudorandom columns per batch: reusing a column across
-		// two choice vectors would leak r ⊕ r' and repeat pads.
+		// two choice vectors would leak r ⊕ r' and repeat pads. The fills
+		// are pure (seeds fixed at the base phase, batch counter already
+		// advanced), so fanning columns across workers keeps the wire
+		// bytes bit-identical at any parallelism.
 		t0 := tFlat[i*cols : (i+1)*cols]
-		prgInto(r.ciphers0[i], i, r.batch, t0)
+		prgInto(r.ciphers0[i], i, batch, t0)
 		ext.t[i] = t0
 		ui := uFlat[i*cols : (i+1)*cols]
-		prgInto(r.ciphers1[i], i, r.batch, ui)
+		prgInto(r.ciphers1[i], i, batch, ui)
 		for b := range ui {
 			ui[b] ^= t0[b] ^ ext.r[b]
 		}
-	}
+		return nil
+	})
+	span.End()
 	return ext, &IKNPReceiverMsg{U: uFlat, M: m}, nil
 }
 
@@ -294,12 +332,19 @@ func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSender
 		}
 	}
 	s.batch++
-	// q columns: q_i = G(k(s_i)_i) ⊕ s_i·u_i.
+	// q columns: q_i = G(k(s_i)_i) ⊕ s_i·u_i. The flats are per-sender
+	// scratch: the response never references them, so reusing them across
+	// batches trades ~2·κ·cols bytes of garbage per batch for none.
+	if cap(s.qFlat) < iknpKappa*cols {
+		s.qFlat = make([]byte, iknpKappa*cols)
+	}
+	qFlat := s.qFlat[:iknpKappa*cols]
 	q := make([][]byte, iknpKappa)
-	qFlat := make([]byte, iknpKappa*cols)
-	for i := 0; i < iknpKappa; i++ {
+	span := obs.Start(obs.PhaseOTExtend)
+	batch := s.batch
+	_ = parallel.For(s.par, iknpKappa, func(i int) error {
 		qi := qFlat[i*cols : (i+1)*cols]
-		prgInto(s.ciphers[i], i, s.batch, qi)
+		prgInto(s.ciphers[i], i, batch, qi)
 		if getBit(s.s, i) == 1 {
 			ui := msg.U[i*cols : (i+1)*cols]
 			for b := range qi {
@@ -307,18 +352,29 @@ func (s *IKNPSender) Respond(msg *IKNPReceiverMsg, x0, x1 [][]byte) (*IKNPSender
 			}
 		}
 		q[i] = qi
+		return nil
+	})
+	span.End()
+	spanT := obs.Start(obs.PhaseOTTranspose)
+	if cap(s.rows) < ((m+7)/8)*8*iknpRowBytes {
+		s.rows = make([]byte, ((m+7)/8)*8*iknpRowBytes)
 	}
-	rows := transposeColumns(q, m)
+	rows := transposeColumnsInto(s.rows[:((m+7)/8)*8*iknpRowBytes], q, m)
+	spanT.End()
 	out := &IKNPSenderMsg{Y0: make([]byte, m*msgLen), Y1: make([]byte, m*msgLen), MsgLen: msgLen}
-	var rowQS [iknpRowBytes]byte
-	for j := 0; j < m; j++ {
+	spanP := obs.Start(obs.PhaseOTPad)
+	pad := s.pad
+	_ = parallel.For(s.par, m, func(j int) error {
+		var rowQS [iknpRowBytes]byte
 		rowQ := rows[j*iknpRowBytes : (j+1)*iknpRowBytes]
 		for i := range rowQS {
 			rowQS[i] = rowQ[i] ^ s.s[i]
 		}
-		rowHashXor(out.Y0[j*msgLen:(j+1)*msgLen], x0[j], j, rowQ)
-		rowHashXor(out.Y1[j*msgLen:(j+1)*msgLen], x1[j], j, rowQS[:])
-	}
+		pad.rowPadXor(out.Y0[j*msgLen:(j+1)*msgLen], x0[j], j, rowQ)
+		pad.rowPadXor(out.Y1[j*msgLen:(j+1)*msgLen], x1[j], j, rowQS[:])
+		return nil
+	})
+	spanP.End()
 	return out, nil
 }
 
@@ -330,17 +386,23 @@ func (e *IKNPExtension) Recover(msg *IKNPSenderMsg) ([][]byte, error) {
 	}
 	msgLen := msg.MsgLen
 	out := make([][]byte, e.m)
+	spanT := obs.Start(obs.PhaseOTTranspose)
 	rows := transposeColumns(e.t, e.m)
+	spanT.End()
 	flat := make([]byte, e.m*msgLen)
-	for j := 0; j < e.m; j++ {
+	spanP := obs.Start(obs.PhaseOTPad)
+	pad := e.pad
+	_ = parallel.For(e.par, e.m, func(j int) error {
 		ct := msg.Y0[j*msgLen : (j+1)*msgLen]
 		if getBit(e.r, j) == 1 {
 			ct = msg.Y1[j*msgLen : (j+1)*msgLen]
 		}
 		x := flat[j*msgLen : (j+1)*msgLen]
-		rowHashXor(x, ct, j, rows[j*iknpRowBytes:(j+1)*iknpRowBytes])
+		pad.rowPadXor(x, ct, j, rows[j*iknpRowBytes:(j+1)*iknpRowBytes])
 		out[j] = x
-	}
+		return nil
+	})
+	spanP.End()
 	return out, nil
 }
 
@@ -410,16 +472,64 @@ func rowHash(j int, row []byte, msgLen int) []byte {
 
 // transposeColumns turns κ packed bit-columns (column i, bit j = transfer
 // j) into packed bit-rows (row j, bit i), 16 bytes per row in one flat
-// slice. The inner step is the classic 8×8 bit-matrix transpose on a
-// uint64, so the cost is ~m·κ/64 word operations instead of m·κ
-// single-bit probes.
+// slice.
 func transposeColumns(cols [][]byte, m int) []byte {
 	rowBytes := (m + 7) / 8
-	out := make([]byte, rowBytes*8*iknpRowBytes)
+	return transposeColumnsInto(make([]byte, rowBytes*8*iknpRowBytes), cols, m)
+}
+
+// transposeColumnsInto is transposeColumns writing into caller-owned
+// scratch (len(out) must be ((m+7)/8)·8·iknpRowBytes). The bulk path is
+// widened: 8 columns × 8 bytes are loaded as uint64 words, transposed at
+// the byte level with three rounds of block swaps, and only then run
+// through the classic 8×8 single-word bit transpose — ~64 rows of output
+// per 8 wide loads instead of 64 single-byte column probes. A byte-at-a-
+// time loop covers the sub-8-byte tail.
+func transposeColumnsInto(out []byte, cols [][]byte, m int) []byte {
+	rowBytes := (m + 7) / 8
+	wide := rowBytes &^ 7
 	for ci := 0; ci < iknpRowBytes; ci++ {
 		c0, c1, c2, c3 := cols[ci*8], cols[ci*8+1], cols[ci*8+2], cols[ci*8+3]
 		c4, c5, c6, c7 := cols[ci*8+4], cols[ci*8+5], cols[ci*8+6], cols[ci*8+7]
-		for bj := 0; bj < rowBytes; bj++ {
+		for bj := 0; bj < wide; bj += 8 {
+			w0 := binary.LittleEndian.Uint64(c0[bj:])
+			w1 := binary.LittleEndian.Uint64(c1[bj:])
+			w2 := binary.LittleEndian.Uint64(c2[bj:])
+			w3 := binary.LittleEndian.Uint64(c3[bj:])
+			w4 := binary.LittleEndian.Uint64(c4[bj:])
+			w5 := binary.LittleEndian.Uint64(c5[bj:])
+			w6 := binary.LittleEndian.Uint64(c6[bj:])
+			w7 := binary.LittleEndian.Uint64(c7[bj:])
+			// Byte-level 8×8 transpose across the words: after the three
+			// rounds, word b holds byte b of every original column.
+			w0, w4 = w0&0x00000000FFFFFFFF|w4<<32, w0>>32|w4&0xFFFFFFFF00000000
+			w1, w5 = w1&0x00000000FFFFFFFF|w5<<32, w1>>32|w5&0xFFFFFFFF00000000
+			w2, w6 = w2&0x00000000FFFFFFFF|w6<<32, w2>>32|w6&0xFFFFFFFF00000000
+			w3, w7 = w3&0x00000000FFFFFFFF|w7<<32, w3>>32|w7&0xFFFFFFFF00000000
+			const m2 = 0x0000FFFF0000FFFF
+			w0, w2 = w0&m2|(w2&m2)<<16, (w0>>16)&m2|w2&^m2
+			w1, w3 = w1&m2|(w3&m2)<<16, (w1>>16)&m2|w3&^m2
+			w4, w6 = w4&m2|(w6&m2)<<16, (w4>>16)&m2|w6&^m2
+			w5, w7 = w5&m2|(w7&m2)<<16, (w5>>16)&m2|w7&^m2
+			const m1 = 0x00FF00FF00FF00FF
+			w0, w1 = w0&m1|(w1&m1)<<8, (w0>>8)&m1|w1&^m1
+			w2, w3 = w2&m1|(w3&m1)<<8, (w2>>8)&m1|w3&^m1
+			w4, w5 = w4&m1|(w5&m1)<<8, (w4>>8)&m1|w5&^m1
+			w6, w7 = w6&m1|(w7&m1)<<8, (w6>>8)&m1|w7&^m1
+			for b, x := range [8]uint64{w0, w1, w2, w3, w4, w5, w6, w7} {
+				x = transpose8x8(x)
+				base := (bj + b) * 8 * iknpRowBytes
+				out[base+ci] = byte(x)
+				out[base+iknpRowBytes+ci] = byte(x >> 8)
+				out[base+2*iknpRowBytes+ci] = byte(x >> 16)
+				out[base+3*iknpRowBytes+ci] = byte(x >> 24)
+				out[base+4*iknpRowBytes+ci] = byte(x >> 32)
+				out[base+5*iknpRowBytes+ci] = byte(x >> 40)
+				out[base+6*iknpRowBytes+ci] = byte(x >> 48)
+				out[base+7*iknpRowBytes+ci] = byte(x >> 56)
+			}
+		}
+		for bj := wide; bj < rowBytes; bj++ {
 			x := uint64(c0[bj]) | uint64(c1[bj])<<8 | uint64(c2[bj])<<16 | uint64(c3[bj])<<24 |
 				uint64(c4[bj])<<32 | uint64(c5[bj])<<40 | uint64(c6[bj])<<48 | uint64(c7[bj])<<56
 			x = transpose8x8(x)

@@ -59,12 +59,13 @@ func NewClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*ClassifyClient, e
 // handshake by ctx.
 func NewClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*ClassifyClient, error) {
 	rng = entropy.Buffered(rng)
-	conn := NewConn(rw)
+	conn := newConnRole(rw, roleClient)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var client *classify.Client
 	offered := opts.offeredCodecs()
+	pads := opts.offeredPads()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify", FieldBackend: opts.requestedBackend(), WireCodecs: offered}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify", FieldBackend: opts.requestedBackend(), WireCodecs: offered, PadFuncs: pads}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
@@ -72,6 +73,9 @@ func NewClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts O
 			return err
 		}
 		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := validatePadGrant(spec.PadFunc, pads); err != nil {
 			return err
 		}
 		if err := conn.UseCodec(spec.WireCodec); err != nil {
@@ -153,7 +157,7 @@ func EvaluateSimilarity(rw io.ReadWriteCloser, wB []float64, bB float64, rng io.
 // deadlines from opts and cancellation via ctx.
 func EvaluateSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, wB []float64, bB float64, opts Options, rng io.Reader) (*similarity.Result, error) {
 	rng = entropy.Buffered(rng)
-	conn := NewConn(rw)
+	conn := newConnRole(rw, roleClient)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
 	var out *similarity.Result
@@ -247,7 +251,7 @@ func EvaluateKernelSimilarity(rw io.ReadWriteCloser, modelB *svm.Model, rng io.R
 // per-message deadlines from opts and cancellation via ctx.
 func EvaluateKernelSimilarityContext(ctx context.Context, rw io.ReadWriteCloser, modelB *svm.Model, opts Options, rng io.Reader) (*similarity.Result, error) {
 	rng = entropy.Buffered(rng)
-	conn := NewConn(rw)
+	conn := newConnRole(rw, roleClient)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	defer func() { _ = conn.Close() }()
 	var out *similarity.Result
@@ -322,6 +326,10 @@ type FastClassifyClient struct {
 // (CodecBinary or CodecGob).
 func (c *FastClassifyClient) WireCodec() string { return c.conn.Codec() }
 
+// Spec reports the negotiated session spec, including the granted OT pad
+// function ("" means the legacy SHA-256 pad).
+func (c *FastClassifyClient) Spec() classify.Spec { return c.session.Spec() }
+
 // NewFastClassifyClient performs the handshake and base phase on an
 // established stream with default options.
 func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyClient, error) {
@@ -332,12 +340,13 @@ func NewFastClassifyClient(rw io.ReadWriteCloser, rng io.Reader) (*FastClassifyC
 // an established stream under ctx and opts.
 func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, opts Options, rng io.Reader) (*FastClassifyClient, error) {
 	rng = entropy.Buffered(rng)
-	conn := NewConn(rw)
+	conn := newConnRole(rw, roleClient)
 	conn.SetMessageDeadline(opts.messageDeadline())
 	var session *classify.FastClient
 	offered := opts.offeredCodecs()
+	pads := opts.offeredPads()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend(), WireCodecs: offered}); err != nil {
+		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend(), WireCodecs: offered, PadFuncs: pads}); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
@@ -345,6 +354,9 @@ func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, op
 			return err
 		}
 		if err := validateGrant(spec.WireCodec, offered); err != nil {
+			return err
+		}
+		if err := validatePadGrant(spec.PadFunc, pads); err != nil {
 			return err
 		}
 		if err := conn.UseCodec(spec.WireCodec); err != nil {

@@ -155,6 +155,11 @@ type Hello struct {
 	// The granted codec comes back in the spec's WireCodec field, and
 	// both sides switch after the spec exchange.
 	WireCodecs []string
+	// PadFuncs lists the OT-extension pad families the client can run,
+	// in preference order ("aes", "sha256"). Legacy clients send nothing,
+	// which reads as SHA-256-only; the granted pad comes back in the
+	// spec's PadFunc field.
+	PadFuncs []string
 }
 
 // RoundHeader precedes each OMPE round of the similarity protocol.
@@ -240,17 +245,33 @@ type deadliner interface {
 	SetDeadline(time.Time) error
 }
 
+// Endpoint roles for the per-role byte counters. When client and server
+// share a process (benches, in-process fleets), the role-less totals
+// count every byte twice and in == out tautologically; role-tagged
+// connections additionally feed the directional counters that stay
+// meaningful in that setup.
+const (
+	roleClient = "client"
+	roleServer = "server"
+)
+
 // countingStream counts wire bytes at the transport envelope. Counting
 // happens per Read/Write call (one recorder call each), so the disabled
 // path costs a single no-op interface call per syscall-sized chunk.
 type countingStream struct {
 	rw io.ReadWriteCloser
+	// inCtr/outCtr are the role-split counter names ("" for untagged
+	// connections, which feed only the process totals).
+	inCtr, outCtr string
 }
 
 func (cs countingStream) Read(p []byte) (int, error) {
 	n, err := cs.rw.Read(p)
 	if n > 0 {
 		obs.Add(obs.CtrBytesIn, int64(n))
+		if cs.inCtr != "" {
+			obs.Add(cs.inCtr, int64(n))
+		}
 	}
 	return n, err
 }
@@ -259,6 +280,9 @@ func (cs countingStream) Write(p []byte) (int, error) {
 	n, err := cs.rw.Write(p)
 	if n > 0 {
 		obs.Add(obs.CtrBytesOut, int64(n))
+		if cs.outCtr != "" {
+			obs.Add(cs.outCtr, int64(n))
+		}
 	}
 	return n, err
 }
@@ -279,11 +303,18 @@ func (cs deadlineCountingStream) SetDeadline(t time.Time) error {
 
 // countStream wraps rw with byte counting while preserving its deadline
 // capability exactly.
-func countStream(rw io.ReadWriteCloser) io.ReadWriteCloser {
-	if _, ok := rw.(deadliner); ok {
-		return deadlineCountingStream{countingStream{rw}}
+func countStream(rw io.ReadWriteCloser, role string) io.ReadWriteCloser {
+	cs := countingStream{rw: rw}
+	switch role {
+	case roleClient:
+		cs.inCtr, cs.outCtr = obs.CtrClientBytesIn, obs.CtrClientBytesOut
+	case roleServer:
+		cs.inCtr, cs.outCtr = obs.CtrServerBytesIn, obs.CtrServerBytesOut
 	}
-	return countingStream{rw}
+	if _, ok := rw.(deadliner); ok {
+		return deadlineCountingStream{cs}
+	}
+	return cs
 }
 
 // NewConn wraps a byte stream in the typed message layer. The gob
@@ -291,8 +322,15 @@ func countStream(rw io.ReadWriteCloser) io.ReadWriteCloser {
 // wire once per connection, not once per message — and the write buffer
 // comes from a pool shared by all connections.
 func NewConn(rw io.ReadWriteCloser) *Conn {
+	return newConnRole(rw, "")
+}
+
+// newConnRole is NewConn with a role tag for the per-role byte counters
+// (the protocol clients pass roleClient, the server roleServer; untagged
+// connections feed only the process totals).
+func newConnRole(rw io.ReadWriteCloser, role string) *Conn {
 	registerTypes()
-	rw = countStream(rw)
+	rw = countStream(rw, role)
 	bw := writeBufPool.Get().(*bufio.Writer)
 	bw.Reset(rw)
 	br := bufio.NewReaderSize(rw, 32<<10)

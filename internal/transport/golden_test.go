@@ -36,7 +36,14 @@ import (
 	"repro/internal/wire"
 )
 
-const goldenMagic = "PPDCWIREv1"
+// Container versions: v1 carries no pad field and keeps every transcript
+// recorded before pad negotiation byte-identical; v2 appends the
+// negotiated pad name. Pad-less scenarios still encode as v1 so a regen
+// run leaves the legacy files untouched.
+const (
+	goldenMagic   = "PPDCWIREv1"
+	goldenMagicV2 = "PPDCWIREv2"
+)
 
 var goldenDir = filepath.Join("testdata", "wire")
 
@@ -46,11 +53,14 @@ type goldenScenario struct {
 	codec   string // transport.CodecBinary | transport.CodecGob
 	group   string // modp512 | x25519
 	backend string // big | limb (classify services only)
+	pad     string // "" (legacy SHA-256) | aes
 }
 
 // goldenScenarios spans the full conformance matrix: each classify
-// service across {binary,gob} x {modp512,x25519} x {big,limb}, and the
-// linear similarity protocol across codecs and groups.
+// service across {binary,gob} x {modp512,x25519} x {big,limb}, the
+// linear similarity protocol across codecs and groups, and the batched
+// classify service with the negotiated fixed-key AES pad on the limb
+// backend across codecs and groups.
 func goldenScenarios() []goldenScenario {
 	var out []goldenScenario
 	for _, service := range []string{"classify-serial", "classify-batch"} {
@@ -70,6 +80,15 @@ func goldenScenarios() []goldenScenario {
 			out = append(out, goldenScenario{
 				name:    fmt.Sprintf("similarity_%s_%s", codec, group),
 				service: "similarity", codec: codec, group: group,
+			})
+		}
+	}
+	for _, codec := range []string{transport.CodecBinary, transport.CodecGob} {
+		for _, group := range []string{"modp512", "x25519"} {
+			out = append(out, goldenScenario{
+				name:    fmt.Sprintf("classify-batch_%s_%s_limb_aes", codec, group),
+				service: "classify-batch", codec: codec, group: group,
+				backend: "limb", pad: string(ot.PadAES),
 			})
 		}
 	}
@@ -93,7 +112,7 @@ func goldenGroup(t *testing.T, name string) ot.Group {
 func runGoldenSession(t *testing.T, sc goldenScenario) (c2s, s2c []byte) {
 	t.Helper()
 	group := goldenGroup(t, sc.group)
-	opts := transport.Options{WireCodec: sc.codec, FieldBackend: sc.backend}
+	opts := transport.Options{WireCodec: sc.codec, FieldBackend: sc.backend, PadFunc: sc.pad}
 
 	model, test := trainLinear(t, 91)
 	params := classify.Params{Group: group, Parallelism: 1}
@@ -181,14 +200,23 @@ func recordSession(t *testing.T, srv *transport.Server, client func(net.Conn) er
 
 // encodeGolden frames a transcript in the wire codec's own container
 // format: magic, scenario metadata, then the two direction blobs.
+// Scenarios without a negotiated pad encode in the v1 container so a
+// regeneration run reproduces the pre-negotiation files byte for byte.
 func encodeGolden(sc goldenScenario, c2s, s2c []byte) ([]byte, error) {
 	w := wire.NewAppendWriter(nil)
-	w.String(goldenMagic)
+	if sc.pad == "" {
+		w.String(goldenMagic)
+	} else {
+		w.String(goldenMagicV2)
+	}
 	w.String(sc.name)
 	w.String(sc.service)
 	w.String(sc.codec)
 	w.String(sc.group)
 	w.String(sc.backend)
+	if sc.pad != "" {
+		w.String(sc.pad)
+	}
 	w.ByteSlice(c2s)
 	w.ByteSlice(s2c)
 	return w.Bytes(), w.Err()
@@ -201,7 +229,8 @@ type goldenFile struct {
 
 func decodeGolden(data []byte) (*goldenFile, error) {
 	r := wire.NewReader(data)
-	if magic := r.String(); r.Err() == nil && magic != goldenMagic {
+	magic := r.String()
+	if r.Err() == nil && magic != goldenMagic && magic != goldenMagicV2 {
 		return nil, fmt.Errorf("bad transcript magic %q", magic)
 	}
 	var g goldenFile
@@ -210,6 +239,9 @@ func decodeGolden(data []byte) (*goldenFile, error) {
 	g.scenario.codec = r.String()
 	g.scenario.group = r.String()
 	g.scenario.backend = r.String()
+	if magic == goldenMagicV2 {
+		g.scenario.pad = r.String()
+	}
 	g.c2s = r.ByteSlice()
 	g.s2c = r.ByteSlice()
 	if err := r.Done(); err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/ot"
 )
 
 // Defaults for Options fields left zero.
@@ -72,6 +73,16 @@ type Options struct {
 	// offers only binary — a gob-only server will still answer in gob,
 	// and the client rejects the session rather than mis-frame.
 	WireCodec string
+
+	// PadFunc selects the OT-extension pad family the client offers in
+	// its Hello. Empty offers nothing (the session runs the legacy
+	// SHA-256 pad, and the Hello is byte-identical to a pre-negotiation
+	// build's); "aes" offers the fixed-key AES pad with SHA-256 as the
+	// implicit fallback — a legacy server grants nothing and the session
+	// runs SHA-256 unchanged. Unlike the field backend, the pad is never
+	// requested by default: it changes the symmetric derivations on both
+	// endpoints, so it is strictly opt-in.
+	PadFunc string
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +122,17 @@ func (o Options) offeredCodecs() []string {
 		return defaultWireCodecs()
 	}
 	return []string{o.WireCodec}
+}
+
+// offeredPads resolves the pad offer for the Hello: empty by default —
+// the legacy SHA-256 pad needs no negotiation, and offering nothing
+// keeps the Hello bit-identical to older builds' — and a single-element
+// offer when a pad is pinned explicitly.
+func (o Options) offeredPads() []string {
+	if o.PadFunc == "" || o.PadFunc == string(ot.PadSHA256) {
+		return nil
+	}
+	return []string{o.PadFunc}
 }
 
 // messageDeadline resolves the effective per-message deadline (0 = none).

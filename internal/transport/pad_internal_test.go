@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ot"
+)
+
+// TestGrantPadFunc pins the server-side grant policy: first supported pad
+// the client offered wins, with SHA-256 (encoded as the empty grant) as
+// the universal fallback.
+func TestGrantPadFunc(t *testing.T) {
+	cases := []struct {
+		name      string
+		offered   []string
+		supported []string
+		want      string
+	}{
+		{"legacy client, default server", nil, defaultPadFuncs(), ""},
+		{"aes offered, default server", []string{"aes"}, defaultPadFuncs(), "aes"},
+		{"aes offered, sha-pinned server", []string{"aes"}, []string{"sha256"}, ""},
+		{"aes offered, sha-preferring server", []string{"aes"}, []string{"sha256", "aes"}, ""},
+		{"unknown offer", []string{"chacha"}, defaultPadFuncs(), ""},
+		{"mixed offer", []string{"chacha", "aes"}, defaultPadFuncs(), "aes"},
+	}
+	for _, tc := range cases {
+		if got := grantPadFunc(tc.offered, tc.supported); got != tc.want {
+			t.Errorf("%s: grantPadFunc(%v, %v) = %q, want %q",
+				tc.name, tc.offered, tc.supported, got, tc.want)
+		}
+	}
+}
+
+// TestValidatePadGrant pins the client-side check: a server may grant the
+// legacy pad to anyone, but a non-legacy pad only if this client offered
+// it.
+func TestValidatePadGrant(t *testing.T) {
+	if err := validatePadGrant("", nil); err != nil {
+		t.Errorf("empty grant to legacy client: %v", err)
+	}
+	if err := validatePadGrant("sha256", nil); err != nil {
+		t.Errorf("explicit sha256 grant to legacy client: %v", err)
+	}
+	if err := validatePadGrant("aes", []string{"aes"}); err != nil {
+		t.Errorf("aes grant to aes-offering client: %v", err)
+	}
+	if err := validatePadGrant("aes", nil); !errors.Is(err, ot.ErrPadFunc) {
+		t.Errorf("un-offered aes grant: got %v, want ErrPadFunc", err)
+	}
+	if err := validatePadGrant("aes", []string{"sha256"}); !errors.Is(err, ot.ErrPadFunc) {
+		t.Errorf("aes grant against sha-only offer: got %v, want ErrPadFunc", err)
+	}
+}
+
+// TestOfferedPads pins the client offer policy: pads are strictly opt-in,
+// so default and explicit-sha configurations send no offer at all and the
+// Hello stays byte-identical to pre-negotiation builds.
+func TestOfferedPads(t *testing.T) {
+	if got := (Options{}).offeredPads(); got != nil {
+		t.Errorf("default options offered %v, want nil", got)
+	}
+	if got := (Options{PadFunc: "sha256"}).offeredPads(); got != nil {
+		t.Errorf("explicit sha256 offered %v, want nil", got)
+	}
+	got := (Options{PadFunc: "aes"}).offeredPads()
+	if len(got) != 1 || got[0] != "aes" {
+		t.Errorf("aes option offered %v, want [aes]", got)
+	}
+}

@@ -1,0 +1,186 @@
+package transport_test
+
+// Pad-function negotiation, end to end: the AES↔SHA interop matrix over
+// real sessions, refusal of a grant the client never offered, and wire
+// determinism of the AES pad across server parallelism.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/ot"
+	"repro/internal/transport"
+)
+
+// runPadSession performs one fast batched session with the given client
+// pad option and server support list and returns the negotiated spec and
+// the labels.
+func runPadSession(t *testing.T, clientPad string, serverPads []string) (classify.Spec, []int, []int) {
+	t.Helper()
+	model, test := trainLinear(t, 41)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := test.X[:4]
+	want := localReference(t, trainer, samples)
+	srv := quietServer(t, trainer)
+	srv.PadFuncs = serverPads
+
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	fc, err := transport.NewFastClassifyClientContext(t.Context(), clientSide,
+		transport.Options{PadFunc: clientPad}, newDetReader("pad-matrix-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fc.ClassifyBatch(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fc.Spec()
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server session did not end")
+	}
+	return spec, got, want
+}
+
+// TestPadNegotiationMatrix drives the AES↔SHA interop matrix: both-AES
+// sessions negotiate the AES pad, mixed sessions fall back to the legacy
+// SHA-256 pad, and every combination still classifies correctly (a pad
+// mismatch between the endpoints would turn every transfer to garbage,
+// so correct labels prove both sides agreed).
+func TestPadNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name      string
+		clientPad string
+		serverPad []string // nil = default support (aes preferred)
+		wantGrant string
+	}{
+		{"aes client, default server", "aes", nil, "aes"},
+		{"aes client, sha-pinned server", "aes", []string{"sha256"}, ""},
+		{"legacy client, default server", "", nil, ""},
+		{"sha client, default server", "sha256", nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, got, want := runPadSession(t, tc.clientPad, tc.serverPad)
+			if spec.PadFunc != tc.wantGrant {
+				t.Fatalf("negotiated pad %q, want %q", spec.PadFunc, tc.wantGrant)
+			}
+			checkLabels(t, got, want, tc.name)
+		})
+	}
+}
+
+// TestPadGrantRefusedWhenUnoffered hand-rolls a misbehaving server that
+// grants the AES pad to a client that never offered it. The client must
+// refuse the handshake with the typed pad error instead of silently
+// running a pad the operator did not opt into.
+func TestPadGrantRefusedWhenUnoffered(t *testing.T) {
+	model, _ := trainLinear(t, 42)
+	trainer, err := classify.NewTrainer(model, classify.Params{Group: ot.Group512Test()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSide, clientSide := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn := transport.NewConn(serverSide)
+		if _, err := transport.Recv[*transport.Hello](conn); err != nil {
+			return
+		}
+		spec := trainer.Spec()
+		spec.PadFunc = "aes" // never offered by this client
+		_ = conn.Send(&spec)
+	}()
+	_, err = transport.NewFastClassifyClientContext(t.Context(), clientSide,
+		transport.Options{}, newDetReader("pad-refusal-client"))
+	if !errors.Is(err, ot.ErrPadFunc) {
+		t.Fatalf("handshake error = %v, want ot.ErrPadFunc", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("rogue server did not finish")
+	}
+}
+
+// runDeterministicAESBatch is runDeterministicBatch with the AES pad
+// negotiated on both ends.
+func runDeterministicAESBatch(t *testing.T, parallelism int, samples [][]float64) (sent, received []byte) {
+	t.Helper()
+	model, _ := trainLinear(t, 43)
+	trainer, err := classify.NewTrainer(model, classify.Params{
+		Group:       ot.Group512Test(),
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := quietServer(t, trainer)
+	srv.Rand = newDetReader("aes-batch-determinism-server")
+	serverSide, clientSide := net.Pipe()
+	rc := &recordingConn{Conn: clientSide}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeConn(serverSide)
+	}()
+	fc, err := transport.NewFastClassifyClientContext(t.Context(), rc,
+		transport.Options{PadFunc: "aes"}, newDetReader("aes-batch-determinism-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pad := fc.Spec().PadFunc; pad != "aes" {
+		t.Fatalf("negotiated pad %q, want aes", pad)
+	}
+	if _, err := fc.ClassifyBatch(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server session did not end")
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return append([]byte(nil), rc.wrote.Bytes()...), append([]byte(nil), rc.read.Bytes()...)
+}
+
+// TestBatchWireDeterminismAESPad: the serial-rng discipline must hold on
+// the AES pad path too — wire bytes bit-identical across server
+// parallelism with fixed randomness.
+func TestBatchWireDeterminismAESPad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sessions")
+	}
+	model, test := trainLinear(t, 43)
+	_ = model
+	samples := test.X[:6]
+	sent1, recv1 := runDeterministicAESBatch(t, 1, samples)
+	sent4, recv4 := runDeterministicAESBatch(t, 4, samples)
+	if !bytes.Equal(sent1, sent4) {
+		t.Fatal("client wire bytes differ across server parallelism (AES pad)")
+	}
+	if !bytes.Equal(recv1, recv4) {
+		t.Fatal("server wire bytes differ across parallelism (AES pad fan-out leaked into randomness order)")
+	}
+}

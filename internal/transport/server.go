@@ -79,6 +79,12 @@ type Server struct {
 	// offers it, gob otherwise); []string{CodecGob} pins a gob-only
 	// trainer, which binary-preferring clients negotiate down to.
 	WireCodecs []string
+	// PadFuncs lists the OT-extension pad families this server will
+	// grant, in preference order. Nil grants the defaults (the AES pad
+	// when the client offers it, SHA-256 otherwise); []string{"sha256"}
+	// pins a legacy-pad server, which AES-offering clients negotiate
+	// down to.
+	PadFuncs []string
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -229,7 +235,7 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) {
 }
 
 func (s *Server) serveConn(rw io.ReadWriteCloser) {
-	conn := NewConn(rw)
+	conn := newConnRole(rw, roleServer)
 	deadline := s.MessageDeadline
 	if deadline < 0 {
 		deadline = 0
@@ -309,6 +315,7 @@ func (s *Server) sessionSpec(trainer *classify.Trainer, hello *Hello) (classify.
 	}
 	spec := trainer.SessionSpec(requested)
 	spec.WireCodec = s.grantCodec(hello)
+	spec.PadFunc = s.grantPad(hello)
 	return spec, nil
 }
 
@@ -323,6 +330,19 @@ func (s *Server) supportedCodecs() []string {
 // grantCodec picks the session codec from the client's offer.
 func (s *Server) grantCodec(hello *Hello) string {
 	return grantWireCodec(hello.WireCodecs, s.supportedCodecs())
+}
+
+// supportedPads resolves the server's pad support list.
+func (s *Server) supportedPads() []string {
+	if len(s.PadFuncs) == 0 {
+		return defaultPadFuncs()
+	}
+	return s.PadFuncs
+}
+
+// grantPad picks the session OT pad from the client's offer.
+func (s *Server) grantPad(hello *Hello) string {
+	return grantPadFunc(hello.PadFuncs, s.supportedPads())
 }
 
 // serveClassify answers any number of classification queries on one
@@ -649,28 +669,54 @@ readLoop:
 	return werr
 }
 
-// runFastWorker evaluates queued fast-session jobs in FIFO order, sending
-// each response tagged with its request's stream ID. It returns on the
-// first failure or when the job channel closes.
+// fastReadyQueue bounds how many computed responses may wait behind the
+// flusher: one in flight on the wire plus one buffered keeps the worker
+// computing batch N+1 while batch N's envelope is still being written,
+// without letting responses pile up unboundedly.
+const fastReadyQueue = 2
+
+// runFastWorker evaluates queued fast-session jobs in FIFO order and
+// hands each computed response to a flusher goroutine that writes it
+// tagged with its request's stream ID. The compute→flush split
+// double-buffers the session: encoding and socket writes of response N
+// overlap the crypto of request N+1, while the single flusher preserves
+// the FIFO response order the OT-extension batch counters require. It
+// returns on the first failure or when the job channel closes.
 func (s *Server) runFastWorker(conn *Conn, fast *classify.FastTrainer, jobs <-chan fastJob, rng io.Reader) error {
+	ready := make(chan fastJob, fastReadyQueue)
+	var flushErr error
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		for r := range ready {
+			if flushErr != nil {
+				continue // keep draining so the worker's send never blocks
+			}
+			flushErr = conn.SendStream(r.stream, r.payload)
+		}
+	}()
+	var workErr error
 	for j := range jobs {
-		var err error
+		var resp any
 		switch msg := j.payload.(type) {
 		case *ompe.FastRequest:
-			var resp *ompe.FastResponse
-			if resp, err = fast.HandleQuery(msg, rng); err == nil {
-				err = conn.SendStream(j.stream, resp)
-			}
+			resp, workErr = fast.HandleQuery(msg, rng)
 		case *ompe.FastBatchRequest:
 			obs.Observe(obs.HistBatchSize, int64(len(msg.Evals)))
-			var resp *ompe.FastBatchResponse
-			if resp, err = fast.HandleBatch(msg, rng); err == nil {
-				err = conn.SendStream(j.stream, resp)
-			}
+			resp, workErr = fast.HandleBatch(msg, rng)
 		}
-		if err != nil {
-			return err
+		if workErr != nil {
+			break
 		}
+		ready <- fastJob{stream: j.stream, payload: resp}
 	}
-	return nil
+	// Close the ready queue and let already-computed responses flush
+	// before reporting: the peer sees every answer that precedes a
+	// failure, in order, then the error envelope.
+	close(ready)
+	<-flushDone
+	if workErr != nil {
+		return workErr
+	}
+	return flushErr
 }

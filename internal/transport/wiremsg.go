@@ -169,6 +169,15 @@ func (h *Hello) EncodeWire(w *wire.Writer) {
 	for _, c := range h.WireCodecs {
 		w.String(c)
 	}
+	// Optional tail (see wire.Reader.More): omitted when no pads are
+	// offered, so a pad-less Hello is byte-identical to a pre-negotiation
+	// build's and old recordings decode unchanged.
+	if len(h.PadFuncs) > 0 {
+		w.Count(len(h.PadFuncs))
+		for _, p := range h.PadFuncs {
+			w.String(p)
+		}
+	}
 }
 
 // DecodeWire implements the wire codec.
@@ -182,6 +191,20 @@ func (h *Hello) DecodeWire(r *wire.Reader) {
 	h.WireCodecs = nil
 	for i := 0; i < n; i++ {
 		h.WireCodecs = append(h.WireCodecs, r.String())
+		if r.Err() != nil {
+			return
+		}
+	}
+	h.PadFuncs = nil
+	if !r.More() {
+		return
+	}
+	np := r.Count()
+	if r.Err() != nil {
+		return
+	}
+	for i := 0; i < np; i++ {
+		h.PadFuncs = append(h.PadFuncs, r.String())
 		if r.Err() != nil {
 			return
 		}

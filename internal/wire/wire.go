@@ -259,6 +259,23 @@ func (r *Reader) Done() error {
 	return r.err
 }
 
+// More reports whether unread input remains, gating optional trailing
+// fields appended to a message's encoding after transcripts of the
+// original layout shipped: encoders write the tail only when it is
+// non-zero, so pre-extension bytes simply end earlier and decode to the
+// zero tail. Only slice mode can see the input bound; stream mode
+// reports true (current encoders of extended messages always run against
+// slice-mode Unmarshal, and a truncated stream still fails typed).
+func (r *Reader) More() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.r == nil {
+		return r.off < len(r.buf)
+	}
+	return true
+}
+
 // remaining reports the unread byte count in slice mode (stream mode has
 // no known bound and returns MaxBytes).
 func (r *Reader) remaining() int {
