@@ -105,34 +105,47 @@ bench-update:
 		-json -out BENCH_field_backends.json fieldsweep
 
 # fleet-smoke exercises the fleet serving stack end to end: the
-# experiments-level soak tests (mem + tcp transports) plus a small
-# real-socket soak through ppdc-loadgen — 3 replicas behind a gateway,
-# pipelined clients, every hop a loopback TCP connection.
+# experiments-level soak tests (mem + tcp transports) plus two small
+# real-socket soaks through ppdc-loadgen — 3 replicas behind a gateway,
+# pipelined clients, every hop a loopback TCP connection; the second run
+# redials with session resumption so the ticket path sees real sockets.
 fleet-smoke:
 	go test ./internal/experiments -run TestBenchFleet -count=1
 	go run ./cmd/ppdc-loadgen -replicas 3 -clients 24 -queries 4 -transport tcp soak
+	go run ./cmd/ppdc-loadgen -replicas 3 -clients 24 -queries 4 -transport tcp \
+		-field-backend limb -group x25519 -pad aes -resume -sessions 2 soak
 
-# fleet-soak-json emits the fleet soak document on the pinned CI config
-# (3 replicas, 200 concurrent pipelined clients over loopback TCP). CI
-# compares it against the committed bench_fleet_baseline.json with the
-# same 20% throughput gate as the protocol benches; flag changes here
-# must be mirrored into a regenerated baseline.
+# fleet-soak-json emits the fleet soak document on the pinned CI config:
+# the fast engine (limb field backend, x25519 base OT, AES pads,
+# parallelism 1), 3 replicas, 200 concurrent pipelined clients over
+# loopback TCP, each running 3 sessions with resumption so the measured
+# phase covers the resumed-handshake redial path. CI compares it against
+# the committed full-handshake bench_fleet_baseline.json (same shape,
+# resume off) with the 20% throughput gate plus the >=3x resume_speedup
+# gate; flag changes here must be mirrored into a regenerated baseline.
 fleet-soak-json:
 	go run ./cmd/ppdc-loadgen -replicas 3 -clients 200 -queries 8 \
 		-batch 4 -inflight 2 -transport tcp \
+		-field-backend limb -group x25519 -pad aes -parallelism 1 \
+		-sessions 3 -resume \
 		-json -out BENCH_fleet.current.json soak
 
 # fleet-update regenerates both committed fleet documents in place: the
-# CI baseline (TCP, 200 clients) and the showcase soak (in-process mem
-# transport, 10k concurrent pipelined clients — fd-free, so the only
-# limits are memory and CPU). The 10k run takes several minutes on one
-# core; wall numbers reflect the machine it runs on.
+# CI baseline (TCP, 200 clients, full handshake on every redial — the
+# reference the resumed soak is gated against) and the showcase soak
+# (in-process mem transport, 10k concurrent pipelined clients with
+# resumption — fd-free, so the only limits are memory and CPU). Both run
+# the fast engine; wall numbers reflect the machine they run on.
 fleet-update:
 	go run ./cmd/ppdc-loadgen -replicas 3 -clients 200 -queries 8 \
 		-batch 4 -inflight 2 -transport tcp \
+		-field-backend limb -group x25519 -pad aes -parallelism 1 \
+		-sessions 3 \
 		-json -out bench_fleet_baseline.json soak
 	go run ./cmd/ppdc-loadgen -replicas 3 -clients 10000 -queries 8 \
 		-batch 4 -inflight 2 -transport mem \
+		-field-backend limb -group x25519 -pad aes -parallelism 1 \
+		-sessions 3 -resume \
 		-json -out BENCH_fleet.json soak
 
 tidy-check:

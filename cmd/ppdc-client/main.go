@@ -51,6 +51,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 2, "synthetic data seed (client side)")
 		fast     = fs.Bool("fast", false, "use the IKNP fast session (one base phase, then no public-key ops per query)")
 		redial   = fs.Int("redial", 0, "with -fast: redial up to this many times when the session dies mid-query (against a ppdc-gateway fleet, a fresh session fails over to a surviving replica)")
+		resume   = fs.Bool("resume", false, "with -fast: offer session resumption — harvest the trainer's ticket at clean close, and (with -redial) present it on the next dial to skip the base OTs")
 		backend  = fs.String("field-backend", "", "field engine to request: limb (default) or big; the session falls back to big unless the trainer supports limb")
 		codec    = fs.String("codec", "", "envelope codec to offer: empty negotiates (binary preferred, gob fallback), gob pins legacy envelopes, binary offers only binary")
 		padName  = fs.String("pad", "", "OT pad to offer: aes offers the fixed-key AES pads (granted only when the trainer supports them); empty or sha256 stays on the legacy SHA-256 pads")
@@ -91,6 +92,7 @@ func run(args []string) error {
 		FieldBackend:    *backend,
 		WireCodec:       *codec,
 		PadFunc:         *padName,
+		OfferResume:     *resume,
 	}
 	if *msgDeadline <= 0 {
 		opts.MessageDeadline = transport.NoDeadline
@@ -108,6 +110,9 @@ func run(args []string) error {
 		}
 		if *redial > 0 && !*fast {
 			return fmt.Errorf("-redial needs -fast (session recovery rides the fast-session client)")
+		}
+		if *resume && !*fast {
+			return fmt.Errorf("-resume needs -fast (tickets snapshot the fast session's OT extension state)")
 		}
 		return runClassify(*addr, *sample, *dsName, *n, *seed, *fast, *batch, *inflight, *redial, opts)
 	case "similarity":

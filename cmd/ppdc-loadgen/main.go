@@ -52,11 +52,15 @@ func run(args []string) error {
 		inflight  = fs.Int("inflight", 2, "batches each client keeps on the wire")
 		trans     = fs.String("transport", experiments.FleetTransportMem, "fleet transport: mem (in-process pipes, fd-free) or tcp (loopback sockets)")
 		handshake = fs.Int("handshake-concurrency", 128, "concurrent session handshakes during the connect phase")
+		padName   = fs.String("pad", "", "OT pad function clients offer: empty or sha256 (legacy), aes (fixed-key AES)")
+		sessions  = fs.Int("sessions", 1, "sessions per client in the measured phase (>1 exercises the redial path)")
+		resume    = fs.Bool("resume", false, "offer session resumption: redials present the previous session's ticket and skip the base OTs")
 		jsonOut   = fs.Bool("json", false, "soak: emit the machine-readable BENCH_fleet.json document")
 		outPath   = fs.String("out", "", "soak: write the JSON document here instead of BENCH_fleet.json")
 		basePath  = fs.String("baseline", "bench_fleet_baseline.json", "compare: committed baseline document")
 		curPath   = fs.String("current", "", "compare: freshly produced BENCH_fleet.json document")
 		maxReg    = fs.Float64("max-regress", 0.20, "compare: maximum tolerated throughput regression (fraction)")
+		minSpeed  = fs.Float64("min-resume-speedup", 0, "compare: minimum required resume_speedup in the current document (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +72,7 @@ func run(args []string) error {
 	switch fs.Arg(0) {
 	case "soak":
 	case "compare":
-		return runCompare(*basePath, *curPath, *maxReg)
+		return runCompare(*basePath, *curPath, *maxReg, *minSpeed)
 	default:
 		return fmt.Errorf("unknown subcommand %q (want soak or compare)", fs.Arg(0))
 	}
@@ -85,12 +89,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	pad, err := ot.ResolvePad(*padName)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		Seed:         *seed,
 		Group:        g,
 		Parallelism:  *par,
 		FieldBackend: fb,
 		WireCodec:    wc,
+		PadFunc:      pad,
 	}
 	params := experiments.FleetParams{
 		Replicas:             *replicas,
@@ -100,6 +109,8 @@ func run(args []string) error {
 		Inflight:             *inflight,
 		Transport:            *trans,
 		HandshakeConcurrency: *handshake,
+		SessionsPerClient:    *sessions,
+		Resume:               *resume,
 	}
 
 	fmt.Fprintf(os.Stderr, "soaking %d replica(s) with %d clients x %d queries (batch %d, inflight %d, %s transport)...\n",
@@ -130,6 +141,14 @@ func run(args []string) error {
 		doc.Queries, time.Duration(doc.WallNS).Round(time.Millisecond), doc.ThroughputQPS,
 		time.Duration(doc.BatchP50NS).Round(time.Microsecond), time.Duration(doc.BatchP99NS).Round(time.Microsecond),
 		doc.Routed, doc.Shed, doc.Failovers, doc.Retries)
+	fmt.Printf("  handshake full p50 %v p99 %v",
+		time.Duration(doc.HandshakeFullP50NS).Round(time.Microsecond), time.Duration(doc.HandshakeFullP99NS).Round(time.Microsecond))
+	if doc.SessionsResumed > 0 {
+		fmt.Printf(" | resumed p50 %v p99 %v (%d resumed, %d rejected, %.1fx speedup)",
+			time.Duration(doc.HandshakeResumedP50NS).Round(time.Microsecond), time.Duration(doc.HandshakeResumedP99NS).Round(time.Microsecond),
+			doc.SessionsResumed, doc.ResumeRejected, doc.ResumeSpeedup)
+	}
+	fmt.Println()
 	for i, n := range doc.ReplicaRouted {
 		fmt.Printf("  replica %d: %d session(s)\n", i, n)
 	}
@@ -148,7 +167,7 @@ func readFleetDoc(path string) (*experiments.FleetBenchDoc, error) {
 	return &doc, nil
 }
 
-func runCompare(basePath, curPath string, maxRegress float64) error {
+func runCompare(basePath, curPath string, maxRegress, minSpeedup float64) error {
 	if curPath == "" {
 		return fmt.Errorf("compare: -current is required")
 	}
@@ -163,7 +182,22 @@ func runCompare(basePath, curPath string, maxRegress float64) error {
 	if err := experiments.CompareFleet(base, cur, maxRegress); err != nil {
 		return err
 	}
-	fmt.Printf("fleet compare: ok (%.1f qps baseline -> %.1f qps current, gate %.0f%%)\n",
+	if minSpeedup > 0 {
+		if cur.SessionsResumed == 0 {
+			return fmt.Errorf("fleet compare: resume gate %.1fx requested but the current document resumed no sessions", minSpeedup)
+		}
+		if cur.ResumeSpeedup < minSpeedup {
+			return fmt.Errorf("fleet compare: resume_speedup %.2fx below the %.1fx gate (full p50 %v, resumed p50 %v)",
+				cur.ResumeSpeedup, minSpeedup,
+				time.Duration(cur.HandshakeFullP50NS).Round(time.Microsecond),
+				time.Duration(cur.HandshakeResumedP50NS).Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("fleet compare: ok (%.1f qps baseline -> %.1f qps current, gate %.0f%%",
 		base.ThroughputQPS, cur.ThroughputQPS, 100*maxRegress)
+	if minSpeedup > 0 {
+		fmt.Printf("; resume %.2fx >= %.1fx", cur.ResumeSpeedup, minSpeedup)
+	}
+	fmt.Println(")")
 	return nil
 }

@@ -63,6 +63,7 @@ func run(args []string) error {
 		backend    = fs.String("field-backend", "", "field arithmetic engine offered to clients: big (default) or limb")
 		codec      = fs.String("codec", "", "envelope codec policy: empty grants binary to capable clients with gob fallback; gob pins legacy gob-only envelopes")
 		padName    = fs.String("pad", "", "OT pad policy: empty grants the fixed-key AES pads to clients that offer them (SHA-256 otherwise); sha256 pins the legacy pads for every session")
+		resume     = fs.Bool("resume", true, "mint session resumption tickets for clients that offer them; false declines every offer and ticket (those clients fall back to full handshakes)")
 		seed       = fs.Uint64("seed", 1, "synthetic data seed")
 		c          = fs.Float64("C", 0, "soft-margin penalty (0 = dataset default)")
 		saveModel  = fs.String("save-model", "", "write the trained model (JSON) and continue serving")
@@ -161,6 +162,7 @@ func run(args []string) error {
 	}
 	srv := transport.NewServerSource(modelReg)
 	srv.MaxSessions = *maxSessions
+	srv.DisableResume = !*resume
 	switch *codec {
 	case "":
 		// Default policy: grant binary when offered, gob otherwise.

@@ -71,6 +71,47 @@ func (t *Trainer) NewFastSessionFor(spec Spec, setup *ot.IKNPBaseSetup, rng io.R
 	return &FastTrainer{session: session}, choice, nil
 }
 
+// ResumeFastClient rebuilds a client session from a snapshotted OT state
+// instead of running the base phase (session resumption: the transport
+// pairs this with the server's sealed ticket).
+func ResumeFastClient(spec Spec, state *ot.IKNPReceiverState) (*FastClient, error) {
+	client, err := NewClient(spec)
+	if err != nil {
+		return nil, err
+	}
+	params, err := spec.OMPEParams()
+	if err != nil {
+		return nil, err
+	}
+	session, err := ompe.ResumeSessionReceiver(params, state)
+	if err != nil {
+		return nil, err
+	}
+	return &FastClient{client: client, session: session}, nil
+}
+
+// ResumeFastSessionFor rebuilds the trainer side of a fast session bound
+// to a negotiated session spec from a snapshotted OT state (the state a
+// sealed resumption ticket carried). The trainer is the CURRENT one: only
+// crypto state resumes, never a stale model.
+func (t *Trainer) ResumeFastSessionFor(spec Spec, state *ot.IKNPSenderState) (*FastTrainer, error) {
+	params, err := t.sessionParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	session, err := ompe.ResumeSessionSender(params, t.eval, state)
+	if err != nil {
+		return nil, err
+	}
+	return &FastTrainer{session: session}, nil
+}
+
+// Snapshot captures the trainer session's OT position for resumption.
+func (ft *FastTrainer) Snapshot() (*ot.IKNPSenderState, error) { return ft.session.Snapshot() }
+
+// Snapshot captures the client session's OT position for resumption.
+func (fc *FastClient) Snapshot() (*ot.IKNPReceiverState, error) { return fc.session.Snapshot() }
+
 // Spec reports the session spec the client was built from (including the
 // negotiated wire codec and pad function).
 func (fc *FastClient) Spec() Spec { return fc.client.Spec() }

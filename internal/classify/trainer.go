@@ -53,6 +53,13 @@ type Spec struct {
 	// a per-session negotiation outcome, not part of the trainer's
 	// contract: legacy peers drop the unknown field and run SHA-256.
 	PadFunc string
+	// ResumeGranted reports that the server accepted the client's
+	// resumption ticket: both sides skip the base OT phase and restore
+	// the extension state the ticket sealed. A per-session negotiation
+	// outcome like WireCodec/PadFunc, never part of the trainer's
+	// contract; legacy peers drop the unknown field and run full
+	// handshakes.
+	ResumeGranted bool
 }
 
 // Codec reconstructs the protocol codec from the spec.
@@ -213,6 +220,7 @@ func (t *Trainer) sessionParams(spec Spec) (ompe.Params, error) {
 	contract.FieldBackend = t.spec.FieldBackend
 	contract.WireCodec = t.spec.WireCodec
 	contract.PadFunc = t.spec.PadFunc
+	contract.ResumeGranted = t.spec.ResumeGranted
 	if contract != t.spec {
 		return ompe.Params{}, fmt.Errorf("classify: session spec does not match the trainer's contract")
 	}

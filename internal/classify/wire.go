@@ -23,11 +23,17 @@ func (s *Spec) EncodeWire(w *wire.Writer) {
 	w.String(s.GroupName)
 	w.String(s.FieldBackend)
 	w.String(s.WireCodec)
-	// Optional tail (see wire.Reader.More): omitted for the legacy
-	// SHA-256 pad, so an un-negotiated Spec is byte-identical to a
-	// pre-negotiation build's and old recordings decode unchanged.
-	if s.PadFunc != "" {
+	// Optional tails (see wire.Reader.More), append-only: the pad tail is
+	// omitted for the legacy SHA-256 pad, so an un-negotiated Spec is
+	// byte-identical to a pre-negotiation build's and old recordings
+	// decode unchanged. The resume tail rides behind it; granting resume
+	// forces the pad tail present (possibly empty) so the two stay
+	// positionally unambiguous.
+	if s.PadFunc != "" || s.ResumeGranted {
 		w.String(s.PadFunc)
+	}
+	if s.ResumeGranted {
+		w.Bool(true)
 	}
 }
 
@@ -46,8 +52,12 @@ func (s *Spec) DecodeWire(r *wire.Reader) {
 	s.FieldBackend = r.String()
 	s.WireCodec = r.String()
 	s.PadFunc = ""
+	s.ResumeGranted = false
 	if r.More() {
 		s.PadFunc = r.String()
+	}
+	if r.More() {
+		s.ResumeGranted = r.Bool()
 	}
 }
 

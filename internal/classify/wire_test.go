@@ -22,6 +22,7 @@ func TestSpecWireRoundTrip(t *testing.T) {
 		FieldBackend:  "limb",
 		WireCodec:     "binary",
 		PadFunc:       "aes",
+		ResumeGranted: true,
 	}
 	data, err := in.MarshalBinary()
 	if err != nil {
@@ -48,12 +49,15 @@ func TestSpecWireRoundTrip(t *testing.T) {
 	if out2 != *in {
 		t.Fatalf("stream round trip mismatch")
 	}
-	// The pad field is an optional tail: cutting the encoding exactly
-	// before it yields a legacy (pre-negotiation) Spec encoding, which
-	// must decode cleanly to the pad-less spec. Every other prefix is a
-	// genuine truncation and must fail.
+	// The pad and resume fields are optional tails, append-only: cutting
+	// the encoding exactly before the pad tail yields a legacy
+	// (pre-negotiation) Spec encoding, and cutting before the resume tail
+	// yields a pad-era encoding; both must decode cleanly to the
+	// corresponding truncated spec. Every other prefix is a genuine
+	// truncation and must fail.
 	noPad := *in
 	noPad.PadFunc = ""
+	noPad.ResumeGranted = false
 	base, err := noPad.MarshalBinary()
 	if err != nil {
 		t.Fatalf("MarshalBinary (no pad): %v", err)
@@ -61,20 +65,37 @@ func TestSpecWireRoundTrip(t *testing.T) {
 	if !bytes.Equal(base, data[:len(base)]) {
 		t.Fatalf("pad tail is not an append-only extension")
 	}
+	noResume := *in
+	noResume.ResumeGranted = false
+	padEra, err := noResume.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary (no resume): %v", err)
+	}
+	if !bytes.Equal(padEra, data[:len(padEra)]) {
+		t.Fatalf("resume tail is not an append-only extension")
+	}
 	for n := 0; n < len(data); n++ {
 		var tr Spec
 		err := tr.UnmarshalBinary(data[:n])
-		if n == len(base) {
+		switch n {
+		case len(base):
 			if err != nil {
 				t.Fatalf("legacy-layout prefix failed to decode: %v", err)
 			}
 			if tr != noPad {
 				t.Fatalf("legacy-layout prefix decoded to %+v, want %+v", tr, noPad)
 			}
-			continue
-		}
-		if err == nil {
-			t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
+		case len(padEra):
+			if err != nil {
+				t.Fatalf("pad-era prefix failed to decode: %v", err)
+			}
+			if tr != noResume {
+				t.Fatalf("pad-era prefix decoded to %+v, want %+v", tr, noResume)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("prefix %d/%d decoded cleanly", n, len(data))
+			}
 		}
 	}
 }

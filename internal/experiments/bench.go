@@ -51,22 +51,22 @@ type BenchConfig struct {
 // `ppdc-bench -json`: end-to-end throughput plus the per-phase and
 // wire-volume breakdown the paper's §VI reports per protocol stage.
 type BenchDoc struct {
-	Schema        int                   `json:"schema"`
-	Name          string                `json:"name"`
-	Config        BenchConfig           `json:"config"`
-	Queries       int                   `json:"queries"`
-	WallNS        int64                 `json:"wall_ns"`
-	ThroughputQPS float64               `json:"throughput_qps"`
+	Schema        int         `json:"schema"`
+	Name          string      `json:"name"`
+	Config        BenchConfig `json:"config"`
+	Queries       int         `json:"queries"`
+	WallNS        int64       `json:"wall_ns"`
+	ThroughputQPS float64     `json:"throughput_qps"`
 	// BytesIn/BytesOut are the client's received/sent wire bytes (the
 	// role-split counters): in-process benches run both endpoints in one
 	// registry, so the role-less totals would double-count and report
 	// in == out tautologically.
-	BytesIn  int64 `json:"bytes_in"`
-	BytesOut int64 `json:"bytes_out"`
-	MsgsIn        int64                 `json:"msgs_in"`
-	MsgsOut       int64                 `json:"msgs_out"`
-	OTInstances   int64                 `json:"ot_instances"`
-	Phases        map[string]BenchPhase `json:"phases"`
+	BytesIn     int64                 `json:"bytes_in"`
+	BytesOut    int64                 `json:"bytes_out"`
+	MsgsIn      int64                 `json:"msgs_in"`
+	MsgsOut     int64                 `json:"msgs_out"`
+	OTInstances int64                 `json:"ot_instances"`
+	Phases      map[string]BenchPhase `json:"phases"`
 }
 
 // benchPhases lists the classify-path phases a round-trip bench must

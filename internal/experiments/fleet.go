@@ -32,6 +32,15 @@ const (
 	FleetTransportTCP = "tcp"
 )
 
+// benchDialTimeout is the gateway's per-replica dial budget during
+// soaks. The default (2s) is tuned for production failover, but a soak
+// deliberately saturates the host — with every core busy on handshake
+// crypto, a loopback accept can queue long enough to look like a dead
+// replica, and a momentary all-down verdict aborts the run with a
+// no-healthy-replicas answer. Replicas in the bench harness only die
+// when the harness kills them, so a generous budget trades nothing.
+const benchDialTimeout = 30 * time.Second
+
 // FleetParams sizes a fleet soak.
 type FleetParams struct {
 	// Replicas is the trainer replica count behind the gateway.
@@ -52,6 +61,16 @@ type FleetParams struct {
 	// phase from thrashing while changing nothing about the measured
 	// phase, where all clients run concurrently.
 	HandshakeConcurrency int
+	// SessionsPerClient is how many sessions each client runs in the
+	// measured phase (default 1). Above 1 the measured phase exercises
+	// the redial path: each round ends its session cleanly and the next
+	// query redials through the gateway — with Resume set, presenting
+	// the harvested ticket.
+	SessionsPerClient int
+	// Resume makes every client offer session resumption: the server
+	// mints a sealed ticket at clean session end, and the next dial
+	// presents it to skip the κ base OTs.
+	Resume bool
 }
 
 func (p FleetParams) withDefaults() FleetParams {
@@ -76,23 +95,29 @@ func (p FleetParams) withDefaults() FleetParams {
 	if p.HandshakeConcurrency < 1 {
 		p.HandshakeConcurrency = 128
 	}
+	if p.SessionsPerClient < 1 {
+		p.SessionsPerClient = 1
+	}
 	return p
 }
 
 // FleetConfig pins a fleet soak's workload inside its document so the CI
 // gate refuses apples-to-oranges comparisons.
 type FleetConfig struct {
-	Dataset          string `json:"dataset"`
-	Group            string `json:"group"`
-	Seed             uint64 `json:"seed"`
-	Parallelism      int    `json:"parallelism"`
-	Replicas         int    `json:"replicas"`
-	Clients          int    `json:"clients"`
-	QueriesPerClient int    `json:"queries_per_client"`
-	BatchSize        int    `json:"batch_size"`
-	Inflight         int    `json:"inflight"`
-	Transport        string `json:"transport"`
-	FieldBackend     string `json:"field_backend,omitempty"`
+	Dataset           string `json:"dataset"`
+	Group             string `json:"group"`
+	Seed              uint64 `json:"seed"`
+	Parallelism       int    `json:"parallelism"`
+	Replicas          int    `json:"replicas"`
+	Clients           int    `json:"clients"`
+	QueriesPerClient  int    `json:"queries_per_client"`
+	BatchSize         int    `json:"batch_size"`
+	Inflight          int    `json:"inflight"`
+	Transport         string `json:"transport"`
+	FieldBackend      string `json:"field_backend,omitempty"`
+	PadFunc           string `json:"pad_func,omitempty"`
+	SessionsPerClient int    `json:"sessions_per_client"`
+	Resume            bool   `json:"resume,omitempty"`
 }
 
 // FleetBenchDoc is the schema-stable BENCH_fleet.json document: fleet
@@ -106,9 +131,24 @@ type FleetBenchDoc struct {
 	WallNS        int64       `json:"wall_ns"`
 	ThroughputQPS float64     `json:"throughput_qps"`
 	// Batch latency quantiles over the measured phase (per pipelined
-	// batch round trip, nanoseconds).
+	// batch round trip, nanoseconds). Measured-phase observations land
+	// in a registry swapped in fresh after the connect barrier, so
+	// connect-storm handshakes cannot pollute these quantiles.
 	BatchP50NS int64 `json:"batch_p50_ns"`
 	BatchP99NS int64 `json:"batch_p99_ns"`
+	// Handshake latency quantiles over the whole run (nanoseconds),
+	// split by path: full runs the κ base OTs, resumed restores the
+	// extension state from a ticket.
+	HandshakeFullP50NS    int64 `json:"handshake_full_p50_ns"`
+	HandshakeFullP99NS    int64 `json:"handshake_full_p99_ns"`
+	HandshakeResumedP50NS int64 `json:"handshake_resumed_p50_ns,omitempty"`
+	HandshakeResumedP99NS int64 `json:"handshake_resumed_p99_ns,omitempty"`
+	// SessionsResumed and ResumeRejected are the server-side resumption
+	// ledger; ResumeSpeedup is full handshake p50 over resumed p50
+	// (0 when nothing resumed).
+	SessionsResumed int64   `json:"sessions_resumed"`
+	ResumeRejected  int64   `json:"resume_rejected"`
+	ResumeSpeedup   float64 `json:"resume_speedup,omitempty"`
 	// Gateway ledger: sessions routed/shed/drained, dial failovers, and
 	// client-side session redials over the whole run.
 	Routed    int64 `json:"routed"`
@@ -189,6 +229,7 @@ func startFleet(opts Options, p FleetParams) (*fleetHarness, [][]float64, error)
 		gw, err := gateway.New(replicaAddrs, gateway.Options{
 			Dial:           gwDial,
 			HealthInterval: time.Second,
+			DialTimeout:    benchDialTimeout,
 			Logf:           func(string, ...any) {},
 		})
 		if err != nil {
@@ -214,6 +255,7 @@ func startFleet(opts Options, p FleetParams) (*fleetHarness, [][]float64, error)
 		}
 		gw, err := gateway.New(replicaAddrs, gateway.Options{
 			HealthInterval: time.Second,
+			DialTimeout:    benchDialTimeout,
 			Logf:           func(string, ...any) {},
 		})
 		if err != nil {
@@ -270,6 +312,8 @@ func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
 	clientOpts := transport.Options{
 		FieldBackend:    string(opts.FieldBackend),
 		WireCodec:       opts.WireCodec,
+		PadFunc:         string(opts.PadFunc),
+		OfferResume:     p.Resume,
 		MessageDeadline: transport.NoDeadline,
 	}
 
@@ -302,9 +346,15 @@ func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
 		return nil, *errp
 	}
 
-	// The measured phase observes only its own batches: delta the batch
-	// histogram against the post-connect snapshot.
-	before := mreg.Snapshot()
+	// The measured phase observes only its own work: swap in a FRESH
+	// registry after the connect barrier. A histogram delta cannot do
+	// this — Min/Max carry over from the combined snapshot, and Quantile
+	// clamps into [Min, Max], so one connect-storm handshake would pin
+	// the measured batch p99 at handshake latency. A fresh registry has
+	// no history to clamp to.
+	connectSnap := mreg.Snapshot()
+	loadReg := obs.NewRegistry()
+	obs.SetDefault(loadReg)
 
 	perClient := make([][]float64, p.QueriesPerClient)
 	for i := range perClient {
@@ -318,9 +368,22 @@ func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
 		go func(i int, fc *gateway.FleetClient) {
 			defer loadWG.Done()
 			<-start
-			if _, err := fc.ClassifyPipelined(context.Background(), perClient, p.BatchSize, p.Inflight); err != nil {
-				err = fmt.Errorf("fleet: client %d load: %w", i, err)
-				loadErr.CompareAndSwap(nil, &err)
+			for s := 0; s < p.SessionsPerClient; s++ {
+				if s > 0 {
+					// End the previous session cleanly (harvesting the
+					// resumption ticket when offered) so the next query
+					// redials through the gateway.
+					if err := fc.Close(); err != nil {
+						err = fmt.Errorf("fleet: client %d session %d close: %w", i, s, err)
+						loadErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+				if _, err := fc.ClassifyPipelined(context.Background(), perClient, p.BatchSize, p.Inflight); err != nil {
+					err = fmt.Errorf("fleet: client %d session %d load: %w", i, s, err)
+					loadErr.CompareAndSwap(nil, &err)
+					return
+				}
 			}
 		}(i, fc)
 	}
@@ -338,37 +401,55 @@ func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
 		_ = fc.Close()
 	}
 
-	after := mreg.Snapshot()
-	batchHist := histDelta(before.Histograms[obs.PhaseClassifyBatch], after.Histograms[obs.PhaseClassifyBatch])
+	loadSnap := loadReg.Snapshot()
+	batchHist := loadSnap.Histograms[obs.PhaseClassifyBatch]
+	// Handshakes span both phases (connect storms run full handshakes,
+	// measured rounds redial), so merge the two registries' views.
+	fullHist := histMerge(connectSnap.Histograms[obs.PhaseHandshakeFull], loadSnap.Histograms[obs.PhaseHandshakeFull])
+	resumedHist := histMerge(connectSnap.Histograms[obs.PhaseHandshakeResumed], loadSnap.Histograms[obs.PhaseHandshakeResumed])
+	sessionsResumed := connectSnap.Counters[obs.CtrSessionsResumed] + loadSnap.Counters[obs.CtrSessionsResumed]
+	resumeRejected := connectSnap.Counters[obs.CtrResumeRejected] + loadSnap.Counters[obs.CtrResumeRejected]
 	stats := h.gw.Stats()
 
-	queries := p.Clients * p.QueriesPerClient
+	queries := p.Clients * p.QueriesPerClient * p.SessionsPerClient
 	doc := &FleetBenchDoc{
 		Schema: BenchSchemaVersion,
 		Name:   "fleet_soak",
 		Config: FleetConfig{
-			Dataset:          "diabetes",
-			Group:            opts.Group.Name(),
-			Seed:             opts.Seed,
-			Parallelism:      opts.Parallelism,
-			Replicas:         p.Replicas,
-			Clients:          p.Clients,
-			QueriesPerClient: p.QueriesPerClient,
-			BatchSize:        p.BatchSize,
-			Inflight:         p.Inflight,
-			Transport:        p.Transport,
-			FieldBackend:     backendConfigName(opts.FieldBackend),
+			Dataset:           "diabetes",
+			Group:             opts.Group.Name(),
+			Seed:              opts.Seed,
+			Parallelism:       opts.Parallelism,
+			Replicas:          p.Replicas,
+			Clients:           p.Clients,
+			QueriesPerClient:  p.QueriesPerClient,
+			BatchSize:         p.BatchSize,
+			Inflight:          p.Inflight,
+			Transport:         p.Transport,
+			FieldBackend:      backendConfigName(opts.FieldBackend),
+			PadFunc:           string(opts.PadFunc),
+			SessionsPerClient: p.SessionsPerClient,
+			Resume:            p.Resume,
 		},
-		Queries:       queries,
-		WallNS:        int64(wall),
-		ThroughputQPS: float64(queries) / wall.Seconds(),
-		BatchP50NS:    batchHist.Quantile(0.50),
-		BatchP99NS:    batchHist.Quantile(0.99),
-		Routed:        stats.Routed,
-		Shed:          stats.Shed,
-		Drained:       stats.Drained,
-		Failovers:     stats.Failovers,
-		Retries:       retries,
+		Queries:               queries,
+		WallNS:                int64(wall),
+		ThroughputQPS:         float64(queries) / wall.Seconds(),
+		BatchP50NS:            batchHist.Quantile(0.50),
+		BatchP99NS:            batchHist.Quantile(0.99),
+		HandshakeFullP50NS:    fullHist.Quantile(0.50),
+		HandshakeFullP99NS:    fullHist.Quantile(0.99),
+		HandshakeResumedP50NS: resumedHist.Quantile(0.50),
+		HandshakeResumedP99NS: resumedHist.Quantile(0.99),
+		SessionsResumed:       sessionsResumed,
+		ResumeRejected:        resumeRejected,
+		Routed:                stats.Routed,
+		Shed:                  stats.Shed,
+		Drained:               stats.Drained,
+		Failovers:             stats.Failovers,
+		Retries:               retries,
+	}
+	if resumedHist.Count > 0 && doc.HandshakeResumedP50NS > 0 {
+		doc.ResumeSpeedup = float64(doc.HandshakeFullP50NS) / float64(doc.HandshakeResumedP50NS)
 	}
 	for _, r := range stats.Replicas {
 		doc.ReplicaRouted = append(doc.ReplicaRouted, r.Routed)
@@ -379,30 +460,44 @@ func BenchFleet(opts Options, p FleetParams) (*FleetBenchDoc, error) {
 	return doc, nil
 }
 
-// histDelta subtracts one snapshot of a histogram from a later one,
-// yielding the observations that landed in between. Min/Max carry over
-// from the later snapshot (they cannot be un-merged, and Quantile only
-// uses them to clamp interpolation to the observed range).
-func histDelta(before, after obs.HistSnapshot) obs.HistSnapshot {
-	d := obs.HistSnapshot{
-		Count: after.Count - before.Count,
-		Sum:   after.Sum - before.Sum,
-		Min:   after.Min,
-		Max:   after.Max,
+// histMerge adds two snapshots of the same histogram taken from
+// different registries (the connect-phase registry and the fresh
+// measured-phase registry), yielding the union of their observations.
+func histMerge(a, b obs.HistSnapshot) obs.HistSnapshot {
+	if a.Count == 0 {
+		return b
 	}
-	d.Buckets = make([]int64, len(after.Buckets))
-	copy(d.Buckets, after.Buckets)
-	for i := range before.Buckets {
-		if i < len(d.Buckets) {
-			d.Buckets[i] -= before.Buckets[i]
-		}
+	if b.Count == 0 {
+		return a
 	}
-	return d
+	m := obs.HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Min: a.Min, Max: a.Max}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	m.Buckets = make([]int64, n)
+	for i := range a.Buckets {
+		m.Buckets[i] += a.Buckets[i]
+	}
+	for i := range b.Buckets {
+		m.Buckets[i] += b.Buckets[i]
+	}
+	return m
 }
 
 // CompareFleet gates a fleet soak against its committed baseline: it
 // fails when fleet throughput regressed by more than maxRegress, and
 // refuses comparisons across different schemas, workloads, or configs.
+// Resume is the one config dimension a comparison may cross: resumption
+// is a handshake-path optimization, not a workload change, and gating a
+// resumed soak against the full-handshake baseline of the same shape is
+// exactly what the CI gate does.
 func CompareFleet(baseline, current *FleetBenchDoc, maxRegress float64) error {
 	if baseline == nil || current == nil {
 		return fmt.Errorf("fleet compare: nil document")
@@ -413,7 +508,9 @@ func CompareFleet(baseline, current *FleetBenchDoc, maxRegress float64) error {
 	if baseline.Name != current.Name {
 		return fmt.Errorf("fleet compare: workload %q vs %q", baseline.Name, current.Name)
 	}
-	if baseline.Config != current.Config {
+	bCfg, cCfg := baseline.Config, current.Config
+	bCfg.Resume, cCfg.Resume = false, false
+	if bCfg != cCfg {
 		return fmt.Errorf("fleet compare: config mismatch (%+v vs %+v)", baseline.Config, current.Config)
 	}
 	if baseline.ThroughputQPS <= 0 {

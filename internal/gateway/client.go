@@ -34,7 +34,16 @@ type FleetClient struct {
 	client  *transport.FastClassifyClient
 	conn    net.Conn
 	retries atomic.Int64
+	// resume caches the state harvested at the last clean Close when the
+	// options offer resumption; the next dial presents it (single-use —
+	// consumed whether or not the server grants it).
+	resume  *transport.ResumeState
+	resumed atomic.Int64
 }
+
+// Resumed reports how many of this client's sessions skipped the base
+// phase by presenting a ticket.
+func (c *FleetClient) Resumed() int64 { return c.resumed.Load() }
 
 // NewFleetClient builds a client that reaches the gateway at addr via
 // dial (nil dials TCP with opts' retry policy). retryMax bounds redial
@@ -64,10 +73,18 @@ func (c *FleetClient) session(ctx context.Context) (*transport.FastClassifyClien
 	if err != nil {
 		return nil, fmt.Errorf("gateway: fleet dial: %w", err)
 	}
-	cl, err := transport.NewFastClassifyClientContext(ctx, nc, c.opts, c.rng)
+	opts := c.opts
+	if c.resume != nil {
+		opts.Resume = c.resume
+		c.resume = nil
+	}
+	cl, err := transport.NewFastClassifyClientContext(ctx, nc, opts, c.rng)
 	if err != nil {
 		_ = nc.Close()
 		return nil, err
+	}
+	if cl.Resumed() {
+		c.resumed.Add(1)
 	}
 	c.client = cl
 	c.conn = nc
@@ -148,12 +165,17 @@ func (c *FleetClient) retry(ctx context.Context, op func(*transport.FastClassify
 	return nil, fmt.Errorf("gateway: fleet query failed after %d redial(s): %w", c.retries.Load(), lastErr)
 }
 
-// Close ends the current session, if any.
+// Close ends the current session, if any, harvesting its resumption
+// state for the next dial (sessions end but the client object lives on:
+// the per-query methods transparently redial).
 func (c *FleetClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.client != nil {
 		err := c.client.Close()
+		if st := c.client.ResumeState(); st != nil {
+			c.resume = st
+		}
 		c.client = nil
 		c.conn = nil
 		return err

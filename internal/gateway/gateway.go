@@ -112,6 +112,22 @@ type replica struct {
 	draining atomic.Bool
 	active   atomic.Int64
 	routed   atomic.Int64
+	// affinity counts sessions that landed here because they presented a
+	// ticket this replica minted.
+	affinity atomic.Int64
+	// mintID is the replica's ticket-minting identity as learned by the
+	// health prober (stored as a string for atomicity; empty = unknown).
+	mintID atomic.Value
+}
+
+// setMintID publishes the prober-learned minting identity.
+func (r *replica) setMintID(id []byte) { r.mintID.Store(string(id)) }
+
+// mintIDEquals reports whether the replica's known minting identity
+// matches id (false while unknown).
+func (r *replica) mintIDEquals(id []byte) bool {
+	known, _ := r.mintID.Load().(string)
+	return known != "" && known == string(id)
 }
 
 // Gateway shards client sessions across trainer replicas.
@@ -119,10 +135,12 @@ type Gateway struct {
 	opts     Options
 	replicas []*replica
 
-	routed    atomic.Int64
-	shed      atomic.Int64
-	failovers atomic.Int64
-	drained   atomic.Int64
+	routed         atomic.Int64
+	shed           atomic.Int64
+	failovers      atomic.Int64
+	drained        atomic.Int64
+	affinityHits   atomic.Int64
+	affinityMisses atomic.Int64
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -180,25 +198,80 @@ func (g *Gateway) Serve(ln net.Listener) error {
 
 // ServeConn routes one accepted client connection (exported so in-memory
 // fleets can feed pipe connections in without a listener).
+//
+// The gateway peeks the client's Hello before picking a replica: a
+// session presenting a resumption ticket is steered to the replica whose
+// mint ID (learned by the health prober) matches the ticket's cleartext
+// header, since only the minting process holds the sealing key. Every
+// byte the peek consumes is recorded and replayed to the chosen replica
+// verbatim, so the replica still sees the pristine client stream and the
+// splice semantics are unchanged. A ticket whose minter is unknown,
+// down, or draining routes least-loaded as before — the receiving
+// replica declines the foreign ticket into a full handshake.
 func (g *Gateway) ServeConn(client net.Conn) {
 	if err := g.register(client); err != nil {
 		g.reject(client, err)
 		return
 	}
 	defer g.deregister(client)
-	upstream, rep, err := g.dialReplica(context.Background())
+	rec := &recordingConn{Conn: client}
+	var mintID []byte
+	if hello, err := transport.PeekHello(rec); err == nil {
+		if id, ok := transport.TicketMintID(hello.ResumeTicket); ok {
+			mintID = id
+		}
+	} else {
+		// An unreadable Hello still routes: the replica owns protocol
+		// errors, the gateway only moves bytes.
+		g.logf("gateway: peek hello: %v", err)
+	}
+	upstream, rep, err := g.dialReplica(context.Background(), mintID)
 	if err != nil {
-		g.reject(client, err)
+		g.rejectHelloConsumed(client, err)
 		return
+	}
+	if mintID != nil {
+		if rep.mintIDEquals(mintID) {
+			rep.affinity.Add(1)
+			g.affinityHits.Add(1)
+			obs.Add(obs.CtrGatewayResumeAffinity, 1)
+		} else {
+			g.affinityMisses.Add(1)
+			obs.Add(obs.CtrGatewayResumeMisses, 1)
+		}
 	}
 	rep.routed.Add(1)
 	g.routed.Add(1)
 	obs.Add(obs.CtrGatewayRouted, 1)
 	obs.Set(obs.GaugeReplicaSessions(rep.index), rep.active.Load())
-	g.splice(client, upstream)
+	// Replay what the peek consumed before splicing live traffic.
+	if _, err := upstream.Write(rec.recorded()); err != nil {
+		g.logf("gateway: replay hello: %v", err)
+		_ = client.Close()
+		_ = upstream.Close()
+	} else {
+		g.splice(client, upstream)
+	}
 	rep.active.Add(-1)
 	obs.Set(obs.GaugeReplicaSessions(rep.index), rep.active.Load())
 }
+
+// recordingConn captures every byte read from the client so the Hello
+// peek can be replayed to the chosen replica.
+type recordingConn struct {
+	net.Conn
+	buf []byte
+}
+
+func (rc *recordingConn) Read(p []byte) (int, error) {
+	n, err := rc.Conn.Read(p)
+	if n > 0 {
+		rc.buf = append(rc.buf, p[:n]...)
+	}
+	return n, err
+}
+
+func (rc *recordingConn) recorded() []byte { return rc.buf }
 
 // register admits a session under the drain flag and the shed cap.
 func (g *Gateway) register(client net.Conn) error {
@@ -240,16 +313,39 @@ func (g *Gateway) reject(client net.Conn, cause error) {
 	_ = conn.Close()
 }
 
+// rejectHelloConsumed is reject for the post-peek path: the client's
+// Hello has already been read off the stream, so only the error goes out.
+func (g *Gateway) rejectHelloConsumed(client net.Conn, cause error) {
+	g.logf("gateway: reject session: %v", cause)
+	conn := transport.NewConn(client)
+	conn.SetMessageDeadline(5 * time.Second)
+	_ = conn.SendErr(cause)
+	_ = conn.Close()
+}
+
 // dialReplica picks a replica and dials it, failing over down the
 // preference order (least active sessions first, among healthy
-// non-draining replicas). A replica whose dial fails is marked down on
-// the spot — the prober revives it — and any session that lands past its
-// first choice counts as a failover.
-func (g *Gateway) dialReplica(ctx context.Context) (net.Conn, *replica, error) {
+// non-draining replicas; a matching ticket mint moves its replica to the
+// front). A replica whose dial fails is marked down on the spot — the
+// prober revives it — and any session that lands past its first choice
+// counts as a failover.
+func (g *Gateway) dialReplica(ctx context.Context, mintID []byte) (net.Conn, *replica, error) {
 	order := g.routeOrder()
 	if len(order) == 0 {
 		obs.Add(obs.CtrGatewayUnrouteable, 1)
 		return nil, nil, ErrNoReplicas
+	}
+	if len(mintID) > 0 {
+		// Ticket affinity: prefer the minting replica, keeping the
+		// least-loaded order behind it as the transparent fallback chain
+		// (the fallback replica declines the ticket into a full handshake).
+		for i, rep := range order {
+			if rep.mintIDEquals(mintID) {
+				copy(order[1:i+1], order[:i])
+				order[0] = rep
+				break
+			}
+		}
 	}
 	for i, rep := range order {
 		// Reserve the session slot before dialing: concurrent arrivals
@@ -317,31 +413,63 @@ func (g *Gateway) publishHealth() {
 	obs.Set(obs.GaugeGatewayHealthy, healthy)
 }
 
-// probeLoop sweeps the replicas on the health interval: each probe is a
-// dial-and-close. Probing runs for down replicas (to revive them) and up
+// probeLoop sweeps the replicas on the health interval: each probe dials
+// and runs the cheap "resume-info" whoami to learn the replica's ticket
+// mint identity. Probing runs for down replicas (to revive them) and up
 // ones (to catch silent deaths before a client session pays the dial
-// timeout).
+// timeout). A replica that answers the dial but errors the whoami — a
+// legacy build, or one with resumption disabled — still counts alive; it
+// just never attracts ticket affinity. The first sweep runs immediately
+// so mint identities are known before the first resuming redial, not one
+// interval in.
 func (g *Gateway) probeLoop() {
 	ticker := time.NewTicker(g.opts.HealthInterval)
 	defer ticker.Stop()
 	for {
+		g.probeSweep()
 		select {
 		case <-g.stopCh:
 			return
 		case <-ticker.C:
 		}
-		for _, rep := range g.replicas {
-			ctx, cancel := context.WithTimeout(context.Background(), g.opts.DialTimeout)
-			conn, err := g.opts.Dial(ctx, rep.addr)
-			cancel()
-			if err != nil {
-				g.markDown(rep, err)
-				continue
-			}
-			_ = conn.Close()
-			g.markUp(rep)
-		}
 	}
+}
+
+// probeSweep probes every replica once.
+func (g *Gateway) probeSweep() {
+	for _, rep := range g.replicas {
+		ctx, cancel := context.WithTimeout(context.Background(), g.opts.DialTimeout)
+		conn, err := g.opts.Dial(ctx, rep.addr)
+		cancel()
+		if err != nil {
+			g.markDown(rep, err)
+			continue
+		}
+		g.probeMintID(rep, conn)
+		g.markUp(rep)
+	}
+}
+
+// probeMintID runs the resume-info exchange on an established probe
+// connection, updating the replica's known mint identity. It owns the
+// connection and closes it.
+func (g *Gateway) probeMintID(rep *replica, conn net.Conn) {
+	tc := transport.NewConn(conn)
+	tc.SetMessageDeadline(g.opts.DialTimeout)
+	defer func() { _ = tc.Close() }()
+	if err := tc.Send(&transport.Hello{Service: "resume-info"}); err != nil {
+		return
+	}
+	info, err := transport.Recv[*transport.ResumeInfo](tc)
+	if err != nil {
+		// A definitive "no" (legacy service table, resumption disabled)
+		// clears any stale identity; transport noise keeps the last one.
+		if errors.Is(err, transport.ErrRemote) {
+			rep.setMintID(nil)
+		}
+		return
+	}
+	rep.setMintID(info.MintID)
 }
 
 // SetDraining marks a replica as draining (true: routing skips it while
@@ -437,6 +565,9 @@ type ReplicaStats struct {
 	Draining bool   `json:"draining"`
 	Active   int64  `json:"active"`
 	Routed   int64  `json:"routed"`
+	// Affinity counts sessions that landed here via ticket affinity
+	// (Routed - Affinity is this replica's full-handshake intake).
+	Affinity int64 `json:"affinity"`
 }
 
 // Stats is a point-in-time fleet snapshot.
@@ -446,15 +577,22 @@ type Stats struct {
 	Shed      int64          `json:"shed"`
 	Failovers int64          `json:"failovers"`
 	Drained   int64          `json:"drained"`
+	// AffinityHits / AffinityMisses split ticket-bearing sessions into
+	// those steered to their minting replica and those routed elsewhere
+	// (minting replica unknown, down, draining, or failed to dial).
+	AffinityHits   int64 `json:"affinity_hits"`
+	AffinityMisses int64 `json:"affinity_misses"`
 }
 
 // Stats snapshots the gateway's routing state.
 func (g *Gateway) Stats() Stats {
 	s := Stats{
-		Routed:    g.routed.Load(),
-		Shed:      g.shed.Load(),
-		Failovers: g.failovers.Load(),
-		Drained:   g.drained.Load(),
+		Routed:         g.routed.Load(),
+		Shed:           g.shed.Load(),
+		Failovers:      g.failovers.Load(),
+		Drained:        g.drained.Load(),
+		AffinityHits:   g.affinityHits.Load(),
+		AffinityMisses: g.affinityMisses.Load(),
 	}
 	for _, rep := range g.replicas {
 		s.Replicas = append(s.Replicas, ReplicaStats{
@@ -463,6 +601,7 @@ func (g *Gateway) Stats() Stats {
 			Draining: rep.draining.Load(),
 			Active:   rep.active.Load(),
 			Routed:   rep.routed.Load(),
+			Affinity: rep.affinity.Load(),
 		})
 	}
 	return s

@@ -113,6 +113,19 @@ func startTestFleet(t *testing.T, replicas int, gwOpts Options) *testFleet {
 	f.gwLn = f.network.Listen("gateway")
 	go func() { _ = gw.Serve(f.gwLn) }()
 
+	// The prober's startup sweep runs concurrently with the test body;
+	// wait for it to learn every replica's mint ID (all replicas are up
+	// at this point) so tests that kill listeners or count failovers
+	// aren't racing the initial probe.
+	waitFor(t, 5*time.Second, func() bool {
+		for _, rep := range gw.replicas {
+			if known, _ := rep.mintID.Load().(string); known == "" {
+				return false
+			}
+		}
+		return true
+	})
+
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

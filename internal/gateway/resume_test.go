@@ -1,0 +1,143 @@
+package gateway
+
+// Fleet-level resumption: ticket affinity routing, fallback after the
+// minting replica dies (the chaos case), and hot-swap semantics —
+// resumption restores crypto state, never a stale model. All of this
+// runs under -race via the normal test target.
+
+import (
+	"context"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// newResumeClient is newClient with resumption offered: each clean Close
+// harvests a ticket and the next redial presents it.
+func (f *testFleet) newResumeClient() *FleetClient {
+	return NewFleetClient(f.dial, "gateway",
+		transport.Options{MessageDeadline: 10 * time.Second, OfferResume: true}, rand.Reader, 2)
+}
+
+// warmTicket runs one full session to completion and closes it, leaving
+// the client holding a ticket for the replica that served it.
+func (f *testFleet) warmTicket(c *FleetClient) {
+	f.t.Helper()
+	labels, err := c.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		f.t.Fatalf("warm session: %v", err)
+	}
+	if err := f.checkPredictions(labels, 0); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		f.t.Fatalf("warm close: %v", err)
+	}
+}
+
+// TestFleetResumeAffinity: a redialing ticket holder must land on the
+// replica that minted the ticket (only that process can unseal it), even
+// when least-loaded routing would have picked the other one.
+func TestFleetResumeAffinity(t *testing.T) {
+	f := startTestFleet(t, 2, Options{})
+
+	c := f.newResumeClient()
+	defer func() { _ = c.Close() }()
+	f.warmTicket(c)
+
+	labels, err := c.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		t.Fatalf("redial session: %v", err)
+	}
+	if err := f.checkPredictions(labels, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Resumed(); got != 1 {
+		t.Fatalf("resumed sessions = %d, want 1", got)
+	}
+	stats := f.gw.Stats()
+	if stats.AffinityHits != 1 || stats.AffinityMisses != 0 {
+		t.Fatalf("affinity hits/misses = %d/%d, want 1/0", stats.AffinityHits, stats.AffinityMisses)
+	}
+	var affinity int64
+	for _, r := range stats.Replicas {
+		affinity += r.Affinity
+	}
+	if affinity != 1 {
+		t.Fatalf("per-replica affinity total = %d, want 1 (%+v)", affinity, stats.Replicas)
+	}
+}
+
+// TestFleetResumeReplicaDeathFallback is the chaos case: the minting
+// replica dies between sessions, so the redial fails over to the
+// survivor, which cannot unseal a foreign ticket — the session silently
+// completes as a full handshake with correct answers.
+func TestFleetResumeReplicaDeathFallback(t *testing.T) {
+	f := startTestFleet(t, 2, Options{DialTimeout: time.Second})
+
+	c := f.newResumeClient()
+	defer func() { _ = c.Close() }()
+	f.warmTicket(c)
+
+	minter := -1
+	for i, r := range f.gw.Stats().Replicas {
+		if r.Routed == 1 {
+			minter = i
+		}
+	}
+	if minter < 0 {
+		t.Fatal("could not locate the minting replica")
+	}
+	f.killReplica(minter)
+
+	labels, err := c.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		t.Fatalf("redial after replica death: %v", err)
+	}
+	if err := f.checkPredictions(labels, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Resumed(); got != 0 {
+		t.Fatalf("resumed sessions = %d, want 0 (survivor cannot unseal a foreign ticket)", got)
+	}
+	stats := f.gw.Stats()
+	if stats.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", stats.Failovers)
+	}
+	if stats.AffinityMisses != 1 {
+		t.Errorf("affinity misses = %d, want 1", stats.AffinityMisses)
+	}
+	if stats.Replicas[minter].Healthy {
+		t.Error("dead minting replica still marked healthy")
+	}
+}
+
+// TestFleetResumeHotSwapServesCurrentModel pins the registry half of the
+// contract: a resumed session skips the base OTs but still captures the
+// model version current at redial time. A same-shape hot-swap between
+// sessions must not serve stale predictions — and must not break
+// resumption either, because the crypto contract (kernel shape, field,
+// group) is unchanged.
+func TestFleetResumeHotSwapServesCurrentModel(t *testing.T) {
+	f := startTestFleet(t, 1, Options{})
+
+	c := f.newResumeClient()
+	defer func() { _ = c.Close() }()
+	f.warmTicket(c)
+
+	if _, err := f.reg.Publish(f.model2); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := c.ClassifyBatch(context.Background(), f.samples)
+	if err != nil {
+		t.Fatalf("redial after hot-swap: %v", err)
+	}
+	if err := f.checkPredictions(labels, 1); err != nil {
+		t.Fatalf("resumed session served a stale model: %v", err)
+	}
+	if got := c.Resumed(); got != 1 {
+		t.Fatalf("resumed sessions = %d, want 1 (same-shape swap keeps the ticket valid)", got)
+	}
+}

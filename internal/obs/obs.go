@@ -167,6 +167,13 @@ const (
 	PhaseSimCentroid = "similarity.round.centroid_ns"
 	PhaseSimNormal   = "similarity.round.normal_ns"
 	PhaseSimArea     = "similarity.round.area_ns"
+
+	// PhaseHandshakeFull / PhaseHandshakeResumed time one fast-session
+	// client handshake (Hello through base-phase completion) split by
+	// outcome: full runs the κ base OTs, resumed restores from a ticket.
+	// The pair is the resumption speedup's measured substrate.
+	PhaseHandshakeFull    = "session.handshake_ns.full"
+	PhaseHandshakeResumed = "session.handshake_ns.resumed"
 )
 
 // Counter names.
@@ -219,6 +226,17 @@ const (
 	// CtrRegistrySwaps counts model hot-swaps published to a registry.
 	CtrRegistrySwaps = "registry.swaps"
 
+	// CtrSessionsResumed counts fast sessions the server restored from a
+	// resumption ticket (the base OT phase was skipped).
+	CtrSessionsResumed = "sessions.resumed"
+	// CtrResumeRejected counts presented tickets the server declined
+	// (expired, tampered, replayed, spec-mismatched, or unknown mint);
+	// each decline falls back to a full handshake.
+	CtrResumeRejected = "resume.rejected"
+	// CtrTicketsMinted counts resumption tickets minted at clean session
+	// ends.
+	CtrTicketsMinted = "transport.tickets_minted"
+
 	// CtrGatewayRouted counts sessions the gateway admitted and spliced
 	// to a replica.
 	CtrGatewayRouted = "gateway.sessions_routed"
@@ -237,6 +255,13 @@ const (
 	// CtrGatewayDrained counts spliced sessions force-closed when a
 	// gateway Shutdown budget expired.
 	CtrGatewayDrained = "gateway.sessions_drained"
+	// CtrGatewayResumeAffinity counts sessions the gateway routed to the
+	// replica that minted their presented ticket.
+	CtrGatewayResumeAffinity = "gateway.resume_affinity_hits"
+	// CtrGatewayResumeMisses counts ticket-bearing sessions routed
+	// elsewhere (minting replica unknown, unhealthy, or draining); the
+	// replica that receives them silently declines into a full handshake.
+	CtrGatewayResumeMisses = "gateway.resume_affinity_misses"
 )
 
 // Gauge names.

@@ -85,6 +85,48 @@ func NewSessionSenderBase(params Params, eval Evaluator, setup *ot.IKNPBaseSetup
 	return &SessionSender{params: params, eval: eval, iknp: iknp}, choice, nil
 }
 
+// ResumeSessionSender rebuilds a sender session from a snapshotted IKNP
+// state instead of running the base phase: the restored extension carries
+// its batch counter forward, so the session picks up exactly where the
+// snapshotted one stopped and never reuses a PRG column or pad.
+func ResumeSessionSender(params Params, eval Evaluator, state *ot.IKNPSenderState) (*SessionSender, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("%w: nil evaluator", ErrParams)
+	}
+	iknp, err := ot.RestoreIKNPSender(state)
+	if err != nil {
+		return nil, err
+	}
+	iknp.SetPad(params.Pad)
+	iknp.SetParallelism(params.Parallelism)
+	return &SessionSender{params: params, eval: eval, iknp: iknp}, nil
+}
+
+// ResumeSessionReceiver rebuilds a receiver session from a snapshotted
+// IKNP state (see ResumeSessionSender).
+func ResumeSessionReceiver(params Params, state *ot.IKNPReceiverState) (*SessionReceiver, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	iknp, err := ot.RestoreIKNPReceiver(state)
+	if err != nil {
+		return nil, err
+	}
+	iknp.SetPad(params.Pad)
+	iknp.SetParallelism(params.Parallelism)
+	return &SessionReceiver{params: params, iknp: iknp}, nil
+}
+
+// Snapshot captures the sender's IKNP position for resumption; it fails
+// while the base phase is incomplete.
+func (ss *SessionSender) Snapshot() (*ot.IKNPSenderState, error) { return ss.iknp.Snapshot() }
+
+// Snapshot captures the receiver's IKNP position for resumption.
+func (sr *SessionReceiver) Snapshot() (*ot.IKNPReceiverState, error) { return sr.iknp.Snapshot() }
+
 // FinishBaseReceiver completes the base phase on the receiver side.
 func (sr *SessionReceiver) FinishBaseReceiver(choice *ot.IKNPBaseChoice, rng io.Reader) (*ot.IKNPBaseTransfer, error) {
 	return sr.iknp.BaseRespond(choice, rng)

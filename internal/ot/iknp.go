@@ -67,6 +67,7 @@ type IKNPSenderMsg struct {
 type IKNPSender struct {
 	s       []byte // κ choice bits, packed
 	ciphers []cipher.Block
+	seeds   []byte  // κ recovered base seeds, flat 16-byte rows (kept for Snapshot)
 	batch   uint32  // lockstep batch counter: fresh PRG columns per batch
 	pad     PadFunc // negotiated row/tree pad family
 	par     int     // parallelism degree for the pure fan-out regions
@@ -87,8 +88,8 @@ type IKNPReceiver struct {
 	ciphers0 []cipher.Block
 	ciphers1 []cipher.Block
 	batch    uint32  // lockstep batch counter: fresh PRG columns per batch
-	pad     PadFunc // negotiated row/tree pad family
-	par     int     // parallelism degree for the pure fan-out regions
+	pad      PadFunc // negotiated row/tree pad family
+	par      int     // parallelism degree for the pure fan-out regions
 
 	baseSenders []*Sender // base-phase state, nil once finished
 }
@@ -228,6 +229,10 @@ func (s *IKNPSender) BaseFinish(tr *IKNPBaseTransfer) error {
 	if tr == nil || len(tr.Transfers) != iknpKappa || s.baseReceivers == nil {
 		return fmt.Errorf("%w: bad base transfer", ErrIKNP)
 	}
+	// Retain the recovered seeds alongside the expanded ciphers: a session
+	// snapshot (see resume.go) must carry the raw key material, because a
+	// cipher.Block cannot be serialized back into its key.
+	s.seeds = make([]byte, iknpKappa*treeKeyLen)
 	for i, r := range s.baseReceivers {
 		seed, err := r.Recover(tr.Transfers[i])
 		if err != nil {
@@ -236,6 +241,7 @@ func (s *IKNPSender) BaseFinish(tr *IKNPBaseTransfer) error {
 		if len(seed) != treeKeyLen {
 			return fmt.Errorf("%w: base seed %d has length %d", ErrIKNP, i, len(seed))
 		}
+		copy(s.seeds[i*treeKeyLen:], seed)
 		if s.ciphers[i], err = aes.NewCipher(seed); err != nil {
 			return err
 		}

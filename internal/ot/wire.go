@@ -488,4 +488,3 @@ func (m *ExtKofNBatchResponse) WriteTo(w io.Writer) (int64, error) { return wire
 
 // ReadFrom implements io.ReaderFrom.
 func (m *ExtKofNBatchResponse) ReadFrom(r io.Reader) (int64, error) { return wire.ReadFrom(r, m) }
-

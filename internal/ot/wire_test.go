@@ -59,6 +59,12 @@ func otWireSamples() map[string]wireMsg {
 		"ExtKofNBatchResponse": &ExtKofNBatchResponse{
 			IKNP: &IKNPSenderMsg{Y0: []byte{3}, Y1: []byte{4}, MsgLen: 1}, Cts: []byte{8, 8}, MsgLen: 2,
 		},
+		"IKNPSenderState": &IKNPSenderState{
+			S: bytes.Repeat([]byte{0xA5}, iknpKappa/8), Seeds: bytes.Repeat([]byte{0x3C}, iknpKappa*treeKeyLen), Batch: 7,
+		},
+		"IKNPReceiverState": &IKNPReceiverState{
+			Seed0: bytes.Repeat([]byte{0x11}, iknpKappa*treeKeyLen), Seed1: bytes.Repeat([]byte{0x22}, iknpKappa*treeKeyLen), Batch: 9,
+		},
 	}
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -320,7 +321,26 @@ type FastClassifyClient struct {
 	conn    *Conn
 	session *classify.FastClient
 	rand    io.Reader
+
+	// resumeOffered records that the Hello asked for a ticket; Close then
+	// waits for the server's SessionTicket answer to its Done.
+	resumeOffered bool
+	// resumed reports whether this session skipped the base phase.
+	resumed bool
+	// specSum digests the negotiated contract (for the next ticket).
+	specSum []byte
+	// resumeState is the harvested state after a clean Close.
+	resumeState *ResumeState
 }
+
+// Resumed reports whether this session restored a ticket and skipped the
+// base OT phase.
+func (c *FastClassifyClient) Resumed() bool { return c.resumed }
+
+// ResumeState returns the resumption state harvested at Close (nil when
+// no ticket was offered, granted by the server, or delivered). The state
+// is single-use: present it on exactly one redial.
+func (c *FastClassifyClient) ResumeState() *ResumeState { return c.resumeState }
 
 // WireCodec reports the envelope codec negotiated for this session
 // (CodecBinary or CodecGob).
@@ -345,8 +365,16 @@ func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, op
 	var session *classify.FastClient
 	offered := opts.offeredCodecs()
 	pads := opts.offeredPads()
+	offerResume := opts.OfferResume || opts.Resume != nil
+	var specSum []byte
+	resumed := false
+	start := time.Now()
 	err := conn.RunContext(ctx, func() error {
-		if err := conn.Send(&Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend(), WireCodecs: offered, PadFuncs: pads}); err != nil {
+		hello := &Hello{Service: "classify-fast", FieldBackend: opts.requestedBackend(), WireCodecs: offered, PadFuncs: pads, ResumeOffered: offerResume}
+		if opts.Resume != nil {
+			hello.ResumeTicket = opts.Resume.Ticket
+		}
+		if err := conn.Send(hello); err != nil {
 			return err
 		}
 		spec, err := Recv[*classify.Spec](conn)
@@ -361,6 +389,21 @@ func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, op
 		}
 		if err := conn.UseCodec(spec.WireCodec); err != nil {
 			return err
+		}
+		specSum = specResumeSum(*spec)
+		if spec.ResumeGranted {
+			if opts.Resume == nil {
+				return fmt.Errorf("%w: server granted resumption that was never offered", ErrResume)
+			}
+			if !bytes.Equal(specSum, opts.Resume.SpecSum) {
+				return fmt.Errorf("%w: granted contract diverges from the ticket's", ErrResume)
+			}
+			session, err = classify.ResumeFastClient(*spec, opts.Resume.Receiver)
+			if err != nil {
+				return err
+			}
+			resumed = true
+			return nil
 		}
 		var setup *ot.IKNPBaseSetup
 		session, setup, err = classify.NewFastClient(*spec, rng)
@@ -383,7 +426,12 @@ func NewFastClassifyClientContext(ctx context.Context, rw io.ReadWriteCloser, op
 	if err != nil {
 		return nil, err
 	}
-	return &FastClassifyClient{conn: conn, session: session, rand: rng}, nil
+	if resumed {
+		obs.Observe(obs.PhaseHandshakeResumed, time.Since(start).Nanoseconds())
+	} else {
+		obs.Observe(obs.PhaseHandshakeFull, time.Since(start).Nanoseconds())
+	}
+	return &FastClassifyClient{conn: conn, session: session, rand: rng, resumeOffered: offerResume, resumed: resumed, specSum: specSum}, nil
 }
 
 // DialClassifyFast connects over TCP and runs the base phase, retrying
@@ -439,9 +487,23 @@ func (c *FastClassifyClient) ClassifyContext(ctx context.Context, sample []float
 	return label, nil
 }
 
-// Close ends the session cleanly.
+// Close ends the session cleanly. When the session offered resumption,
+// Close waits for the server's ticket answer to the Done and harvests the
+// ResumeState; a legacy server just closes, which reads as "no ticket".
 func (c *FastClassifyClient) Close() error {
-	_ = c.conn.Send(&Done{})
+	err := c.conn.Send(&Done{})
+	if err == nil && c.resumeOffered {
+		if ticket, terr := Recv[*SessionTicket](c.conn); terr == nil && len(ticket.Ticket) > 0 {
+			if st, serr := c.session.Snapshot(); serr == nil {
+				c.resumeState = &ResumeState{
+					Ticket:   ticket.Ticket,
+					Receiver: st,
+					SpecSum:  c.specSum,
+					Service:  "classify-fast",
+				}
+			}
+		}
+	}
 	return c.conn.Close()
 }
 

@@ -91,6 +91,8 @@ func wireTypes() []any {
 		&ClassifyBatchSetups{},
 		&ClassifyBatchChoices{},
 		&ClassifyBatchTransfers{},
+		&SessionTicket{},
+		&ResumeInfo{},
 	}
 }
 
@@ -160,6 +162,17 @@ type Hello struct {
 	// which reads as SHA-256-only; the granted pad comes back in the
 	// spec's PadFunc field.
 	PadFuncs []string
+	// ResumeOffered asks the server to mint a resumption ticket at the
+	// clean end of this session. Legacy clients send nothing (gob omits
+	// the absent field), which reads as no offer; legacy servers drop the
+	// unknown field and mint nothing.
+	ResumeOffered bool
+	// ResumeTicket carries a sealed resumption ticket from a previous
+	// session. The server validates it and, on success, grants resumption
+	// in the spec (Spec.ResumeGranted) and both sides skip the base OT
+	// phase; on any failure it silently declines and the session runs a
+	// full handshake.
+	ResumeTicket []byte
 }
 
 // RoundHeader precedes each OMPE round of the similarity protocol.
@@ -577,6 +590,31 @@ func (c *Conn) RunContext(ctx context.Context, fn func() error) error {
 		return fmt.Errorf("%w: %w (%v)", ErrCanceled, ctxErr, err)
 	}
 	return err
+}
+
+// PeekHello decodes the session-opening Hello directly from a raw byte
+// stream. It exists for the gateway's ticket-affinity routing: the
+// gateway records every byte its decoder consumes from the client and
+// replays them verbatim to whichever replica it picks, so the replica
+// still sees the pristine client stream. The Hello always crosses in gob
+// (codec negotiation happens after it), and no client bytes follow it
+// until the server's spec reply, so the decoder's read-ahead can only
+// ever buffer Hello bytes — all of which the caller's recorder captured.
+func PeekHello(r io.Reader) (*Hello, error) {
+	registerTypes()
+	dec := gob.NewDecoder(r)
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, wrapIO("peek hello", err)
+	}
+	if env.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, env.Err)
+	}
+	hello, ok := env.Payload.(*Hello)
+	if !ok {
+		return nil, fmt.Errorf("transport: unexpected message %T, want *Hello", env.Payload)
+	}
+	return hello, nil
 }
 
 // Recv receives the next message and asserts its type.

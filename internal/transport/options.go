@@ -83,6 +83,21 @@ type Options struct {
 	// requested by default: it changes the symmetric derivations on both
 	// endpoints, so it is strictly opt-in.
 	PadFunc string
+
+	// OfferResume asks the server to mint a session-resumption ticket at
+	// the clean end of a fast session (FastClassifyClient.ResumeState
+	// harvests it at Close). Strictly opt-in: an offer-less Hello is
+	// byte-identical to a pre-resumption build's, and legacy servers drop
+	// the unknown field. Setting Resume implies the offer.
+	OfferResume bool
+
+	// Resume presents a previously harvested ResumeState on the next fast
+	// handshake: the ticket rides the Hello, and a granting server skips
+	// the base OT phase. A declined or stale ticket silently falls back
+	// to a full handshake; only protocol violations (a grant that was
+	// never offered, or a granted contract diverging from the ticket's)
+	// surface as ErrResume.
+	Resume *ResumeState
 }
 
 func (o Options) withDefaults() Options {

@@ -85,6 +85,21 @@ type Server struct {
 	// pins a legacy-pad server, which AES-offering clients negotiate
 	// down to.
 	PadFuncs []string
+	// DisableResume turns off session-resumption tickets: no tickets are
+	// minted, and presented tickets are declined into full handshakes
+	// (the behavior a pre-resumption server exhibits implicitly).
+	DisableResume bool
+	// TicketTTL bounds minted tickets' validity (default
+	// DefaultTicketTTL).
+	TicketTTL time.Duration
+
+	// ticketOnce lazily builds the per-process ticket mint from Rand the
+	// first time a session mints or validates; servers that never see a
+	// resumption offer never draw the key (fixed-rand golden sessions
+	// stay byte-identical).
+	ticketOnce sync.Once
+	tick       *ticketer
+	tickErr    error
 
 	mu       sync.Mutex
 	wg       sync.WaitGroup
@@ -268,6 +283,22 @@ func (s *Server) serveConn(rw io.ReadWriteCloser) {
 	// buffer is safe here and turns per-draw getrandom syscalls into a few
 	// page-sized reads.
 	rng := entropy.Buffered(s.Rand)
+	if hello.Service == "resume-info" {
+		// Fleet whoami: answer with this process's ticket mint identity so
+		// a gateway can steer ticket-bearing redials here. Needs no model.
+		if s.DisableResume {
+			_ = conn.SendErr(errors.New("transport: resumption disabled"))
+			return
+		}
+		tick, err := s.ticketer()
+		if err != nil {
+			s.logf("transport: resume-info: %v", err)
+			_ = conn.SendErr(err)
+			return
+		}
+		_ = conn.Send(&ResumeInfo{MintID: append([]byte(nil), tick.mintID[:]...)})
+		return
+	}
 	// Capture the session's trainer exactly once: every protocol step of
 	// this session — specs, one-shot senders, fast sessions, kernel
 	// similarity — derives from this one value, so a registry hot-swap
@@ -343,6 +374,67 @@ func (s *Server) supportedPads() []string {
 // grantPad picks the session OT pad from the client's offer.
 func (s *Server) grantPad(hello *Hello) string {
 	return grantPadFunc(hello.PadFuncs, s.supportedPads())
+}
+
+// ticketer lazily builds the per-process ticket mint (see Server field
+// docs).
+func (s *Server) ticketer() (*ticketer, error) {
+	s.ticketOnce.Do(func() {
+		s.tick, s.tickErr = newTicketer(s.Rand, s.TicketTTL)
+	})
+	return s.tick, s.tickErr
+}
+
+// grantResume resolves a presented ticket against the spec this session
+// would otherwise negotiate. Every failure is a silent decline — the
+// session proceeds as a full handshake — because stale tickets are the
+// expected steady state (expiry, replica restarts, model swaps), not a
+// protocol violation.
+func (s *Server) grantResume(hello *Hello, spec classify.Spec) *ot.IKNPSenderState {
+	if len(hello.ResumeTicket) == 0 {
+		return nil
+	}
+	if s.DisableResume {
+		obs.Add(obs.CtrResumeRejected, 1)
+		return nil
+	}
+	tick, err := s.ticketer()
+	if err != nil {
+		obs.Add(obs.CtrResumeRejected, 1)
+		s.logf("transport: decline resumption: %v", err)
+		return nil
+	}
+	st, err := tick.validate(hello.ResumeTicket, hello.Service, specResumeSum(spec))
+	if err != nil {
+		obs.Add(obs.CtrResumeRejected, 1)
+		s.logf("transport: decline resumption: %v", err)
+		return nil
+	}
+	return st
+}
+
+// mintTicket seals this session's final OT position into a ticket and
+// sends it (the answer to the client's Done). Mint failures are logged
+// and swallowed: the client simply redials with a full handshake.
+func (s *Server) mintTicket(conn *Conn, fast *classify.FastTrainer, spec classify.Spec, rng io.Reader) {
+	tick, err := s.ticketer()
+	if err != nil {
+		s.logf("transport: mint ticket: %v", err)
+		return
+	}
+	st, err := fast.Snapshot()
+	if err != nil {
+		s.logf("transport: mint ticket: %v", err)
+		return
+	}
+	ticket, err := tick.mint(rng, "classify-fast", specResumeSum(spec), st)
+	if err != nil {
+		s.logf("transport: mint ticket: %v", err)
+		return
+	}
+	if err := conn.Send(&SessionTicket{Ticket: ticket}); err == nil {
+		obs.Add(obs.CtrTicketsMinted, 1)
+	}
 }
 
 // serveClassify answers any number of classification queries on one
@@ -596,29 +688,45 @@ func (s *Server) serveClassifyFast(conn *Conn, trainer *classify.Trainer, hello 
 	if err != nil {
 		return err
 	}
+	resumeState := s.grantResume(hello, spec)
+	spec.ResumeGranted = resumeState != nil
 	if err := conn.Send(&spec); err != nil {
 		return err
 	}
 	if err := conn.UseCodec(spec.WireCodec); err != nil {
 		return err
 	}
-	setup, err := Recv[*ot.IKNPBaseSetup](conn)
-	if err != nil {
-		return err
-	}
-	fast, choice, err := trainer.NewFastSessionFor(spec, setup, rng)
-	if err != nil {
-		return err
-	}
-	if err := conn.Send(choice); err != nil {
-		return err
-	}
-	baseTr, err := Recv[*ot.IKNPBaseTransfer](conn)
-	if err != nil {
-		return err
-	}
-	if err := fast.FinishBase(baseTr); err != nil {
-		return err
+	var fast *classify.FastTrainer
+	if resumeState != nil {
+		// The κ base OTs are skipped entirely: the extension sender is
+		// rebuilt from the ticket's snapshot, counters carried forward,
+		// and bound to the CURRENT trainer (a hot-swapped model with an
+		// unchanged contract serves the new version).
+		fast, err = trainer.ResumeFastSessionFor(spec, resumeState)
+		if err != nil {
+			return err
+		}
+		obs.Add(obs.CtrSessionsResumed, 1)
+	} else {
+		setup, err := Recv[*ot.IKNPBaseSetup](conn)
+		if err != nil {
+			return err
+		}
+		var choice *ot.IKNPBaseChoice
+		fast, choice, err = trainer.NewFastSessionFor(spec, setup, rng)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(choice); err != nil {
+			return err
+		}
+		baseTr, err := Recv[*ot.IKNPBaseTransfer](conn)
+		if err != nil {
+			return err
+		}
+		if err := fast.FinishBase(baseTr); err != nil {
+			return err
+		}
 	}
 
 	jobs := make(chan fastJob, fastJobQueue)
@@ -666,7 +774,15 @@ readLoop:
 	if readErr != nil {
 		return readErr
 	}
-	return werr
+	if werr != nil {
+		return werr
+	}
+	// Clean Done: honor a standing mint request. The worker has exited, so
+	// the session's OT position is quiescent and safe to snapshot.
+	if hello.ResumeOffered && !s.DisableResume {
+		s.mintTicket(conn, fast, spec, rng)
+	}
+	return nil
 }
 
 // fastReadyQueue bounds how many computed responses may wait behind the

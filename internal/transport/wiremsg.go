@@ -43,6 +43,8 @@ const (
 	tagClassifyBatchSetups    byte = 22
 	tagClassifyBatchChoices   byte = 23
 	tagClassifyBatchTransfers byte = 24
+	tagSessionTicket          byte = 25
+	tagResumeInfo             byte = 26
 )
 
 // binMsg resolves a payload to its frame tag and wire encoder. The type
@@ -97,6 +99,10 @@ func binMsg(v any) (byte, wire.Msg, bool) {
 		return tagClassifyBatchChoices, m, true
 	case *ClassifyBatchTransfers:
 		return tagClassifyBatchTransfers, m, true
+	case *SessionTicket:
+		return tagSessionTicket, m, true
+	case *ResumeInfo:
+		return tagResumeInfo, m, true
 	default:
 		return 0, nil, false
 	}
@@ -156,6 +162,10 @@ func newBinPayload(tag byte) (wire.Msg, bool) {
 		return new(ClassifyBatchChoices), true
 	case tagClassifyBatchTransfers:
 		return new(ClassifyBatchTransfers), true
+	case tagSessionTicket:
+		return new(SessionTicket), true
+	case tagResumeInfo:
+		return new(ResumeInfo), true
 	default:
 		return nil, false
 	}
@@ -169,14 +179,22 @@ func (h *Hello) EncodeWire(w *wire.Writer) {
 	for _, c := range h.WireCodecs {
 		w.String(c)
 	}
-	// Optional tail (see wire.Reader.More): omitted when no pads are
-	// offered, so a pad-less Hello is byte-identical to a pre-negotiation
-	// build's and old recordings decode unchanged.
-	if len(h.PadFuncs) > 0 {
+	// Optional tails (see wire.Reader.More), append-only: the pad tail is
+	// omitted when no pads are offered, so a pad-less Hello is
+	// byte-identical to a pre-negotiation build's and old recordings
+	// decode unchanged. The resume tail rides behind it; offering resume
+	// forces the pad tail present (possibly empty) so the two stay
+	// positionally unambiguous.
+	resume := h.ResumeOffered || len(h.ResumeTicket) > 0
+	if len(h.PadFuncs) > 0 || resume {
 		w.Count(len(h.PadFuncs))
 		for _, p := range h.PadFuncs {
 			w.String(p)
 		}
+	}
+	if resume {
+		w.Bool(h.ResumeOffered)
+		w.ByteSlice(h.ResumeTicket)
 	}
 }
 
@@ -196,6 +214,8 @@ func (h *Hello) DecodeWire(r *wire.Reader) {
 		}
 	}
 	h.PadFuncs = nil
+	h.ResumeOffered = false
+	h.ResumeTicket = nil
 	if !r.More() {
 		return
 	}
@@ -209,6 +229,11 @@ func (h *Hello) DecodeWire(r *wire.Reader) {
 			return
 		}
 	}
+	if !r.More() {
+		return
+	}
+	h.ResumeOffered = r.Bool()
+	h.ResumeTicket = r.ByteSlice()
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
